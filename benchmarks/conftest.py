@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment from DESIGN.md (E1..E12):
+it times the experiment runner via pytest-benchmark (a single round -- these
+are macro-benchmarks of whole simulation sweeps, not micro-benchmarks) and
+prints the resulting table(s) so that the harness output *is* the reproduced
+table.  Qualitative expectations (who wins, what breaks, what stays within
+bound) are asserted so a silently wrong reproduction fails the harness.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table, render_tables
+from repro.experiments import EXPERIMENTS
+
+
+def run_and_print(benchmark, exp_id: str, quick: bool = False) -> list[Table]:
+    """Time one experiment once, print its tables, and return them."""
+    experiment = EXPERIMENTS[exp_id]
+    tables = benchmark.pedantic(experiment.run, args=(quick,), iterations=1, rounds=1)
+    if isinstance(tables, Table):
+        tables = [tables]
+    print()
+    print(f"[{exp_id}] {experiment.claim}")
+    print(render_tables(tables))
+    return tables

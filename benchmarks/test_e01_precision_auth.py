@@ -1,0 +1,8 @@
+"""Benchmark E1: precision of the authenticated algorithm at maximum resilience."""
+
+from conftest import run_and_print
+
+
+def test_e01_precision_auth(benchmark):
+    (table,) = run_and_print(benchmark, "E1")
+    assert all(table.column("within bound")), "measured skew exceeded the analytic bound"

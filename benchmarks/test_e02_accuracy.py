@@ -1,0 +1,14 @@
+"""Benchmark E2: optimal accuracy (rate envelope and its fault tolerance)."""
+
+from conftest import run_and_print
+
+
+def test_e02_accuracy(benchmark):
+    rate_table, fault_table = run_and_print(benchmark, "E2")
+    excesses = rate_table.column("measured excess")
+    analytic = rate_table.column("analytic excess")
+    assert all(m <= b + 1e-9 for m, b in zip(excesses, analytic))
+    assert excesses[-1] <= excesses[0], "accuracy excess must shrink as the period grows"
+    rows = {row[0]: row for row in fault_table.rows}
+    assert rows["sync_to_max"][3] > 1.0, "sync-to-max should be wrecked by the lying clock"
+    assert rows["auth"][3] < 0.1 and rows["echo"][3] < 0.1

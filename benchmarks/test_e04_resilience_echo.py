@@ -1,0 +1,13 @@
+"""Benchmark E4: tightness of the n > 3f resilience threshold (non-authenticated)."""
+
+from conftest import run_and_print
+
+
+def test_e04_resilience_echo(benchmark):
+    (table,) = run_and_print(benchmark, "E4")
+    for row in table.rows:
+        assumed_f, actual, within = row[1], row[2], row[-1]
+        if actual <= assumed_f:
+            assert within, f"in-spec configuration violated the bound: {row}"
+        else:
+            assert not within, f"above-threshold attack failed to break the algorithm: {row}"

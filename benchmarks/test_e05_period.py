@@ -1,0 +1,8 @@
+"""Benchmark E5: resynchronization intervals stay within [beta_min, beta_max]."""
+
+from conftest import run_and_print
+
+
+def test_e05_period(benchmark):
+    (table,) = run_and_print(benchmark, "E5")
+    assert all(table.column("within bounds"))

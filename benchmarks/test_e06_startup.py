@@ -1,0 +1,9 @@
+"""Benchmark E6: start-up (initial synchronization) from an unsynchronized state."""
+
+from conftest import run_and_print
+
+
+def test_e06_startup(benchmark):
+    (table,) = run_and_print(benchmark, "E6")
+    assert all(table.column("in time")), "start-up exceeded the completion bound"
+    assert all(table.column("within bound")), "post-start-up skew exceeded the precision bound"

@@ -1,0 +1,9 @@
+"""Benchmark E7: integration (join) latency of a late-starting process."""
+
+from conftest import run_and_print
+
+
+def test_e07_join(benchmark):
+    (table,) = run_and_print(benchmark, "E7")
+    assert all(table.column("joined"))
+    assert all(table.column("in time"))

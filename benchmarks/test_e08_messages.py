@@ -1,0 +1,12 @@
+"""Benchmark E8: message complexity per resynchronization round (O(n^2))."""
+
+from conftest import run_and_print
+
+
+def test_e08_messages(benchmark):
+    (table,) = run_and_print(benchmark, "E8")
+    assert all(table.column("within bound"))
+    for algorithm in ("auth", "echo"):
+        rows = [row for row in table.rows if row[0] == algorithm]
+        measured = [row[3] for row in rows]
+        assert measured == sorted(measured), "messages per round must grow with n"

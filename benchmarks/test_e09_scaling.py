@@ -1,0 +1,15 @@
+"""Benchmark E9: precision scales as O(tdel + rho * P)."""
+
+from conftest import run_and_print
+
+
+def test_e09_scaling(benchmark):
+    tdel_table, drift_table = run_and_print(benchmark, "E9")
+    skews = tdel_table.column("measured skew")
+    assert skews == sorted(skews), "skew must grow with the delay bound"
+    ratios = tdel_table.column("skew / tdel")
+    assert max(ratios) <= 2.5 * min(ratios), "skew should grow roughly linearly in tdel"
+    assert all(
+        measured <= bound
+        for measured, bound in zip(drift_table.column("measured skew"), drift_table.column("bound Dmax"))
+    )

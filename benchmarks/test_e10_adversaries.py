@@ -1,0 +1,8 @@
+"""Benchmark E10: all guarantees hold under every tolerated Byzantine strategy."""
+
+from conftest import run_and_print
+
+
+def test_e10_adversaries(benchmark):
+    (table,) = run_and_print(benchmark, "E10")
+    assert all(table.column("all guarantees hold"))

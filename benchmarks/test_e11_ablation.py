@@ -1,0 +1,11 @@
+"""Benchmark E11: ablations of the adjustment constant and the monotonic variant."""
+
+from conftest import run_and_print
+
+
+def test_e11_ablation(benchmark):
+    alpha_table, monotonic_table = run_and_print(benchmark, "E11")
+    bounds = alpha_table.column("bound Dmax")
+    assert bounds == sorted(bounds), "a larger alpha implies a larger analytic bound"
+    monotonic_rows = [row for row in monotonic_table.rows if row[1] is True or row[1] == "yes"]
+    assert all(row[3] == 0.0 for row in monotonic_rows), "monotonic variant must never step back"

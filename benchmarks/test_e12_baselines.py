@@ -1,0 +1,15 @@
+"""Benchmark E12: head-to-head comparison with the baseline synchronizers."""
+
+from conftest import run_and_print
+
+
+def test_e12_baselines(benchmark):
+    (table,) = run_and_print(benchmark, "E12")
+    rows = {row[0]: row for row in table.rows}
+    # Fault-tolerant algorithms keep precision tight; sync-to-max is destroyed.
+    assert rows["auth"][2] < 0.05
+    assert rows["echo"][2] < 0.05
+    assert rows["lundelius_welch"][2] < 0.05
+    assert rows["lamport_melliar_smith"][2] < 0.05
+    assert rows["sync_to_max"][2] > 1.0
+    assert rows["free_running"][5] == 0

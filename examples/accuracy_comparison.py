@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Accuracy comparison: why fault-tolerant synchronization with optimal accuracy matters.
+
+The paper's headline is *optimal accuracy*: the synchronized clocks drift from
+real time no faster than the underlying hardware, independent of how many
+faults are tolerated.  This example contrasts:
+
+* the two Srikanth-Toueg variants (optimal accuracy, Byzantine tolerant),
+* Lundelius-Welch and Lamport-Melliar-Smith averaging (tolerant, n > 3f),
+* naive sync-to-max (destroyed by a single lying clock source),
+* free-running hardware clocks (the drift floor),
+
+and shows how the Srikanth-Toueg rate excess vanishes as the period grows.
+
+Run with:  python examples/accuracy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import Scenario, params_for, run_scenario
+from repro.analysis.report import Table
+from repro.core.bounds import AUTH, long_run_rate_bounds
+
+
+def head_to_head_table() -> Table:
+    table = Table(
+        title="Head-to-head with one Byzantine process (n=7, f=1, 15 rounds)",
+        headers=["algorithm", "attack", "precision (ms)", "worst |C(t)-t| (ms)", "long-run rate"],
+    )
+    cases = [
+        ("auth", "eager"),
+        ("echo", "eager"),
+        ("lundelius_welch", "inflated_clock"),
+        ("lamport_melliar_smith", "inflated_clock"),
+        ("sync_to_max", "inflated_clock"),
+        ("free_running", "silent"),
+    ]
+    for algorithm, attack in cases:
+        params = params_for(7, f=1, authenticated=(algorithm == "auth"), rho=1e-4, tdel=0.01, period=1.0)
+        scenario = Scenario(
+            params=params,
+            algorithm=algorithm,
+            attack=attack,
+            actual_faults=1,
+            rounds=15,
+            clock_mode="random",
+            delay_mode="uniform",
+            seed=21,
+        )
+        result = run_scenario(scenario, check_guarantees=False)
+        offset = result.accuracy.worst_offset_from_real_time * 1e3 if result.accuracy else float("nan")
+        rate = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
+        table.add_row(algorithm, attack, result.precision * 1e3, offset, rate)
+    table.add_note("sync-to-max follows the lying clock; every fault-tolerant algorithm ignores it")
+    return table
+
+
+def rate_vs_period_table() -> Table:
+    table = Table(
+        title="Srikanth-Toueg accuracy excess vanishes as the period grows (auth, n=7, f=3)",
+        headers=["period P (s)", "measured max rate", "analytic max rate", "hardware bound (1+rho)"],
+    )
+    for period in (0.5, 1.0, 2.0, 5.0):
+        params = params_for(7, authenticated=True, rho=1e-4, tdel=0.01, period=period)
+        scenario = Scenario(
+            params=params,
+            algorithm="auth",
+            attack="silent",
+            rounds=12,
+            clock_mode="random",
+            delay_mode="uniform",
+            seed=int(period * 10),
+        )
+        result = run_scenario(scenario, check_guarantees=False)
+        _, rate_max = long_run_rate_bounds(params, AUTH)
+        measured = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
+        table.add_row(period, measured, rate_max, params.max_rate)
+    table.add_note("fault tolerance costs nothing asymptotically: the excess is O(tdel / P), independent of f and n")
+    return table
+
+
+def main() -> None:
+    print(head_to_head_table().render())
+    print()
+    print(rate_vs_period_table().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools/pip stack
+predates PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,242 @@
+"""Exact execution metrics.
+
+Honest logical clocks in a trace are piecewise-linear functions of real time
+whose breakpoints (hardware-clock rate changes and adjustment instants) are
+all recorded, so worst-case quantities -- maximum skew, envelope constants,
+extreme rates -- can be computed *exactly* by evaluating at breakpoints
+(taking both the left limit and the right value at each, because adjustments
+are jumps).  No sampling error enters the reproduction's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..sim.trace import ProcessTrace, Trace
+
+
+def _evaluation_points(trace: Trace, pids: Sequence[int], t_start: float, t_end: float) -> list[float]:
+    points = {t_start, t_end}
+    for pid in pids:
+        for t in trace.processes[pid].breakpoints():
+            if t_start <= t <= t_end:
+                points.add(t)
+    return sorted(points)
+
+
+def skew_at(trace: Trace, t: float, pids: Optional[Sequence[int]] = None, before: bool = False) -> float:
+    """Maximum pairwise difference of logical clocks at real time ``t``.
+
+    With ``before=True`` the left limits (values just before any jump at
+    ``t``) are used.
+    """
+    if pids is None:
+        pids = trace.honest_pids()
+    values = []
+    for pid in pids:
+        ptrace = trace.processes[pid]
+        values.append(ptrace.logical_before(t) if before else ptrace.logical_at(t))
+    if not values:
+        return 0.0
+    return max(values) - min(values)
+
+
+def max_skew(
+    trace: Trace,
+    t_start: float = 0.0,
+    t_end: Optional[float] = None,
+    pids: Optional[Sequence[int]] = None,
+) -> float:
+    """Exact worst-case skew among the given processes over ``[t_start, t_end]``."""
+    if pids is None:
+        pids = trace.honest_pids()
+    if not pids:
+        return 0.0
+    if t_end is None:
+        t_end = trace.end_time
+    worst = 0.0
+    for t in _evaluation_points(trace, pids, t_start, t_end):
+        worst = max(worst, skew_at(trace, t, pids))
+        if t > t_start:
+            # The left limit captures the value just before any jump at t; the
+            # state strictly before the measurement interval does not count.
+            worst = max(worst, skew_at(trace, t, pids, before=True))
+    return worst
+
+
+def skew_timeseries(
+    trace: Trace,
+    samples: int = 200,
+    t_start: float = 0.0,
+    t_end: Optional[float] = None,
+    pids: Optional[Sequence[int]] = None,
+) -> list[tuple[float, float]]:
+    """Skew sampled at ``samples`` evenly spaced times (for plots and examples)."""
+    if t_end is None:
+        t_end = trace.end_time
+    if samples < 2 or t_end <= t_start:
+        return [(t_start, skew_at(trace, t_start, pids))]
+    step = (t_end - t_start) / (samples - 1)
+    return [
+        (t_start + i * step, skew_at(trace, t_start + i * step, pids)) for i in range(samples)
+    ]
+
+
+def steady_state_start(trace: Trace, pids: Optional[Sequence[int]] = None) -> float:
+    """Real time at which every honest process has resynchronized at least once.
+
+    Precision guarantees are stated for steady state; before this time clocks
+    simply carry their initial offsets.  ``pids`` restricts the set of
+    processes considered (e.g. to exclude a late joiner).
+    """
+    if pids is None:
+        pids = trace.honest_pids()
+    firsts = []
+    for pid in pids:
+        ptrace = trace.processes[pid]
+        if not ptrace.resyncs:
+            return trace.end_time
+        firsts.append(ptrace.resyncs[0].time)
+    return max(firsts) if firsts else trace.end_time
+
+
+def steady_state_skew(trace: Trace, pids: Optional[Sequence[int]] = None) -> float:
+    """Exact worst-case skew from the end of the first resynchronization on."""
+    return max_skew(trace, t_start=steady_state_start(trace), pids=pids)
+
+
+def round_completion_time(trace: Trace, round_: int, pids: Optional[Sequence[int]] = None) -> Optional[float]:
+    """Real time at which every honest process had accepted ``round_`` (None if it never happened)."""
+    if pids is None:
+        pids = trace.honest_pids()
+    times = []
+    for pid in pids:
+        ptrace = trace.processes[pid]
+        accepted = [e.time for e in ptrace.resyncs if e.round == round_]
+        if not accepted:
+            return None
+        times.append(min(accepted))
+    return max(times) if times else None
+
+
+def skew_after_round(trace: Trace, round_: int, pids: Optional[Sequence[int]] = None) -> Optional[float]:
+    """Exact worst-case skew from the completion of ``round_`` onwards.
+
+    Used for start-up scenarios, where the ordinary steady-state bound only
+    applies once the first full resynchronization round has completed.
+    """
+    t0 = round_completion_time(trace, round_, pids=pids)
+    if t0 is None:
+        return None
+    return max_skew(trace, t_start=t0, pids=pids)
+
+
+# -- resynchronization structure ------------------------------------------------------
+
+
+def resync_intervals(trace: Trace, pid: int) -> list[float]:
+    """Real-time gaps between consecutive resynchronizations of one process."""
+    times = trace.processes[pid].resync_times()
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+@dataclass(frozen=True)
+class PeriodStats:
+    """Extremes of the observed resynchronization intervals over all honest processes."""
+
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def empty(cls) -> "PeriodStats":
+        return cls(minimum=float("inf"), maximum=0.0, count=0)
+
+
+def period_stats(trace: Trace, skip_first: int = 1) -> PeriodStats:
+    """Min/max resynchronization interval across honest processes.
+
+    ``skip_first`` drops the first interval(s), which include the start-up
+    transient (initial offsets) and are covered by the start-up bound instead.
+    """
+    minimum = float("inf")
+    maximum = 0.0
+    count = 0
+    for pid in trace.honest_pids():
+        intervals = resync_intervals(trace, pid)[skip_first:]
+        for value in intervals:
+            minimum = min(minimum, value)
+            maximum = max(maximum, value)
+            count += 1
+    if count == 0:
+        return PeriodStats.empty()
+    return PeriodStats(minimum=minimum, maximum=maximum, count=count)
+
+
+def acceptance_spread_by_round(trace: Trace) -> dict[int, float]:
+    """For each round accepted by every honest process, the real-time spread of acceptances."""
+    honest = trace.honest()
+    if not honest:
+        return {}
+    per_round: dict[int, list[float]] = {}
+    for ptrace in honest:
+        for event in ptrace.resyncs:
+            per_round.setdefault(event.round, []).append(event.time)
+    return {
+        round_: max(times) - min(times)
+        for round_, times in per_round.items()
+        if len(times) == len(honest)
+    }
+
+
+def max_acceptance_spread(trace: Trace) -> float:
+    """Largest acceptance spread over all fully accepted rounds."""
+    spreads = acceptance_spread_by_round(trace)
+    return max(spreads.values()) if spreads else 0.0
+
+
+def liveness(trace: Trace, expected_round: int) -> bool:
+    """Whether every honest process accepted every round up to ``expected_round``."""
+    for ptrace in trace.honest():
+        accepted = set(e.round for e in ptrace.resyncs)
+        if not accepted:
+            return False
+        first = max(min(accepted), 1)
+        needed = set(range(first, expected_round + 1))
+        if not needed.issubset(accepted):
+            return False
+    return True
+
+
+def adjustment_magnitudes(trace: Trace, skip_first: int = 1) -> list[float]:
+    """Absolute sizes of all honest clock adjustments (optionally skipping the first)."""
+    sizes = []
+    for ptrace in trace.honest():
+        for event in ptrace.resyncs[skip_first:]:
+            sizes.append(abs(event.adjustment))
+    return sizes
+
+
+def max_backward_adjustment(trace: Trace, skip_first: int = 1) -> float:
+    """Largest backward correction applied by any honest process (0 if clocks are monotone)."""
+    worst = 0.0
+    for ptrace in trace.honest():
+        for event in ptrace.resyncs[skip_first:]:
+            worst = max(worst, -min(0.0, event.adjustment))
+    return worst
+
+
+def message_totals(trace: Trace) -> dict[str, int]:
+    """Total messages sent, by message type, plus the overall count."""
+    totals = dict(trace.message_stats)
+    totals["total"] = trace.total_messages
+    return totals
+
+
+def messages_per_completed_round(trace: Trace) -> float:
+    """Average number of messages per fully completed round (all senders included)."""
+    completed = trace.min_completed_round()
+    if completed <= 0:
+        return float(trace.total_messages)
+    return trace.total_messages / completed

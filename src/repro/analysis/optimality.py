@@ -1,0 +1,178 @@
+"""Guarantee verification: does an execution respect the paper's theorems?
+
+:func:`verify_guarantees` compares the exact measurements of a trace with the
+analytic bounds of :mod:`repro.core.bounds` and returns a structured verdict.
+It is the workhorse of the integration tests and of experiments E1/E5/E10:
+under every tolerated adversary the verdict must be all-green, and above the
+resilience threshold the breaking attacks must produce a red verdict
+(otherwise the experiment itself is broken).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import bounds as bounds_mod
+from ..core.params import SyncParams
+from ..sim.trace import Trace
+from . import metrics
+from .envelope import accuracy_summary
+
+
+@dataclass(frozen=True)
+class GuaranteeCheck:
+    """One guarantee: its measured value, its bound, and whether it holds."""
+
+    name: str
+    measured: float
+    bound: float
+    holds: bool
+    direction: str = "<="
+
+    def describe(self) -> str:
+        return f"{self.name}: measured {self.measured:.6g} {self.direction} bound {self.bound:.6g}: {'OK' if self.holds else 'VIOLATED'}"
+
+
+@dataclass
+class GuaranteeReport:
+    """Verdict over all guarantees checked for one execution."""
+
+    algorithm: str
+    params: SyncParams
+    checks: list[GuaranteeCheck] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(check.holds for check in self.checks)
+
+    def violated(self) -> list[GuaranteeCheck]:
+        return [check for check in self.checks if not check.holds]
+
+    def by_name(self, name: str) -> GuaranteeCheck:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        lines = [f"Guarantees for {self.algorithm} ({self.params.describe()}):"]
+        lines.extend("  " + check.describe() for check in self.checks)
+        return "\n".join(lines)
+
+
+def verify_guarantees(
+    trace: Trace,
+    params: SyncParams,
+    algorithm: str = bounds_mod.AUTH,
+    expected_round: int = 0,
+    slack: float = 1e-9,
+) -> GuaranteeReport:
+    """Check precision, period, acceptance spread, adjustment size, liveness and accuracy.
+
+    ``expected_round`` > 0 additionally requires every honest process to have
+    accepted all rounds up to that number (liveness).  ``slack`` is a tiny
+    numerical tolerance added to every bound.
+    """
+    report = GuaranteeReport(algorithm=algorithm, params=params)
+    checks = report.checks
+
+    theoretical = bounds_mod.theoretical_bounds(params, algorithm)
+
+    # Precision (steady state).
+    measured_skew = metrics.steady_state_skew(trace)
+    checks.append(
+        GuaranteeCheck(
+            name="precision",
+            measured=measured_skew,
+            bound=theoretical.precision + slack,
+            holds=measured_skew <= theoretical.precision + slack,
+        )
+    )
+
+    # Acceptance spread (relay property in action).
+    spread = metrics.max_acceptance_spread(trace)
+    checks.append(
+        GuaranteeCheck(
+            name="acceptance_spread",
+            measured=spread,
+            bound=theoretical.sigma + slack,
+            holds=spread <= theoretical.sigma + slack,
+        )
+    )
+
+    # Resynchronization period bounds.
+    stats = metrics.period_stats(trace)
+    if stats.count > 0:
+        checks.append(
+            GuaranteeCheck(
+                name="period_min",
+                measured=stats.minimum,
+                bound=theoretical.beta_min - slack,
+                holds=stats.minimum >= theoretical.beta_min - slack,
+                direction=">=",
+            )
+        )
+        checks.append(
+            GuaranteeCheck(
+                name="period_max",
+                measured=stats.maximum,
+                bound=theoretical.beta_max + slack,
+                holds=stats.maximum <= theoretical.beta_max + slack,
+            )
+        )
+
+    # Adjustment magnitude.
+    adjustments = metrics.adjustment_magnitudes(trace)
+    if adjustments:
+        worst_adjustment = max(adjustments)
+        checks.append(
+            GuaranteeCheck(
+                name="max_adjustment",
+                measured=worst_adjustment,
+                bound=theoretical.max_adjustment + slack,
+                holds=worst_adjustment <= theoretical.max_adjustment + slack,
+            )
+        )
+
+    # Liveness.
+    if expected_round > 0:
+        alive = metrics.liveness(trace, expected_round)
+        checks.append(
+            GuaranteeCheck(
+                name="liveness",
+                measured=float(trace.min_completed_round()),
+                bound=float(expected_round),
+                holds=alive,
+                direction=">=",
+            )
+        )
+
+    # Accuracy: long-run logical clock rate within the analytic rate bounds.
+    start = metrics.steady_state_start(trace)
+    if trace.end_time - start > params.period:
+        summary = accuracy_summary(
+            trace,
+            rate_low=theoretical.rate_min,
+            rate_high=theoretical.rate_max,
+            t_start=start,
+            t_end=trace.end_time,
+        )
+        checks.append(
+            GuaranteeCheck(
+                name="accuracy_rate_max",
+                measured=summary.fastest_long_run_rate,
+                bound=theoretical.rate_max + slack,
+                holds=summary.fastest_long_run_rate <= theoretical.rate_max + slack,
+            )
+        )
+        checks.append(
+            GuaranteeCheck(
+                name="accuracy_rate_min",
+                measured=summary.slowest_long_run_rate,
+                bound=theoretical.rate_min - slack,
+                holds=summary.slowest_long_run_rate >= theoretical.rate_min - slack,
+                direction=">=",
+            )
+        )
+
+    return report

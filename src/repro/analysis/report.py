@@ -1,0 +1,84 @@
+"""Plain-text result tables.
+
+The benchmark harness regenerates the paper's "tables" (one per reproduced
+claim) as aligned plain-text tables; examples print the same tables.  This
+module is a tiny dependency-free table formatter so results look the same in
+test logs, benchmark output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with a title and optional notes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    precision: int = 5
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[object]:
+        """All values of the named column."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        cells = [[_format_cell(v, self.precision) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        cells = [[_format_cell(v, self.precision) for v in row] for row in self.rows]
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"_note: {note}_")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_tables(tables: Iterable[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(table.render() for table in tables)

@@ -1,0 +1,17 @@
+"""Baseline synchronization algorithms the Srikanth-Toueg synchronizers are compared with."""
+
+from .base import CollectAndCorrectProcess
+from .lamport_melliar_smith import LamportMelliarSmithProcess, egocentric_average
+from .lundelius_welch import LundeliusWelchProcess, fault_tolerant_midpoint
+from .naive import FreeRunningProcess, InflatedClockAttacker, SyncToMaxProcess
+
+__all__ = [
+    "CollectAndCorrectProcess",
+    "LundeliusWelchProcess",
+    "fault_tolerant_midpoint",
+    "LamportMelliarSmithProcess",
+    "egocentric_average",
+    "SyncToMaxProcess",
+    "FreeRunningProcess",
+    "InflatedClockAttacker",
+]

@@ -1,0 +1,125 @@
+"""Shared round structure of the baseline synchronization algorithms.
+
+The baselines the paper is contrasted with (Lamport & Melliar-Smith's
+interactive convergence, Lundelius & Welch's fault-tolerant averaging, and the
+naive "follow the fastest clock" rule) all share the same outer loop:
+
+1. at logical time ``k * P`` broadcast something about your clock,
+2. collect what the others broadcast for a fixed local-time window,
+3. compute a correction from the collected clock-difference estimates and
+   apply it, then wait for round ``k + 1``.
+
+:class:`CollectAndCorrectProcess` implements that loop and the estimation of
+clock differences from received messages; the concrete baselines only choose
+what to broadcast and how to turn the estimate vector into a correction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.clock import LogicalClock
+from ..core.messages import ClockSample, SyncPulse
+from ..core.params import SyncParams
+from ..sim.process import Process
+from ..sim.trace import ResyncEvent
+
+
+class CollectAndCorrectProcess(Process):
+    """Base class for round-based "broadcast, collect, correct" synchronizers."""
+
+    algorithm_name = "baseline"
+
+    def __init__(self, pid: int, params: SyncParams) -> None:
+        super().__init__(pid)
+        self.params = params
+        self.logical = LogicalClock()
+        self.current_round = 1
+        #: Clock-difference estimates collected per round:
+        #: ``estimates[k][q]`` approximates ``C_q - C_self`` as of round ``k``.
+        self.estimates: dict[int, dict[int, float]] = {}
+        #: Length of the collection window in local time units.
+        self.collection_window = 2.0 * (1.0 + params.rho) * params.tdel
+
+    # -- timing helpers ------------------------------------------------------------
+
+    def logical_time(self) -> float:
+        return self.logical.value(self.local_time())
+
+    def set_logical_timer(self, logical_target: float, key: Hashable):
+        return self.set_timer_local(self.logical.hardware_target_for(logical_target), key=key)
+
+    @property
+    def delay_midpoint(self) -> float:
+        """The deterministic part of the message delay assumed by the estimators."""
+        return 0.5 * (self.params.tmin + self.params.tdel)
+
+    # -- round machinery --------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.schedule_round(self.current_round)
+
+    def schedule_round(self, round_: int) -> None:
+        self.set_logical_timer(round_ * self.params.period, key=("round", round_))
+
+    def on_timer(self, key: Hashable) -> None:
+        if not isinstance(key, tuple):
+            return
+        kind, round_ = key
+        if round_ != self.current_round:
+            return
+        if kind == "round":
+            self.broadcast_round(round_)
+            self.set_logical_timer(
+                round_ * self.params.period + self.collection_window, key=("collect", round_)
+            )
+        elif kind == "collect":
+            self.finish_round(round_)
+
+    def finish_round(self, round_: int) -> None:
+        collected = self.estimates.pop(round_, {})
+        collected.setdefault(self.pid, 0.0)
+        correction = self.compute_correction(collected)
+        before = self.logical_time()
+        self.logical.shift_by(correction)
+        after = self.logical_time()
+        self.trace.record_adjustment(self.sim.now, self.logical.adjustment)
+        self.trace.resyncs.append(
+            ResyncEvent(
+                pid=self.pid,
+                round=round_,
+                time=self.sim.now,
+                logical_before=before,
+                logical_after=after,
+            )
+        )
+        self.current_round = round_ + 1
+        self.schedule_round(self.current_round)
+
+    # -- estimation ---------------------------------------------------------------------
+
+    def _record_estimate(self, round_: int, sender: int, estimate: float) -> None:
+        # Keep only the first estimate from each peer per round; drop stale and
+        # far-future rounds (the latter bounds memory against flooding).
+        if round_ < self.current_round or round_ > self.current_round + 2:
+            return
+        self.estimates.setdefault(round_, {}).setdefault(sender, estimate)
+
+    def on_message(self, sender: int, payload: object) -> None:
+        if isinstance(payload, SyncPulse):
+            reference = payload.round * self.params.period
+            estimate = reference + self.delay_midpoint - self.logical_time()
+            self._record_estimate(payload.round, sender, estimate)
+        elif isinstance(payload, ClockSample):
+            estimate = payload.value + self.delay_midpoint - self.logical_time()
+            self._record_estimate(payload.round, sender, estimate)
+
+    # -- extension points ------------------------------------------------------------------
+
+    def broadcast_round(self, round_: int) -> None:
+        """Broadcast this round's clock information (subclass-specific)."""
+        raise NotImplementedError
+
+    def compute_correction(self, estimates: dict[int, float]) -> float:
+        """Turn the estimate vector into the correction applied to the logical clock."""
+        raise NotImplementedError

@@ -1,0 +1,51 @@
+"""Lamport & Melliar-Smith's interactive convergence algorithm (CNV).
+
+Each round, every process broadcasts its current logical clock *value*
+(:class:`~repro.core.messages.ClockSample`).  A receiver estimates each peer's
+clock difference, replaces any estimate larger in magnitude than the validity
+threshold ``delta_max`` by 0 (its own value), and corrects by the *egocentric
+average* over all ``n`` processes.  Requires ``n > 3f``.
+
+The threshold makes distant (hence suspect) clock readings harmless, but an
+in-range faulty reading still drags the average by up to ``delta_max * f / n``
+per round -- precision is achieved, yet both precision and accuracy carry a
+dependence on ``f`` that the Srikanth-Toueg algorithm does not have.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.messages import ClockSample
+from .base import CollectAndCorrectProcess
+
+
+def egocentric_average(estimates: list[float], delta_max: float) -> float:
+    """Average the estimates after replacing out-of-range values by 0."""
+    if not estimates:
+        return 0.0
+    clipped = [value if abs(value) <= delta_max else 0.0 for value in estimates]
+    return sum(clipped) / len(clipped)
+
+
+class LamportMelliarSmithProcess(CollectAndCorrectProcess):
+    """A correct process running interactive convergence (algorithm CNV)."""
+
+    algorithm_name = "lamport-melliar-smith"
+
+    def __init__(self, pid, params, delta_max: Optional[float] = None) -> None:
+        super().__init__(pid, params)
+        # The validity threshold must exceed the worst-case honest skew plus
+        # the reading error; a generous default keeps the algorithm in spec.
+        if delta_max is None:
+            delta_max = 4.0 * params.tdel + 4.0 * params.rho * params.period
+        self.delta_max = delta_max
+
+    def broadcast_round(self, round_: int) -> None:
+        self.broadcast(ClockSample(round=round_, value=self.logical_time()))
+
+    def compute_correction(self, estimates: dict[int, float]) -> float:
+        # The egocentric average runs over all n processes; peers we never
+        # heard from contribute their default of 0 (our own value).
+        values = [estimates.get(pid, 0.0) for pid in range(self.params.n)]
+        return egocentric_average(values, self.delta_max)

@@ -1,0 +1,47 @@
+"""Lundelius & Welch's fault-tolerant averaging synchronizer (PODC 1984).
+
+Each round, every process announces that its logical clock reached ``k * P``
+(a :class:`~repro.core.messages.SyncPulse`); receivers estimate the sender's
+clock difference from the arrival time.  The correction is the *fault-tolerant
+midpoint*: discard the ``f`` smallest and ``f`` largest estimates and take the
+midpoint of the remaining range.  With ``n > 3f`` this bounds the influence of
+faulty processes and converges the clocks.
+
+This is the classic contrast point to Srikanth-Toueg: it also achieves good
+precision, but the correction is an *average*, so the synchronized clocks'
+rate depends on where the estimates land inside the delay window, and its
+resilience is limited to ``n > 3f`` even though we also allow running it out
+of spec for comparison experiments.
+"""
+
+from __future__ import annotations
+
+from ..core.messages import SyncPulse
+from .base import CollectAndCorrectProcess
+
+
+def fault_tolerant_midpoint(values: list[float], f: int) -> float:
+    """Discard the ``f`` smallest and ``f`` largest values, return the midpoint of the rest.
+
+    If fewer than ``2f + 1`` values are available the midpoint of whatever
+    remains after discarding as many extremes as possible is used (this can
+    only happen out of spec and keeps the algorithm total).
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    drop = min(f, (len(ordered) - 1) // 2)
+    trimmed = ordered[drop: len(ordered) - drop]
+    return 0.5 * (trimmed[0] + trimmed[-1])
+
+
+class LundeliusWelchProcess(CollectAndCorrectProcess):
+    """A correct process running the Lundelius-Welch averaging algorithm."""
+
+    algorithm_name = "lundelius-welch"
+
+    def broadcast_round(self, round_: int) -> None:
+        self.broadcast(SyncPulse(round=round_))
+
+    def compute_correction(self, estimates: dict[int, float]) -> float:
+        return fault_tolerant_midpoint(list(estimates.values()), self.params.f)

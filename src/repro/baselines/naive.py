@@ -1,0 +1,104 @@
+"""Naive baselines: follow-the-fastest-clock and free-running clocks.
+
+``SyncToMaxProcess`` adjusts, every round, to the largest clock value heard
+(never backwards).  Without faults it achieves decent precision, but a single
+Byzantine process advertising an inflated clock drags the whole system
+arbitrarily far from real time -- the textbook motivation for fault-tolerant
+synchronization and the contrast used in experiments E2 and E12.
+
+``FreeRunningProcess`` never adjusts at all; it provides the drift floor
+against which the synchronized algorithms are compared.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.clock import LogicalClock
+from ..core.messages import ClockSample
+from ..core.params import SyncParams
+from ..sim.process import Process
+from ..sim.trace import ResyncEvent
+from .base import CollectAndCorrectProcess
+
+
+class SyncToMaxProcess(CollectAndCorrectProcess):
+    """Adjust to the maximum clock value observed each round (not fault-tolerant)."""
+
+    algorithm_name = "sync-to-max"
+
+    def broadcast_round(self, round_: int) -> None:
+        self.broadcast(ClockSample(round=round_, value=self.logical_time()))
+
+    def compute_correction(self, estimates: dict[int, float]) -> float:
+        # estimates[q] approximates C_q - C_self; following the maximum means
+        # applying the largest non-negative difference.
+        return max(0.0, max(estimates.values()))
+
+
+class FreeRunningProcess(Process):
+    """A process that never synchronizes; its logical clock is its hardware clock."""
+
+    algorithm_name = "free-running"
+
+    def __init__(self, pid: int, params: SyncParams) -> None:
+        super().__init__(pid)
+        self.params = params
+        self.logical = LogicalClock()
+        self.current_round = 1
+
+    def logical_time(self) -> float:
+        return self.logical.value(self.local_time())
+
+    def on_start(self) -> None:
+        self._schedule(self.current_round)
+
+    def _schedule(self, round_: int) -> None:
+        self.set_timer_local(round_ * self.params.period, key=("round", round_))
+
+    def on_timer(self, key: Hashable) -> None:
+        # Record "pulses" without any adjustment so liveness/period metrics
+        # remain comparable with the synchronized algorithms.
+        if not isinstance(key, tuple) or key[0] != "round":
+            return
+        round_ = key[1]
+        value = self.logical_time()
+        self.trace.resyncs.append(
+            ResyncEvent(
+                pid=self.pid,
+                round=round_,
+                time=self.sim.now,
+                logical_before=value,
+                logical_after=value,
+            )
+        )
+        self.current_round = round_ + 1
+        self._schedule(self.current_round)
+
+
+class InflatedClockAttacker(Process):
+    """A faulty clock source advertising a wildly inflated clock value each round.
+
+    Breaks :class:`SyncToMaxProcess` (which blindly follows the maximum) while
+    the fault-tolerant algorithms ignore it; used in E2/E12.
+    """
+
+    faulty = True
+
+    def __init__(self, pid: int, params: SyncParams, inflation: float = 50.0) -> None:
+        super().__init__(pid)
+        self.params = params
+        self.inflation = inflation
+
+    def on_start(self) -> None:
+        self._schedule(1)
+
+    def _schedule(self, round_: int) -> None:
+        self.sim.schedule_at(round_ * self.params.period, lambda: self._announce(round_))
+
+    def _announce(self, round_: int) -> None:
+        if self.halted:
+            return
+        bogus = round_ * self.params.period + self.inflation
+        self.broadcast(ClockSample(round=round_, value=bogus))
+        self._schedule(round_ + 1)

@@ -1,0 +1,13 @@
+"""Broadcast primitives underlying the Srikanth-Toueg synchronizers."""
+
+from .authenticated import SignatureTracker
+from .echo import EchoTracker
+from .primitive import NO_ACTIONS, BroadcastTracker, PrimitiveActions
+
+__all__ = [
+    "BroadcastTracker",
+    "PrimitiveActions",
+    "NO_ACTIONS",
+    "SignatureTracker",
+    "EchoTracker",
+]

@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+The CLI exposes the library's main entry points without writing any Python:
+
+* ``repro bounds``       -- print the analytic guarantees for a parameterisation,
+* ``repro run``          -- run one scenario and print the measured guarantees,
+* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E12,
+* ``repro list-attacks`` -- list the registered Byzantine strategies,
+* ``repro list-experiments`` -- list the reproduced experiments.
+
+Invoke as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .analysis.report import Table, render_tables
+from .analysis.serialize import result_to_json
+from .core.bounds import AUTH, ECHO, theoretical_bounds
+from .core.params import params_for
+from .experiments import EXPERIMENTS
+from .faults.strategies import available_attacks
+from .workloads.scenarios import ALL_ALGORITHMS, CLOCK_MODES, DELAY_MODES, Scenario, run_scenario
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=7, help="number of processes (default 7)")
+    parser.add_argument("--f", type=int, default=None, help="fault bound (default: maximum tolerable)")
+    parser.add_argument("--rho", type=float, default=1e-4, help="hardware clock drift bound (default 1e-4)")
+    parser.add_argument("--tdel", type=float, default=0.01, help="maximum message delay in seconds (default 0.01)")
+    parser.add_argument("--tmin", type=float, default=0.0, help="minimum message delay (default 0)")
+    parser.add_argument("--period", type=float, default=1.0, help="resynchronization period (default 1.0)")
+    parser.add_argument("--alpha", type=float, default=None, help="adjustment constant (default (1+rho)*tdel)")
+
+
+def _params_from_args(args: argparse.Namespace, authenticated: bool):
+    return params_for(
+        n=args.n,
+        f=args.f,
+        authenticated=authenticated,
+        rho=args.rho,
+        tdel=args.tdel,
+        tmin=args.tmin,
+        period=args.period,
+        alpha=args.alpha,
+        initial_offset_spread=args.tdel / 2,
+    )
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    algorithm = ECHO if args.algorithm == "echo" else AUTH
+    params = _params_from_args(args, authenticated=algorithm == AUTH)
+    bounds = theoretical_bounds(params, algorithm)
+    table = Table(title=f"Analytic guarantees ({algorithm}, {params.describe()})", headers=["quantity", "value"])
+    for key, value in bounds.as_dict().items():
+        table.add_row(key, value)
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    authenticated = args.algorithm == "auth"
+    params = _params_from_args(args, authenticated=authenticated)
+    scenario = Scenario(
+        params=params,
+        algorithm=args.algorithm,
+        attack=args.attack,
+        actual_faults=args.actual_faults,
+        rounds=args.rounds,
+        clock_mode=args.clock_mode,
+        delay_mode=args.delay_mode,
+        use_startup=args.startup,
+        boot_spread=args.boot_spread,
+        joiner_count=args.joiners,
+        join_time=args.join_time,
+        monotonic=args.monotonic,
+        seed=args.seed,
+    )
+    result = run_scenario(scenario)
+    if args.json:
+        print(result_to_json(result, include_trace=args.include_trace))
+        return 0 if result.guarantees_hold else 1
+    table = Table(title=f"Scenario {scenario.name}", headers=["quantity", "value"])
+    table.add_row("completed round", result.completed_round)
+    table.add_row("precision (worst skew, s)", result.precision)
+    table.add_row("acceptance spread (s)", result.acceptance_spread)
+    table.add_row("messages per round", result.messages_per_round)
+    if result.accuracy is not None:
+        table.add_row("fastest long-run rate", result.accuracy.fastest_long_run_rate)
+        table.add_row("worst |C(t)-t| (s)", result.accuracy.worst_offset_from_real_time)
+    print(table.render())
+    if result.guarantees is not None:
+        print()
+        print(result.guarantees.describe())
+    return 0 if result.guarantees_hold else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = list(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        experiment = EXPERIMENTS[exp_id]
+        tables = experiment.run(quick=args.quick)
+        print(f"[{exp_id}] {experiment.claim}")
+        print(render_tables(tables))
+        print()
+    return 0
+
+
+def _cmd_list_attacks(_args: argparse.Namespace) -> int:
+    for name in available_attacks():
+        print(name)
+    return 0
+
+
+def _cmd_list_experiments(_args: argparse.Namespace) -> int:
+    for exp_id, experiment in EXPERIMENTS.items():
+        print(f"{exp_id}: {experiment.claim}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Srikanth-Toueg optimal clock synchronization: bounds, simulations and experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bounds = sub.add_parser("bounds", help="print the analytic guarantees for a parameterisation")
+    _add_param_arguments(bounds)
+    bounds.add_argument("--algorithm", choices=["auth", "echo"], default="auth")
+    bounds.set_defaults(func=_cmd_bounds)
+
+    run = sub.add_parser("run", help="run one scenario and print the measured guarantees")
+    _add_param_arguments(run)
+    run.add_argument("--algorithm", choices=list(ALL_ALGORITHMS), default="auth")
+    run.add_argument("--attack", default="eager", help="adversary strategy (see list-attacks); default eager")
+    run.add_argument("--actual-faults", type=int, default=None, dest="actual_faults",
+                     help="how many processes actually misbehave (default: f)")
+    run.add_argument("--rounds", type=int, default=10)
+    run.add_argument("--clock-mode", choices=list(CLOCK_MODES), default="extreme", dest="clock_mode")
+    run.add_argument("--delay-mode", choices=list(DELAY_MODES), default="targeted", dest="delay_mode")
+    run.add_argument("--startup", action="store_true", help="start from scratch via the start-up protocol")
+    run.add_argument("--boot-spread", type=float, default=0.0, dest="boot_spread")
+    run.add_argument("--joiners", type=int, default=0, help="number of late joiners")
+    run.add_argument("--join-time", type=float, default=0.0, dest="join_time")
+    run.add_argument("--monotonic", action="store_true", help="suppress backward clock corrections")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true", help="emit the result as JSON")
+    run.add_argument("--include-trace", action="store_true", dest="include_trace",
+                     help="include the full trace in the JSON output")
+    run.set_defaults(func=_cmd_run)
+
+    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E12")
+    experiment.add_argument("id", help="experiment id (E1..E12) or 'all'")
+    experiment.add_argument("--quick", action="store_true", help="smaller grids (used by the test suite)")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    sub.add_parser("list-attacks", help="list registered Byzantine strategies").set_defaults(func=_cmd_list_attacks)
+    sub.add_parser("list-experiments", help="list reproduced experiments").set_defaults(func=_cmd_list_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Logical (synchronized) clocks.
+
+A logical clock is the hardware clock plus an adjustment maintained by the
+synchronization algorithm:  ``C(t) = H(t) + A``.  The class below is a tiny
+pure-value object -- it never looks at real time -- so it can be unit-tested
+exhaustively and reused by every algorithm (Srikanth-Toueg and baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdjustmentResult:
+    """Outcome of a clock adjustment."""
+
+    #: Logical value immediately before the adjustment.
+    before: float
+    #: Logical value immediately after the adjustment.
+    after: float
+    #: ``after - before``; negative means the clock was set back.
+    delta: float
+    #: Whether the adjustment was suppressed by the monotonic option.
+    suppressed: bool = False
+
+
+class LogicalClock:
+    """The adjustment layer on top of a hardware clock reading.
+
+    The object deliberately operates on *hardware clock readings* rather than
+    real time: the owning process supplies the current reading and the class
+    converts between logical values, hardware readings and adjustments.
+    """
+
+    def __init__(self, initial_adjustment: float = 0.0) -> None:
+        self.adjustment = float(initial_adjustment)
+
+    def value(self, hardware_reading: float) -> float:
+        """Logical clock value for the given hardware reading."""
+        return hardware_reading + self.adjustment
+
+    def hardware_target_for(self, logical_target: float) -> float:
+        """Hardware reading at which the logical clock will show ``logical_target``."""
+        return logical_target - self.adjustment
+
+    def set_to(self, logical_target: float, hardware_reading: float, monotonic: bool = False) -> AdjustmentResult:
+        """Set the logical clock to ``logical_target`` right now.
+
+        With ``monotonic=True`` the adjustment is suppressed if it would move
+        the clock backwards (the clock keeps its current, larger value).
+        """
+        before = self.value(hardware_reading)
+        if monotonic and logical_target < before:
+            return AdjustmentResult(before=before, after=before, delta=0.0, suppressed=True)
+        self.adjustment = logical_target - hardware_reading
+        return AdjustmentResult(before=before, after=logical_target, delta=logical_target - before)
+
+    def shift_by(self, delta: float) -> None:
+        """Apply a relative correction of ``delta`` (used by the averaging baselines)."""
+        self.adjustment += delta

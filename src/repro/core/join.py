@@ -1,0 +1,45 @@
+"""Integration of late-starting or recovering processes.
+
+A process that was down (or is new) can (re)join a running synchronized
+system without any special protocol: it listens to the ordinary round-``k``
+traffic and applies the ordinary acceptance rule.  Because acceptance
+requires support that only correct processes can provide (unforgeability),
+faulty processes cannot feed a joiner a bogus clock; and because every
+correct process re-announces each round, the joiner accepts the next round
+that completes after it came up -- i.e. it is synchronized within one
+resynchronization period plus the acceptance latency.
+
+The joiner behaviour itself is the ``joiner=True`` mode of the algorithm
+classes; this module provides the helpers used by scenarios and experiments.
+"""
+
+from __future__ import annotations
+
+from .bounds import acceptance_latency, beta_max
+from .params import SyncParams
+
+
+def join_latency_bound(params: SyncParams, algorithm: str = "auth") -> float:
+    """Worst-case real time from a joiner coming up to its first resynchronization.
+
+    The joiner misses at most one full resynchronization interval (it may come
+    up just after an acceptance completed) and then accepts the next round
+    together with everybody else.
+    """
+    return beta_max(params, algorithm) + acceptance_latency(params, algorithm)
+
+
+def joined(trace, joiner_pid: int) -> bool:
+    """Whether the joining process recorded at least one resynchronization."""
+    return bool(trace.processes[joiner_pid].resyncs)
+
+
+def join_time(trace, joiner_pid: int, boot_time: float) -> float:
+    """Real time the joiner took from boot to its first resynchronization.
+
+    Raises ``ValueError`` if the joiner never synchronized.
+    """
+    resyncs = trace.processes[joiner_pid].resyncs
+    if not resyncs:
+        raise ValueError(f"process {joiner_pid} never synchronized")
+    return resyncs[0].time - boot_time

@@ -1,0 +1,174 @@
+"""Model and algorithm parameters.
+
+:class:`SyncParams` bundles the Srikanth-Toueg model parameters (number of
+processes ``n``, fault bound ``f``, drift bound ``rho``, message delay bounds
+``tmin``/``tdel``) with the algorithm parameters (resynchronization period
+``P`` and adjustment constant ``alpha``).
+
+Conventions
+-----------
+* Hardware clock rates lie in ``[1/(1+rho), 1+rho]``.
+* Message delays between any two processes lie in ``[tmin, tdel]``; faulty
+  processes are subject to the same bounds (they control *content*, not
+  physics).
+* The logical clock of process ``p`` is ``C_p(t) = H_p(t) + A_p(t)`` where
+  ``A_p`` is the step function of adjustments applied by the algorithm.
+* Round ``k >= 1`` resynchronizes at logical time ``k * period``; on accepting
+  round ``k`` a process sets ``C := k * period + alpha``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+def default_alpha(rho: float, tdel: float) -> float:
+    """The canonical adjustment constant ``alpha = (1 + rho) * tdel``.
+
+    ``alpha`` compensates for the time a round-k message spends in transit:
+    when a process accepts round ``k`` it knows at least ``0`` and at most
+    ``tdel`` real time (hence at most ``(1+rho)*tdel`` local time) has passed
+    since the earliest correct process announced round ``k``.  Setting the
+    clock to ``k*P + alpha`` therefore never sets a correct clock back in the
+    benign case and keeps the adjustment bounded by a constant.
+    """
+    return (1.0 + rho) * tdel
+
+
+@dataclass(frozen=True)
+class SyncParams:
+    """All model and algorithm parameters of a synchronization scenario."""
+
+    #: Total number of processes.
+    n: int
+    #: Maximum number of faulty processes the algorithm must tolerate.
+    f: int
+    #: Hardware clock drift bound; rates lie in ``[1/(1+rho), 1+rho]``.
+    rho: float = 1e-4
+    #: Maximum message delay.
+    tdel: float = 0.01
+    #: Minimum message delay.
+    tmin: float = 0.0
+    #: Resynchronization period in logical time units.
+    period: float = 1.0
+    #: Adjustment constant; ``None`` selects :func:`default_alpha`.
+    alpha: Optional[float] = None
+    #: Bound on the initial dispersion of hardware clock values among correct
+    #: processes (logical units).  Used by the start-up analysis.
+    initial_offset_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if not 0 <= self.f < self.n:
+            raise ValueError(f"f must satisfy 0 <= f < n, got f={self.f}, n={self.n}")
+        if self.rho < 0:
+            raise ValueError(f"rho must be non-negative, got {self.rho}")
+        if self.tdel <= 0:
+            raise ValueError(f"tdel must be positive, got {self.tdel}")
+        if not 0 <= self.tmin <= self.tdel:
+            raise ValueError(f"tmin must satisfy 0 <= tmin <= tdel, got {self.tmin}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.alpha is not None and self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.initial_offset_spread < 0:
+            raise ValueError("initial_offset_spread must be non-negative")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def alpha_value(self) -> float:
+        """The adjustment constant actually used (explicit value or the default)."""
+        if self.alpha is not None:
+            return self.alpha
+        return default_alpha(self.rho, self.tdel)
+
+    @property
+    def min_rate(self) -> float:
+        """Slowest allowed hardware clock rate ``1/(1+rho)``."""
+        return 1.0 / (1.0 + self.rho)
+
+    @property
+    def max_rate(self) -> float:
+        """Fastest allowed hardware clock rate ``1+rho``."""
+        return 1.0 + self.rho
+
+    @property
+    def delay_uncertainty(self) -> float:
+        """Width of the message-delay window, ``tdel - tmin``."""
+        return self.tdel - self.tmin
+
+    @property
+    def honest_count(self) -> int:
+        """Number of processes guaranteed to be correct, ``n - f``."""
+        return self.n - self.f
+
+    # -- resilience ------------------------------------------------------------
+
+    def max_faults_authenticated(self) -> int:
+        """Largest ``f`` tolerated by the authenticated algorithm: ``ceil(n/2) - 1``."""
+        return math.ceil(self.n / 2) - 1
+
+    def max_faults_unauthenticated(self) -> int:
+        """Largest ``f`` tolerated by the non-authenticated algorithm: ``ceil(n/3) - 1``."""
+        return math.ceil(self.n / 3) - 1
+
+    def authenticated_resilient(self) -> bool:
+        """Whether ``f`` is within the authenticated algorithm's resilience bound (n > 2f)."""
+        return self.n > 2 * self.f
+
+    def unauthenticated_resilient(self) -> bool:
+        """Whether ``f`` is within the non-authenticated algorithm's resilience bound (n > 3f)."""
+        return self.n > 3 * self.f
+
+    # -- convenience -----------------------------------------------------------
+
+    def with_(self, **changes) -> "SyncParams":
+        """Return a copy of these parameters with the given fields replaced."""
+        return replace(self, **changes)
+
+    def round_logical_time(self, k: int) -> float:
+        """Logical time at which round ``k`` is due: ``k * period``."""
+        return k * self.period
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"n={self.n} f={self.f} rho={self.rho:g} tdel={self.tdel:g} tmin={self.tmin:g} "
+            f"P={self.period:g} alpha={self.alpha_value:g}"
+        )
+
+
+def params_for(
+    n: int,
+    f: Optional[int] = None,
+    authenticated: bool = True,
+    rho: float = 1e-4,
+    tdel: float = 0.01,
+    tmin: float = 0.0,
+    period: float = 1.0,
+    alpha: Optional[float] = None,
+    initial_offset_spread: float = 0.0,
+) -> SyncParams:
+    """Build :class:`SyncParams` with ``f`` defaulting to the maximum tolerable value.
+
+    ``authenticated`` selects which resilience bound is used for the default
+    ``f``: ``ceil(n/2)-1`` for the authenticated algorithm, ``ceil(n/3)-1``
+    for the non-authenticated one.
+    """
+    if f is None:
+        f = math.ceil(n / 2) - 1 if authenticated else math.ceil(n / 3) - 1
+        f = max(f, 0)
+    return SyncParams(
+        n=n,
+        f=f,
+        rho=rho,
+        tdel=tdel,
+        tmin=tmin,
+        period=period,
+        alpha=alpha,
+        initial_offset_spread=initial_offset_spread,
+    )

@@ -1,0 +1,196 @@
+"""Continuous, rate-bounded output clocks (amortized corrections).
+
+The Srikanth-Toueg synchronizers adjust the logical clock by discrete jumps at
+each resynchronization.  Many applications (timestamp ordering, rate-based
+schedulers, round simulation) additionally need an *output* clock that is
+continuous and whose instantaneous rate is bounded -- the classic remedy is to
+amortize each correction over time instead of applying it at once (cf. the
+"logical clocks of bounded rate" discussion accompanying pulse/round
+synchronizers).
+
+This module post-processes a recorded :class:`~repro.sim.trace.ProcessTrace`
+into such an output clock:
+
+* the output clock ``S`` is continuous and non-decreasing,
+* its rate never exceeds ``catch_up_rate`` (chosen slightly above the fastest
+  hardware rate, e.g. ``(1 + rho) * (1 + amortization)``),
+* its rate is never below the slowest hardware rate while it agrees with the
+  underlying logical clock,
+* it never overtakes the running maximum of the logical clock and lags it by
+  at most the largest pending (positive) correction, which it absorbs at the
+  extra-rate budget.
+
+Construction: ``S`` is the *minimal-slope upper follower* of the running
+maximum ``M(t) = max_{s <= t} C(s)`` of the logical clock,
+
+    S(t) = min_{s <= t} ( M(s) + catch_up_rate * (t - s) ).
+
+Because ``M`` is non-decreasing and piecewise linear with slopes at most the
+hardware maximum (< ``catch_up_rate``) except at jump points, ``S`` is
+continuous, piecewise linear, and coincides with ``M`` whenever it has caught
+up.  Taking the running maximum first makes backward adjustments (possible in
+the non-monotonic variant) disappear from the output: the output clock simply
+pauses its extra speed-up instead of stepping back.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.trace import ProcessTrace, Trace
+
+
+@dataclass(frozen=True)
+class SmoothedClock:
+    """A continuous, rate-bounded output clock as a piecewise-linear function."""
+
+    pid: int
+    catch_up_rate: float
+    #: Sorted sample times (the breakpoints of the output clock).
+    times: tuple[float, ...]
+    #: Output clock values at those times.
+    values: tuple[float, ...]
+
+    def value(self, t: float) -> float:
+        """Evaluate the output clock at real time ``t`` (linear interpolation)."""
+        times = self.times
+        if t <= times[0]:
+            return self.values[0]
+        if t >= times[-1]:
+            return self.values[-1] + self.catch_up_rate * 0.0 + (t - times[-1]) * self._last_slope()
+        i = bisect.bisect_right(times, t) - 1
+        t0, t1 = times[i], times[i + 1]
+        v0, v1 = self.values[i], self.values[i + 1]
+        if t1 == t0:
+            return v1
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def _last_slope(self) -> float:
+        if len(self.times) < 2 or self.times[-1] == self.times[-2]:
+            return 1.0
+        return (self.values[-1] - self.values[-2]) / (self.times[-1] - self.times[-2])
+
+    def max_rate(self) -> float:
+        """Largest slope over all segments."""
+        best = 0.0
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt > 0:
+                best = max(best, (self.values[i] - self.values[i - 1]) / dt)
+        return best
+
+    def min_rate(self) -> float:
+        """Smallest slope over all segments."""
+        best = float("inf")
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt > 0:
+                best = min(best, (self.values[i] - self.values[i - 1]) / dt)
+        return best if best != float("inf") else 0.0
+
+    def max_jump(self) -> float:
+        """Largest discontinuity (0 for a continuous clock, up to numerical noise)."""
+        worst = 0.0
+        for i in range(1, len(self.times)):
+            if self.times[i] == self.times[i - 1]:
+                worst = max(worst, abs(self.values[i] - self.values[i - 1]))
+        return worst
+
+
+def _sample_points(ptrace: ProcessTrace, t_end: float) -> list[float]:
+    points = {0.0, t_end}
+    for t in ptrace.breakpoints():
+        if 0.0 <= t <= t_end:
+            points.add(t)
+    return sorted(points)
+
+
+def smooth_clock(ptrace: ProcessTrace, t_end: float, catch_up_rate: float) -> SmoothedClock:
+    """Build the amortized output clock for one process over ``[0, t_end]``.
+
+    ``catch_up_rate`` must exceed the hardware clock's maximum rate, otherwise
+    the output clock could never catch up with the logical clock after a
+    forward correction.
+    """
+    if catch_up_rate <= ptrace.clock.max_rate:
+        raise ValueError(
+            f"catch_up_rate ({catch_up_rate}) must exceed the hardware clock's "
+            f"maximum rate ({ptrace.clock.max_rate})"
+        )
+    points = _sample_points(ptrace, t_end)
+    times: list[float] = []
+    values: list[float] = []
+    running_max = float("-inf")
+    smoothed = None
+    for t in points:
+        # The output value at t may only depend on the logical clock *up to and
+        # including* the left limit at t: a jump happening exactly at t starts
+        # being absorbed just after t.
+        left_limit = ptrace.logical_before(t)
+        if smoothed is None:
+            running_max = max(running_max, left_limit)
+            smoothed = running_max
+        else:
+            t0 = times[-1]
+            dt = t - t0
+            previous = values[-1]
+            # If the output clock is catching up along a segment on which the
+            # running maximum simply follows the logical clock, record the
+            # exact point where it catches up so the output stays piecewise
+            # linear (instead of a chord that would catch up late).
+            start_value = ptrace.logical_at(t0)
+            if previous < running_max and running_max == start_value and dt > 0:
+                slope = (left_limit - start_value) / dt
+                if catch_up_rate > slope:
+                    catch_time = t0 + (start_value - previous) / (catch_up_rate - slope)
+                    if t0 < catch_time < t:
+                        times.append(catch_time)
+                        values.append(previous + catch_up_rate * (catch_time - t0))
+                        previous = values[-1]
+                        t0 = catch_time
+                        dt = t - t0
+            running_max = max(running_max, left_limit)
+            # Advance with the catch-up budget but never overtake M(t^-).
+            smoothed = min(running_max, previous + catch_up_rate * dt)
+        times.append(t)
+        values.append(smoothed)
+        # The post-jump value becomes part of the running maximum for later points.
+        running_max = max(running_max, ptrace.logical_at(t))
+    return SmoothedClock(pid=ptrace.pid, catch_up_rate=catch_up_rate, times=tuple(times), values=tuple(values))
+
+
+def default_catch_up_rate(max_hardware_rate: float, amortization: float = 0.1) -> float:
+    """The conventional choice: ``(1 + amortization)`` times the fastest hardware rate."""
+    if amortization <= 0:
+        raise ValueError("amortization must be positive")
+    return max_hardware_rate * (1.0 + amortization)
+
+
+def smooth_all(trace: Trace, amortization: float = 0.1) -> dict[int, SmoothedClock]:
+    """Amortize every honest process's logical clock in a trace."""
+    result = {}
+    for pid in trace.honest_pids():
+        ptrace = trace.processes[pid]
+        rate = default_catch_up_rate(ptrace.clock.max_rate, amortization)
+        result[pid] = smooth_clock(ptrace, trace.end_time, rate)
+    return result
+
+
+def max_lag(ptrace: ProcessTrace, smoothed: SmoothedClock, t_end: float) -> float:
+    """Largest amount by which the output clock lags the logical clock."""
+    worst = 0.0
+    for t in _sample_points(ptrace, t_end):
+        worst = max(worst, ptrace.logical_at(t) - smoothed.value(t))
+    return worst
+
+
+def smoothed_skew(smoothed: dict[int, SmoothedClock], times: Sequence[float]) -> float:
+    """Worst pairwise difference between the smoothed output clocks at the given times."""
+    worst = 0.0
+    for t in times:
+        values = [clock.value(t) for clock in smoothed.values()]
+        if values:
+            worst = max(worst, max(values) - min(values))
+    return worst

@@ -1,0 +1,21 @@
+"""Simulated signatures and PKI used by the authenticated algorithms."""
+
+from .signatures import (
+    KeyStore,
+    PublicKey,
+    SecretKey,
+    Signature,
+    forge_attempt,
+    message_digest,
+    sign,
+)
+
+__all__ = [
+    "KeyStore",
+    "PublicKey",
+    "SecretKey",
+    "Signature",
+    "sign",
+    "forge_attempt",
+    "message_digest",
+]

@@ -1,0 +1,157 @@
+"""Simulated digital signatures and a public-key infrastructure (PKI).
+
+The authenticated Srikanth-Toueg algorithm relies on digital signatures with
+two properties:
+
+* **Verifiability** -- anyone can check that a signature on a message was
+  produced by the claimed signer.
+* **Unforgeability** -- no process can produce a valid signature of another
+  process on a message that process never signed.
+
+For the timing analysis the cryptographic construction is irrelevant; only
+the two properties matter.  We therefore *simulate* signatures: signing
+requires possession of the signer's :class:`SecretKey` object, which the
+simulation hands only to the owning process (and, for colluding Byzantine
+nodes, to the adversary for the *faulty* nodes' own keys).  Verification
+recomputes a keyed tag from the registered secret, so a signature fabricated
+without the key fails verification (except with negligible probability of
+guessing a 128-bit tag, which the deterministic construction here makes
+impossible outright).
+
+Messages are canonicalised with :func:`message_digest`, which supports the
+frozen dataclasses used throughout :mod:`repro.core.messages` as well as
+plain tuples of primitives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+def message_digest(message: object) -> str:
+    """Return a canonical, collision-resistant digest of ``message``.
+
+    Supports (nested) tuples/lists of primitives and frozen dataclasses.  Two
+    messages have equal digests iff their canonical forms are equal.
+    """
+    canonical = _canonicalize(message)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonicalize(message: object) -> str:
+    if dataclasses.is_dataclass(message) and not isinstance(message, type):
+        fields = dataclasses.fields(message)
+        inner = ",".join(f"{f.name}={_canonicalize(getattr(message, f.name))}" for f in fields)
+        return f"{type(message).__name__}({inner})"
+    if isinstance(message, (list, tuple)):
+        inner = ",".join(_canonicalize(item) for item in message)
+        return f"[{inner}]"
+    if isinstance(message, float):
+        return repr(message)
+    if isinstance(message, (int, str, bool)) or message is None:
+        return repr(message)
+    raise TypeError(f"cannot canonicalise message of type {type(message).__name__}")
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Public half of a key pair; identifies the owner."""
+
+    owner: int
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Secret half of a key pair.  Possession of this object is the signing capability."""
+
+    owner: int
+    secret: int
+
+    def __repr__(self) -> str:  # pragma: no cover - avoid leaking the secret in logs
+        return f"SecretKey(owner={self.owner}, secret=<hidden>)"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A (simulated) signature of ``signer`` on a message with digest ``digest``."""
+
+    signer: int
+    digest: str
+    tag: str
+
+
+def _compute_tag(secret: int, digest: str) -> str:
+    return hashlib.sha256(f"{secret}:{digest}".encode("utf-8")).hexdigest()
+
+
+def sign(secret_key: SecretKey, message: object) -> Signature:
+    """Sign ``message`` with ``secret_key``."""
+    digest = message_digest(message)
+    return Signature(signer=secret_key.owner, digest=digest, tag=_compute_tag(secret_key.secret, digest))
+
+
+def forge_attempt(claimed_signer: int, message: object, guess: int = 0) -> Signature:
+    """Fabricate a signature *without* the secret key (used by Byzantine behaviours).
+
+    The returned signature carries a tag computed from a guessed secret, so it
+    fails verification against the real PKI.
+    """
+    digest = message_digest(message)
+    return Signature(signer=claimed_signer, digest=digest, tag=_compute_tag(guess, digest) + "-forged")
+
+
+class KeyStore:
+    """A public-key infrastructure mapping process ids to key pairs.
+
+    The key store itself acts as the globally trusted verification oracle:
+    :meth:`verify` recomputes the tag from the registered secret.  Only the
+    simulation setup code should call :meth:`secret_key`; processes receive
+    their secret key at construction time and never see other keys.
+    """
+
+    def __init__(self, process_ids: Iterable[int], seed: int = 0) -> None:
+        rng = random.Random(seed)
+        self._secret_keys: dict[int, SecretKey] = {}
+        self._public_keys: dict[int, PublicKey] = {}
+        for pid in process_ids:
+            secret = rng.getrandbits(128)
+            self._secret_keys[pid] = SecretKey(owner=pid, secret=secret)
+            self._public_keys[pid] = PublicKey(owner=pid)
+
+    @classmethod
+    def generate(cls, n: int, seed: int = 0) -> "KeyStore":
+        """Generate a PKI for processes ``0 .. n-1``."""
+        return cls(range(n), seed=seed)
+
+    def participants(self) -> list[int]:
+        return sorted(self._public_keys)
+
+    def public_key(self, pid: int) -> PublicKey:
+        return self._public_keys[pid]
+
+    def secret_key(self, pid: int) -> SecretKey:
+        """Return the secret key of ``pid``.  Only setup/adversary code may call this."""
+        return self._secret_keys[pid]
+
+    def has_participant(self, pid: int) -> bool:
+        return pid in self._public_keys
+
+    def verify(self, signature: Signature, message: object, claimed_signer: Optional[int] = None) -> bool:
+        """Check that ``signature`` is a valid signature on ``message``.
+
+        If ``claimed_signer`` is given the signature must additionally have
+        been produced by that process.
+        """
+        if claimed_signer is not None and signature.signer != claimed_signer:
+            return False
+        secret_key = self._secret_keys.get(signature.signer)
+        if secret_key is None:
+            return False
+        digest = message_digest(message)
+        if digest != signature.digest:
+            return False
+        return signature.tag == _compute_tag(secret_key.secret, digest)

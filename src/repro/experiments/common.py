@@ -1,0 +1,89 @@
+"""Shared helpers for the experiment runners.
+
+Every experiment (E1..E12 in DESIGN.md) is a function ``run(quick=True)``
+returning one or more :class:`~repro.analysis.report.Table` objects.  The
+benchmark harness times these runners and prints the tables; the examples and
+EXPERIMENTS.md generator call the same code, so the numbers in the
+documentation are exactly the numbers the harness produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.params import SyncParams, params_for
+from ..workloads.scenarios import Scenario, ScenarioResult, run_scenario
+
+#: Default model parameters used across experiments unless a sweep overrides them.
+DEFAULT_RHO = 1e-4
+DEFAULT_TDEL = 0.01
+DEFAULT_PERIOD = 1.0
+
+
+def default_params(
+    n: int,
+    authenticated: bool = True,
+    f: Optional[int] = None,
+    rho: float = DEFAULT_RHO,
+    tdel: float = DEFAULT_TDEL,
+    period: float = DEFAULT_PERIOD,
+    initial_offset_spread: Optional[float] = None,
+) -> SyncParams:
+    """Experiment-wide default parameterisation (worst-case ``f`` unless overridden)."""
+    if initial_offset_spread is None:
+        initial_offset_spread = tdel
+    return params_for(
+        n=n,
+        f=f,
+        authenticated=authenticated,
+        rho=rho,
+        tdel=tdel,
+        period=period,
+        initial_offset_spread=initial_offset_spread,
+    )
+
+
+def adversarial_scenario(
+    params: SyncParams,
+    algorithm: str,
+    attack: str = "eager",
+    rounds: int = 10,
+    seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """A scenario with the harshest standard conditions: extreme clocks, targeted delays."""
+    return Scenario(
+        params=params,
+        algorithm=algorithm,
+        attack=attack,
+        rounds=rounds,
+        clock_mode="extreme",
+        delay_mode="targeted",
+        seed=seed,
+        **kwargs,
+    )
+
+
+def benign_scenario(
+    params: SyncParams,
+    algorithm: str,
+    rounds: int = 10,
+    seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """A scenario with no active adversary: random clocks and uniform delays."""
+    return Scenario(
+        params=params,
+        algorithm=algorithm,
+        attack="silent",
+        rounds=rounds,
+        clock_mode="random",
+        delay_mode="uniform",
+        seed=seed,
+        **kwargs,
+    )
+
+
+def run(scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
+    """Thin alias so experiment modules read naturally."""
+    return run_scenario(scenario, check_guarantees=check_guarantees)

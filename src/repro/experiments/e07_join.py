@@ -1,0 +1,54 @@
+"""E7 -- Integration of a joining process.
+
+Claim reproduced: a process that comes up while the system is already
+synchronized joins within one resynchronization interval plus the acceptance
+latency, and once joined it obeys the same precision bound as everyone else.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..core.bounds import precision_bound
+from ..core.join import join_latency_bound, join_time, joined
+from ..workloads.scenarios import Scenario
+from .common import default_params, run
+
+
+def run_experiment(quick: bool = True) -> Table:
+    join_times = [1.3, 2.6] if quick else [1.3, 2.6, 3.4, 5.7, 7.2]
+    algorithms = ["auth", "echo"]
+    rounds = 8 if quick else 15
+    table = Table(
+        title="E7: join latency of a late-starting process",
+        headers=["algorithm", "join at", "joined", "join latency", "latency bound", "in time", "steady skew"],
+    )
+    for algorithm in algorithms:
+        for at in join_times:
+            params = default_params(7, authenticated=(algorithm == "auth"))
+            scenario = Scenario(
+                params=params,
+                algorithm=algorithm,
+                attack="eager",
+                rounds=rounds,
+                clock_mode="extreme",
+                delay_mode="uniform",
+                joiner_count=1,
+                join_time=at,
+                seed=int(at * 10),
+            )
+            result = run(scenario, check_guarantees=False)
+            joiner_pid = scenario.joiner_pids[0]
+            ok = joined(result.trace, joiner_pid)
+            latency = join_time(result.trace, joiner_pid, at) if ok else float("inf")
+            bound = join_latency_bound(params, scenario.st_algorithm)
+            table.add_row(
+                algorithm,
+                at,
+                ok,
+                latency,
+                bound,
+                latency <= bound + 1e-9,
+                result.precision,
+            )
+    table.add_note(f"precision bound (auth, n=7): {precision_bound(default_params(7), 'auth'):.4g}")
+    return table

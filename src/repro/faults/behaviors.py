@@ -1,0 +1,416 @@
+"""Byzantine fault behaviours.
+
+The Srikanth-Toueg guarantees are quantified over *all* behaviours of up to
+``f`` faulty processes.  A simulation can only ever exercise specific
+behaviours, so this module provides a library of named attacks, from benign
+(crash, silence) to actively malicious (early signing, two-faced sends,
+forgery and flooding, replay) and, beyond the resilience threshold, attacks
+that actually break the algorithms (the "cabal" behaviours used by the
+resilience experiments E3/E4).
+
+All behaviours are ordinary :class:`~repro.sim.process.Process` subclasses
+marked ``faulty = True``; being adversarial, they are allowed to read real
+time, coordinate through shared :class:`AdversaryContext` state, and use the
+secret keys of the *faulty* processes (but of course not of honest ones --
+the signature simulation enforces that).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.auth_sync import AuthSyncProcess
+from ..core.messages import (
+    EchoMessage,
+    GarbageMessage,
+    InitMessage,
+    RoundContent,
+    SignatureBundle,
+    SignedRound,
+)
+from ..core.params import SyncParams
+from ..core.unauth_sync import EchoSyncProcess
+from ..crypto.signatures import KeyStore, SecretKey, forge_attempt, sign
+from ..sim.process import Process
+
+
+@dataclass
+class AdversaryContext:
+    """Shared knowledge of the adversary controlling all faulty processes."""
+
+    params: SyncParams
+    faulty_pids: list[int]
+    honest_pids: list[int]
+    #: Honest processes the adversary favours (receives messages early / first).
+    fast_group: list[int] = field(default_factory=list)
+    #: Honest processes the adversary disfavours.
+    slow_group: list[int] = field(default_factory=list)
+    keystore: Optional[KeyStore] = None
+    #: Secret keys of the faulty processes only.
+    secret_keys: dict[int, SecretKey] = field(default_factory=dict)
+    seed: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        params: SyncParams,
+        faulty_pids: list[int],
+        honest_pids: list[int],
+        keystore: Optional[KeyStore] = None,
+        seed: int = 0,
+    ) -> "AdversaryContext":
+        """Create a context, splitting the honest processes into a fast and a slow group."""
+        half = max(1, len(honest_pids) // 2)
+        secret_keys = {}
+        if keystore is not None:
+            secret_keys = {pid: keystore.secret_key(pid) for pid in faulty_pids if keystore.has_participant(pid)}
+        return cls(
+            params=params,
+            faulty_pids=list(faulty_pids),
+            honest_pids=list(honest_pids),
+            fast_group=list(honest_pids[:half]),
+            slow_group=list(honest_pids[half:]),
+            keystore=keystore,
+            secret_keys=secret_keys,
+            seed=seed,
+        )
+
+
+class SilentFaulty(Process):
+    """A faulty process that never sends anything (equivalent to an initial crash)."""
+
+    faulty = True
+
+    def __init__(self, pid: int, context: AdversaryContext) -> None:
+        super().__init__(pid)
+        self.context = context
+
+
+class CrashFaultyAuth(AuthSyncProcess):
+    """Runs the authenticated algorithm correctly, then crashes at ``crash_time``."""
+
+    faulty = True
+
+    def __init__(self, pid, params, keystore, secret_key, crash_time: float, **kwargs) -> None:
+        super().__init__(pid, params, keystore, secret_key, **kwargs)
+        self.crash_time = crash_time
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.sim.schedule_at(self.crash_time, self.halt)
+
+
+class CrashFaultyEcho(EchoSyncProcess):
+    """Runs the non-authenticated algorithm correctly, then crashes at ``crash_time``."""
+
+    faulty = True
+
+    def __init__(self, pid, params, crash_time: float, **kwargs) -> None:
+        super().__init__(pid, params, **kwargs)
+        self.crash_time = crash_time
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.sim.schedule_at(self.crash_time, self.halt)
+
+
+class EagerSigner(Process):
+    """Signs and broadcasts every round as early as it plausibly can (authenticated).
+
+    The goal is to accelerate acceptances: honest processes still need one
+    honest signature, so the attack pushes every acceptance to the earliest
+    honest broadcast, maximising the spread between fast- and slow-clock
+    honest processes.  Combined with a targeted delay policy this is the
+    canonical skew-maximising adversary within the resilience bound.
+    """
+
+    faulty = True
+
+    def __init__(self, pid: int, context: AdversaryContext, rounds: int = 200, early_factor: float = 0.75) -> None:
+        super().__init__(pid)
+        self.context = context
+        self.rounds = rounds
+        self.early_factor = early_factor
+
+    def on_start(self) -> None:
+        secret = self.context.secret_keys.get(self.pid)
+        if secret is None:
+            return
+        period = self.context.params.period
+        for k in range(1, self.rounds + 1):
+            when = max(0.0, self.early_factor * k * period)
+            self.sim.schedule_at(when, lambda k=k, s=secret: self._sign_round(k, s))
+
+    def _sign_round(self, round_: int, secret: SecretKey) -> None:
+        if self.halted:
+            return
+        signature = sign(secret, RoundContent(round_))
+        self.broadcast(SignedRound(round=round_, signature=signature))
+
+
+class EagerEchoer(Process):
+    """Sends init and echo messages for every round as early as possible (echo variant)."""
+
+    faulty = True
+
+    def __init__(self, pid: int, context: AdversaryContext, rounds: int = 200, early_factor: float = 0.75) -> None:
+        super().__init__(pid)
+        self.context = context
+        self.rounds = rounds
+        self.early_factor = early_factor
+
+    def on_start(self) -> None:
+        period = self.context.params.period
+        for k in range(1, self.rounds + 1):
+            when = max(0.0, self.early_factor * k * period)
+            self.sim.schedule_at(when, lambda k=k: self._push_round(k))
+
+    def _push_round(self, round_: int) -> None:
+        if self.halted:
+            return
+        self.broadcast(InitMessage(round=round_))
+        self.broadcast(EchoMessage(round=round_))
+
+
+class TwoFacedAuth(AuthSyncProcess):
+    """Participates correctly but only talks to the adversary's favoured group.
+
+    The disfavoured honest processes never hear from it, which delays their
+    acceptances by up to one relay hop relative to the favoured group.
+    """
+
+    faulty = True
+
+    def __init__(self, pid, params, keystore, secret_key, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, keystore, secret_key, **kwargs)
+        self.context = context
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        self.multicast(self.context.fast_group, payload)
+
+
+class TwoFacedEcho(EchoSyncProcess):
+    """Echo-variant process that echoes only toward the favoured group."""
+
+    faulty = True
+
+    def __init__(self, pid, params, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, **kwargs)
+        self.context = context
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        self.multicast(self.context.fast_group, payload)
+
+
+class LaggardAuth(AuthSyncProcess):
+    """Participates correctly but delivers everything at the latest allowed moment.
+
+    A "slow but formally correct" faulty node: every message it sends takes the
+    full delay bound.  It cannot hurt safety (the bound is part of the model),
+    but it maximises the timing uncertainty it contributes.
+    """
+
+    faulty = True
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self.halted:
+            return
+        for pid in self.other_peers():
+            self.send(pid, payload, delay=self.params.tdel)
+
+
+class LaggardEcho(EchoSyncProcess):
+    """Echo-variant laggard: correct content, always worst-case delay."""
+
+    faulty = True
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self.halted:
+            return
+        for pid in self.other_peers():
+            self.send(pid, payload, delay=self.params.tdel)
+
+
+class AlternatingTwoFacedAuth(AuthSyncProcess):
+    """Supports even rounds only toward one half of the system and odd rounds toward the other.
+
+    A time-varying variant of the two-faced attack: whichever group is starved
+    of this signer's support in a given round must rely on the remaining
+    correct signers plus the relay property.
+    """
+
+    faulty = True
+
+    def __init__(self, pid, params, keystore, secret_key, context: "AdversaryContext", **kwargs) -> None:
+        super().__init__(pid, params, keystore, secret_key, **kwargs)
+        self.context = context
+
+    def _destinations(self) -> list[int]:
+        group = self.context.fast_group if self.current_round is not None and self.current_round % 2 == 0 else self.context.slow_group
+        return group or self.context.honest_pids
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self.halted:
+            return
+        self.multicast(self._destinations(), payload)
+
+
+class AlternatingTwoFacedEcho(EchoSyncProcess):
+    """Echo-variant alternating two-faced participant."""
+
+    faulty = True
+
+    def __init__(self, pid, params, context: "AdversaryContext", **kwargs) -> None:
+        super().__init__(pid, params, **kwargs)
+        self.context = context
+
+    def _destinations(self) -> list[int]:
+        group = self.context.fast_group if self.current_round is not None and self.current_round % 2 == 0 else self.context.slow_group
+        return group or self.context.honest_pids
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self.halted:
+            return
+        self.multicast(self._destinations(), payload)
+
+
+class ForgeAndFlood(Process):
+    """Broadcasts forged honest signatures, bogus bundles and garbage at a steady rate.
+
+    None of it should have any effect: forged signatures fail verification and
+    garbage messages are ignored.  This behaviour exists to validate input
+    hardening and to measure that the honest algorithms' guarantees are
+    unaffected by junk traffic.
+    """
+
+    faulty = True
+
+    def __init__(self, pid: int, context: AdversaryContext, interval: float = 0.05, rounds: int = 200) -> None:
+        super().__init__(pid)
+        self.context = context
+        self.interval = interval
+        self.rounds = rounds
+        self._rng = random.Random(context.seed + pid)
+
+    def on_start(self) -> None:
+        self.sim.schedule_after(self.interval, self._flood)
+
+    def _flood(self) -> None:
+        if self.halted:
+            return
+        victim = self._rng.choice(self.context.honest_pids)
+        round_ = self._rng.randint(1, self.rounds)
+        forged = forge_attempt(victim, RoundContent(round_), guess=self._rng.getrandbits(32))
+        self.broadcast(SignedRound(round=round_, signature=forged))
+        self.broadcast(SignatureBundle(round=round_, signatures=(forged,)))
+        self.broadcast(GarbageMessage(blob=f"junk-{self._rng.getrandbits(16)}"))
+        self.broadcast(InitMessage(round=round_))
+        self.sim.schedule_after(self.interval, self._flood)
+
+
+class ReplayAttacker(Process):
+    """Records honest messages and replays them later (stale rounds, duplicates).
+
+    Replayed signatures are genuine, so the only defence is the round floor in
+    the trackers: stale rounds are ignored and duplicates change nothing.
+    """
+
+    faulty = True
+
+    def __init__(
+        self,
+        pid: int,
+        context: AdversaryContext,
+        replay_delay: float = 0.5,
+        max_replays: int = 500,
+    ) -> None:
+        super().__init__(pid)
+        self.context = context
+        self.replay_delay = replay_delay
+        self.max_replays = max_replays
+        self._replayed = 0
+
+    def on_message(self, sender: int, payload: object) -> None:
+        # Only honest traffic is interesting to replay; replaying other faulty
+        # nodes' (possibly replayed) messages would just amplify noise without
+        # adding adversarial power, so the cap below also keeps the attack
+        # from flooding the simulation with exponentially many copies.
+        if sender in self.context.faulty_pids:
+            return
+        if self._replayed >= self.max_replays:
+            return
+        if isinstance(payload, (SignedRound, SignatureBundle, InitMessage, EchoMessage)):
+            self._replayed += 1
+            self.sim.schedule_after(self.replay_delay, lambda p=payload: self._replay(p))
+
+    def _replay(self, payload: object) -> None:
+        if not self.halted:
+            self.broadcast(payload)
+
+
+class RushingCabalLeader(Process):
+    """Breaks the authenticated algorithm when the cabal has at least ``f + 1`` members.
+
+    With ``f + 1`` colluding signers the cabal can fabricate complete
+    acceptance proofs for arbitrary rounds without any honest participation
+    (unforgeability no longer bites).  At ``attack_time`` the leader sends
+    proofs for rounds ``1 .. pump_rounds`` to the favoured group only, driving
+    their clocks forward by ``pump_rounds * P`` essentially instantly, while
+    the disfavoured group only catches up through honest relays one delay
+    later -- a skew far beyond the bound, demonstrating that ``n > 2f`` is
+    necessary.
+    """
+
+    faulty = True
+
+    def __init__(self, pid: int, context: AdversaryContext, attack_time: float = 0.1, pump_rounds: int = 25) -> None:
+        super().__init__(pid)
+        self.context = context
+        self.attack_time = attack_time
+        self.pump_rounds = pump_rounds
+
+    def on_start(self) -> None:
+        self.sim.schedule_at(self.attack_time, self._attack)
+
+    def _attack(self) -> None:
+        if self.halted:
+            return
+        secrets = list(self.context.secret_keys.values())
+        threshold = self.context.params.f + 1
+        if len(secrets) < threshold:
+            return  # not enough colluders to forge an acceptance proof
+        for k in range(1, self.pump_rounds + 1):
+            content = RoundContent(k)
+            signatures = tuple(sign(secret, content) for secret in secrets[:threshold])
+            bundle = SignatureBundle(round=k, signatures=signatures)
+            self.multicast(self.context.fast_group, bundle)
+
+
+class EchoCabalMember(Process):
+    """Breaks the non-authenticated algorithm when the cabal has at least ``f + 1`` members.
+
+    ``f + 1`` colluding echoes clear the honest echo threshold, so the cabal
+    can start an avalanche of echoes for arbitrary rounds with no honest init.
+    All members send inits and echoes for rounds ``1 .. pump_rounds`` to the
+    favoured group at ``attack_time``.
+    """
+
+    faulty = True
+
+    def __init__(self, pid: int, context: AdversaryContext, attack_time: float = 0.1, pump_rounds: int = 25) -> None:
+        super().__init__(pid)
+        self.context = context
+        self.attack_time = attack_time
+        self.pump_rounds = pump_rounds
+
+    def on_start(self) -> None:
+        self.sim.schedule_at(self.attack_time, self._attack)
+
+    def _attack(self) -> None:
+        if self.halted:
+            return
+        for k in range(1, self.pump_rounds + 1):
+            self.multicast(self.context.fast_group, InitMessage(round=k))
+            self.multicast(self.context.fast_group, EchoMessage(round=k))

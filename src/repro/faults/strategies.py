@@ -1,0 +1,188 @@
+"""Named adversary strategies.
+
+A *strategy* turns the set of faulty process ids into concrete
+:class:`~repro.sim.process.Process` instances (one per faulty id) given the
+shared :class:`~repro.faults.behaviors.AdversaryContext`.  Strategies are
+registered under short names so scenarios, tests and benchmarks can refer to
+them declaratively ("run E10 under every registered attack").
+
+Strategies within the resilience bound (the guarantees must survive them):
+
+``silent``          faulty processes never send anything
+``crash``           behave correctly, then crash mid-run
+``eager``           support every round as early as possible
+``two_faced``       participate correctly but only toward half of the honest processes
+``alternating``     two-faced with the favoured half switching every round
+``laggard``         participate correctly but always at the maximum allowed delay
+``forge_flood``     spam forged signatures, bogus proofs and garbage
+``replay``          replay every observed message later
+``skew_max``        eager support combined with two-faced sends (worst observed skew)
+
+Strategies used only *above* the resilience bound (they are expected to break
+the guarantees; experiments E3/E4 verify that they indeed do):
+
+``rushing_cabal``   >= f+1 signers fabricate acceptance proofs (authenticated variant)
+``echo_cabal``      >= f+1 echoers start echo avalanches (non-authenticated variant)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.bounds import AUTH, ECHO
+from ..core.params import SyncParams
+from ..crypto.signatures import KeyStore
+from ..sim.process import Process
+from .behaviors import (
+    AdversaryContext,
+    AlternatingTwoFacedAuth,
+    AlternatingTwoFacedEcho,
+    CrashFaultyAuth,
+    CrashFaultyEcho,
+    EagerEchoer,
+    EagerSigner,
+    EchoCabalMember,
+    ForgeAndFlood,
+    LaggardAuth,
+    LaggardEcho,
+    ReplayAttacker,
+    RushingCabalLeader,
+    SilentFaulty,
+    TwoFacedAuth,
+    TwoFacedEcho,
+)
+
+#: Strategies that the algorithms must tolerate (used by E1/E10 and the test suite).
+TOLERATED_ATTACKS = (
+    "silent",
+    "crash",
+    "eager",
+    "two_faced",
+    "alternating",
+    "laggard",
+    "forge_flood",
+    "replay",
+    "skew_max",
+)
+
+#: Strategies that are only meaningful above the resilience threshold.
+BREAKING_ATTACKS = ("rushing_cabal", "echo_cabal")
+
+ALL_ATTACKS = TOLERATED_ATTACKS + BREAKING_ATTACKS
+
+StrategyFactory = Callable[[int, AdversaryContext, str, Optional[KeyStore]], Process]
+
+
+def _auth_kwargs(context: AdversaryContext, pid: int, keystore: KeyStore) -> dict:
+    return {
+        "params": context.params,
+        "keystore": keystore,
+        "secret_key": keystore.secret_key(pid),
+    }
+
+
+def _make_silent(pid, context, algorithm, keystore):
+    return SilentFaulty(pid, context)
+
+
+def _make_crash(pid, context, algorithm, keystore):
+    crash_time = 2.5 * context.params.period
+    if algorithm == AUTH and keystore is not None:
+        return CrashFaultyAuth(pid, crash_time=crash_time, **_auth_kwargs(context, pid, keystore))
+    return CrashFaultyEcho(pid, context.params, crash_time=crash_time)
+
+
+def _make_eager(pid, context, algorithm, keystore):
+    if algorithm == AUTH:
+        return EagerSigner(pid, context)
+    return EagerEchoer(pid, context)
+
+
+def _make_two_faced(pid, context, algorithm, keystore):
+    if algorithm == AUTH and keystore is not None:
+        return TwoFacedAuth(pid, context=context, **_auth_kwargs(context, pid, keystore))
+    return TwoFacedEcho(pid, context.params, context=context)
+
+
+def _make_alternating(pid, context, algorithm, keystore):
+    if algorithm == AUTH and keystore is not None:
+        return AlternatingTwoFacedAuth(pid, context=context, **_auth_kwargs(context, pid, keystore))
+    return AlternatingTwoFacedEcho(pid, context.params, context=context)
+
+
+def _make_laggard(pid, context, algorithm, keystore):
+    if algorithm == AUTH and keystore is not None:
+        return LaggardAuth(pid, **_auth_kwargs(context, pid, keystore))
+    return LaggardEcho(pid, context.params)
+
+
+def _make_forge_flood(pid, context, algorithm, keystore):
+    return ForgeAndFlood(pid, context)
+
+
+def _make_replay(pid, context, algorithm, keystore):
+    return ReplayAttacker(pid, context)
+
+
+def _make_skew_max(pid, context, algorithm, keystore):
+    # Alternate between eager supporters and two-faced participants so that the
+    # adversary both accelerates acceptances and starves half of the system.
+    index = context.faulty_pids.index(pid)
+    if index % 2 == 0:
+        return _make_eager(pid, context, algorithm, keystore)
+    return _make_two_faced(pid, context, algorithm, keystore)
+
+
+def _make_rushing_cabal(pid, context, algorithm, keystore):
+    if pid == min(context.faulty_pids):
+        return RushingCabalLeader(pid, context)
+    return SilentFaulty(pid, context)
+
+
+def _make_echo_cabal(pid, context, algorithm, keystore):
+    return EchoCabalMember(pid, context)
+
+
+_REGISTRY: dict[str, StrategyFactory] = {
+    "silent": _make_silent,
+    "crash": _make_crash,
+    "eager": _make_eager,
+    "two_faced": _make_two_faced,
+    "alternating": _make_alternating,
+    "laggard": _make_laggard,
+    "forge_flood": _make_forge_flood,
+    "replay": _make_replay,
+    "skew_max": _make_skew_max,
+    "rushing_cabal": _make_rushing_cabal,
+    "echo_cabal": _make_echo_cabal,
+}
+
+
+def available_attacks() -> list[str]:
+    """Names of all registered adversary strategies."""
+    return sorted(_REGISTRY)
+
+
+def register_attack(name: str, factory: StrategyFactory) -> None:
+    """Register a custom strategy (used by tests and extensions)."""
+    _REGISTRY[name] = factory
+
+
+def make_faulty_processes(
+    attack: str,
+    context: AdversaryContext,
+    algorithm: str = AUTH,
+    keystore: Optional[KeyStore] = None,
+) -> list[Process]:
+    """Instantiate one faulty process per id in ``context.faulty_pids``."""
+    if attack not in _REGISTRY:
+        raise ValueError(f"unknown attack {attack!r}; available: {available_attacks()}")
+    if algorithm not in (AUTH, ECHO):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    factory = _REGISTRY[attack]
+    return [factory(pid, context, algorithm, keystore) for pid in context.faulty_pids]
+
+
+def breaking_attack_for(algorithm: str) -> str:
+    """The canonical above-threshold attack for the given algorithm."""
+    return "rushing_cabal" if algorithm == AUTH else "echo_cabal"

@@ -1,0 +1,147 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulation` owns the event queue, the network, the trace, and the
+set of processes.  Its job is deliberately small: advance virtual real time
+from event to event, dispatch callbacks, and expose scheduling primitives to
+the network and the processes.  All protocol logic lives in the processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .clocks import HardwareClock
+from .events import Event, EventQueue
+from .network import DelayPolicy, Network
+from .process import Process
+from .trace import Trace
+
+
+class Simulation:
+    """A single-threaded discrete-event simulation of a message-passing system."""
+
+    def __init__(
+        self,
+        tmin: float = 0.0,
+        tdel: float = 0.01,
+        delay_policy: Optional[DelayPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self._now = 0.0
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self.trace = Trace()
+        self.network = Network(self, tmin=tmin, tdel=tdel, policy=delay_policy, seed=seed + 1)
+        self.processes: dict[int, Process] = {}
+        self._boot_times: dict[int, float] = {}
+        self.stop_condition: Optional[Callable[["Simulation"], bool]] = None
+        self._stopped = False
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current real (simulated) time."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute real time ``time`` (>= now)."""
+        if time < self._now:
+            time = self._now
+        return self.queue.push(time, action)
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` after ``delay`` units of real time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self._now + delay, action)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self.queue.cancel(event)
+
+    # -- population -----------------------------------------------------------
+
+    def add_process(
+        self,
+        process: Process,
+        clock: HardwareClock,
+        faulty: Optional[bool] = None,
+        boot_time: float = 0.0,
+    ) -> Process:
+        """Attach ``process`` to the simulation with the given hardware clock.
+
+        ``faulty`` overrides the process's own ``faulty`` attribute for trace
+        purposes.  ``boot_time`` is the real time at which ``on_start`` runs.
+        """
+        if process.pid in self.processes:
+            raise ValueError(f"duplicate process id {process.pid}")
+        is_faulty = process.faulty if faulty is None else faulty
+        ptrace = self.trace.add_process(process.pid, clock, faulty=is_faulty)
+        process.faulty = is_faulty
+        process.bind(self, self.network, clock, ptrace)
+        self.processes[process.pid] = process
+        self._boot_times[process.pid] = boot_time
+        self.schedule_at(boot_time, process._start)
+        return process
+
+    def honest_processes(self) -> list[Process]:
+        """The processes marked non-faulty, sorted by pid."""
+        return [self.processes[pid] for pid in sorted(self.processes) if not self.processes[pid].faulty]
+
+    def faulty_processes(self) -> list[Process]:
+        """The processes marked faulty, sorted by pid."""
+        return [self.processes[pid] for pid in sorted(self.processes) if self.processes[pid].faulty]
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event; return False if the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise RuntimeError("event queue returned an event in the past")
+        self._now = event.time
+        event.action()
+        return True
+
+    def run_until(self, t_end: float) -> Trace:
+        """Run until real time ``t_end`` (inclusive of events at ``t_end``)."""
+        if t_end < self._now:
+            raise ValueError("cannot run into the past")
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > t_end:
+                break
+            self.step()
+            if self.stop_condition is not None and self.stop_condition(self):
+                self._stopped = True
+                break
+        if not self._stopped:
+            self._now = t_end
+        self.trace.end_time = self._now
+        self.trace.total_messages = self.network.stats.total_messages
+        self.trace.message_stats = dict(self.network.stats.messages_by_type)
+        return self.trace
+
+    def run_until_round(self, target_round: int, t_max: float) -> Trace:
+        """Run until every honest process accepted ``target_round`` (or ``t_max``)."""
+
+        def reached(sim: "Simulation") -> bool:
+            return sim.trace.min_completed_round() >= target_round
+
+        previous = self.stop_condition
+        self.stop_condition = reached
+        try:
+            return self.run_until(t_max)
+        finally:
+            self.stop_condition = previous
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether the last run ended because the stop condition triggered."""
+        return self._stopped

@@ -1,0 +1,100 @@
+"""Discrete-event queue primitives.
+
+The simulator is a classic discrete-event system: every future action is an
+:class:`Event` with an absolute (real) firing time and a callback.  Events
+fired at the same time are ordered by insertion sequence number, which makes
+runs fully deterministic for a given seed and scenario.
+
+Cancellation is lazy: cancelling an event marks it and the queue skips it on
+pop.  This keeps the queue a plain binary heap and avoids O(n) removal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute real time at which the event fires.
+    seq:
+        Tie-breaking sequence number (insertion order).
+    action:
+        Zero-argument callable executed when the event fires.
+    cancelled:
+        Lazily-set cancellation flag; cancelled events are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; it will never fire."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects.
+
+    The queue guarantees FIFO order among events scheduled for the same time,
+    which is what makes simulations reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute time ``time`` and return its event."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (no-op if already cancelled)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Pop and return the next live event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

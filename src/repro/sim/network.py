@@ -1,0 +1,234 @@
+"""Message-passing network with adversarially controlled delays.
+
+The Srikanth-Toueg model assumes a fully connected, reliable network in which
+every message between correct processes is delivered within ``tdel`` real time
+(and not before ``tmin``, which defaults to 0).  The adversary chooses the
+actual delay of every message within those bounds.  Delay *policies* encode
+the adversary's strategy: uniform random, always-max, targeted (deliver fast
+to one set of nodes and slowly to another to maximise skew), or an arbitrary
+user-supplied function.
+
+Faulty senders are subject to the same delay bounds -- in the Srikanth-Toueg
+model faulty processes cannot make messages travel faster than the network
+allows -- but they may of course send anything to anyone at any time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .engine import Simulation
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight (or delivered).
+
+    The payload is opaque to the network; algorithms define their own message
+    dataclasses in :mod:`repro.core.messages`.
+    """
+
+    msg_id: int
+    sender: int
+    dest: int
+    payload: object
+    send_time: float
+    deliver_time: float
+
+
+class DelayPolicy(ABC):
+    """Strategy choosing the delay of each message within ``[tmin, tdel]``."""
+
+    @abstractmethod
+    def delay(self, sender: int, dest: int, payload: object, time: float, rng: random.Random) -> float:
+        """Return the delay for this message (will be clamped to the bounds)."""
+
+
+class FixedDelay(DelayPolicy):
+    """Every message takes exactly ``value`` time."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def delay(self, sender, dest, payload, time, rng):
+        return self.value
+
+
+class MaxDelay(DelayPolicy):
+    """Every message takes the maximum allowed delay (worst-case latency)."""
+
+    def delay(self, sender, dest, payload, time, rng):
+        return float("inf")  # clamped to tdel by the network
+
+
+class MinDelay(DelayPolicy):
+    """Every message takes the minimum allowed delay."""
+
+    def delay(self, sender, dest, payload, time, rng):
+        return 0.0  # clamped to tmin by the network
+
+
+class UniformDelay(DelayPolicy):
+    """Delays drawn independently and uniformly from ``[tmin, tdel]``."""
+
+    def delay(self, sender, dest, payload, time, rng):
+        return rng.random()  # scaled into [tmin, tdel] by the network
+
+
+class TargetedDelay(DelayPolicy):
+    """Deliver quickly to a favoured set of nodes and slowly to the rest.
+
+    This is the canonical skew-maximising adversary: it tries to make one
+    group of correct processes observe every event ``tdel - tmin`` earlier
+    than the other group, pushing their clocks apart by the full delay
+    uncertainty each round.
+    """
+
+    def __init__(self, fast_destinations: Iterable[int], jitter: float = 0.0) -> None:
+        self.fast_destinations = frozenset(fast_destinations)
+        self.jitter = float(jitter)
+
+    def delay(self, sender, dest, payload, time, rng):
+        base = 0.0 if dest in self.fast_destinations else float("inf")
+        if self.jitter > 0.0:
+            base = base if base == 0.0 else base
+            return base + rng.uniform(0.0, self.jitter)
+        return base
+
+
+class FunctionDelay(DelayPolicy):
+    """Adapter turning a plain callable into a delay policy."""
+
+    def __init__(self, fn: Callable[[int, int, object, float, random.Random], float]) -> None:
+        self.fn = fn
+
+    def delay(self, sender, dest, payload, time, rng):
+        return self.fn(sender, dest, payload, time, rng)
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by the network for message-complexity analysis."""
+
+    total_messages: int = 0
+    messages_by_sender: dict[int, int] = field(default_factory=dict)
+    messages_by_type: dict[str, int] = field(default_factory=dict)
+
+    def record(self, sender: int, payload: object) -> None:
+        self.total_messages += 1
+        self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
+        kind = type(payload).__name__
+        self.messages_by_type[kind] = self.messages_by_type.get(kind, 0) + 1
+
+
+class Network:
+    """Fully connected point-to-point network bound to a :class:`Simulation`.
+
+    Processes register a delivery callback under their process id; sending a
+    message schedules a delivery event after a policy-chosen delay clamped to
+    ``[tmin, tdel]``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        tmin: float,
+        tdel: float,
+        policy: Optional[DelayPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        if tdel <= 0:
+            raise ValueError(f"tdel must be positive, got {tdel}")
+        if not 0 <= tmin <= tdel:
+            raise ValueError(f"tmin must satisfy 0 <= tmin <= tdel, got tmin={tmin}, tdel={tdel}")
+        self.sim = sim
+        self.tmin = float(tmin)
+        self.tdel = float(tdel)
+        self.policy = policy or UniformDelay()
+        self.rng = random.Random(seed)
+        self.stats = NetworkStats()
+        self._handlers: dict[int, Callable[[Envelope], None]] = {}
+        self._msg_ids = itertools.count()
+        self._dropped_destinations: set[int] = set()
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, pid: int, handler: Callable[[Envelope], None]) -> None:
+        """Register the delivery callback for process ``pid``."""
+        self._handlers[pid] = handler
+
+    def unregister(self, pid: int) -> None:
+        """Remove a process from the network (e.g. after a crash)."""
+        self._handlers.pop(pid, None)
+
+    def participants(self) -> list[int]:
+        """Process ids currently attached to the network."""
+        return sorted(self._handlers)
+
+    def drop_deliveries_to(self, pid: int) -> None:
+        """Silently drop all future deliveries to ``pid`` (crash modelling)."""
+        self._dropped_destinations.add(pid)
+
+    # -- sending ------------------------------------------------------------
+
+    def _choose_delay(self, sender: int, dest: int, payload: object) -> float:
+        raw = self.policy.delay(sender, dest, payload, self.sim.now, self.rng)
+        if raw != raw:  # NaN guard
+            raise ValueError("delay policy returned NaN")
+        if isinstance(self.policy, UniformDelay):
+            # UniformDelay returns a unit sample; scale it into the window.
+            return self.tmin + raw * (self.tdel - self.tmin)
+        return min(self.tdel, max(self.tmin, raw))
+
+    def send(self, sender: int, dest: int, payload: object, delay: Optional[float] = None) -> Envelope:
+        """Send ``payload`` from ``sender`` to ``dest``.
+
+        ``delay`` may be supplied explicitly (used by adversarial senders that
+        coordinate with the delay adversary); it is still clamped to the
+        model's ``[tmin, tdel]`` window, so not even faulty processes can beat
+        the minimum delay or exceed the delivery bound.
+        """
+        if delay is None:
+            chosen = self._choose_delay(sender, dest, payload)
+        else:
+            chosen = min(self.tdel, max(self.tmin, float(delay)))
+        send_time = self.sim.now
+        envelope = Envelope(
+            msg_id=next(self._msg_ids),
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            send_time=send_time,
+            deliver_time=send_time + chosen,
+        )
+        self.stats.record(sender, payload)
+        self.sim.schedule_at(envelope.deliver_time, lambda env=envelope: self._deliver(env))
+        return envelope
+
+    def broadcast(self, sender: int, payload: object, include_self: bool = False) -> list[Envelope]:
+        """Send ``payload`` to every registered process (excluding the sender by default)."""
+        envelopes = []
+        for pid in self.participants():
+            if pid == sender and not include_self:
+                continue
+            envelopes.append(self.send(sender, pid, payload))
+        return envelopes
+
+    def multicast(self, sender: int, destinations: Iterable[int], payload: object) -> list[Envelope]:
+        """Send ``payload`` to an explicit set of destinations (two-faced sends)."""
+        return [self.send(sender, dest, payload) for dest in destinations]
+
+    # -- delivery -----------------------------------------------------------
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.dest in self._dropped_destinations:
+            return
+        handler = self._handlers.get(envelope.dest)
+        if handler is None:
+            return
+        handler(envelope)

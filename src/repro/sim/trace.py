@@ -1,0 +1,177 @@
+"""Execution traces.
+
+A trace records everything the analysis layer needs to measure precision,
+accuracy and liveness *exactly*:
+
+* each process's hardware clock object (piecewise linear, known to the
+  analysis but of course not to the processes),
+* the step function of logical-clock adjustments applied by the algorithm,
+* the resynchronization ("pulse") events with round numbers,
+* message counters (from the network stats).
+
+Because hardware clocks are piecewise linear and adjustments are step
+functions, every honest logical clock is a piecewise-linear function of real
+time whose breakpoints are known, so the analysis can compute worst-case skew
+exactly rather than by sampling.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .clocks import HardwareClock
+
+
+@dataclass(frozen=True)
+class ResyncEvent:
+    """One resynchronization (acceptance of a round) at one process."""
+
+    pid: int
+    round: int
+    time: float
+    logical_before: float
+    logical_after: float
+
+    @property
+    def adjustment(self) -> float:
+        """Size of the clock correction applied at this resynchronization."""
+        return self.logical_after - self.logical_before
+
+
+@dataclass
+class ProcessTrace:
+    """Per-process view of an execution."""
+
+    pid: int
+    clock: HardwareClock
+    faulty: bool = False
+    adjustment_times: list[float] = field(default_factory=list)
+    adjustment_values: list[float] = field(default_factory=list)
+    resyncs: list[ResyncEvent] = field(default_factory=list)
+    crashed_at: Optional[float] = None
+
+    def record_adjustment(self, time: float, adjustment: float) -> None:
+        """Record that from real time ``time`` on, C(t) = H(t) + adjustment."""
+        if self.adjustment_times and time < self.adjustment_times[-1]:
+            raise ValueError("adjustments must be recorded in time order")
+        self.adjustment_times.append(time)
+        self.adjustment_values.append(adjustment)
+
+    def adjustment_at(self, t: float) -> float:
+        """The adjustment in effect at real time ``t`` (0 before the first record)."""
+        i = bisect.bisect_right(self.adjustment_times, t) - 1
+        if i < 0:
+            return 0.0
+        return self.adjustment_values[i]
+
+    def adjustment_before(self, t: float) -> float:
+        """The adjustment in effect immediately *before* real time ``t``."""
+        i = bisect.bisect_left(self.adjustment_times, t) - 1
+        if i < 0:
+            return 0.0
+        return self.adjustment_values[i]
+
+    def logical_at(self, t: float) -> float:
+        """Logical clock value C(t) = H(t) + adjustment(t)."""
+        return self.clock.read(t) + self.adjustment_at(t)
+
+    def logical_before(self, t: float) -> float:
+        """Logical clock value immediately before real time ``t``."""
+        return self.clock.read(t) + self.adjustment_before(t)
+
+    def breakpoints(self) -> list[float]:
+        """All real times at which this logical clock's slope or value changes."""
+        points = list(self.clock.breakpoints())
+        points.extend(self.adjustment_times)
+        return points
+
+    def rounds_accepted(self) -> list[int]:
+        """Round numbers accepted by this process, in acceptance order."""
+        return [event.round for event in self.resyncs]
+
+    def resync_times(self) -> list[float]:
+        """Real times of this process's resynchronizations."""
+        return [event.time for event in self.resyncs]
+
+
+class Trace:
+    """Whole-execution record shared by the engine, processes and analysis."""
+
+    def __init__(self) -> None:
+        self.processes: dict[int, ProcessTrace] = {}
+        self.message_stats: dict[str, int] = {}
+        self.total_messages: int = 0
+        self.end_time: float = 0.0
+        self.notes: list[str] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_process(self, pid: int, clock: HardwareClock, faulty: bool = False) -> ProcessTrace:
+        if pid in self.processes:
+            raise ValueError(f"process {pid} already registered in trace")
+        ptrace = ProcessTrace(pid=pid, clock=clock, faulty=faulty)
+        self.processes[pid] = ptrace
+        return ptrace
+
+    def record_adjustment(self, pid: int, time: float, adjustment: float) -> None:
+        self.processes[pid].record_adjustment(time, adjustment)
+
+    def record_resync(self, event: ResyncEvent) -> None:
+        self.processes[event.pid].resyncs.append(event)
+
+    def record_crash(self, pid: int, time: float) -> None:
+        self.processes[pid].crashed_at = time
+
+    def note(self, text: str) -> None:
+        """Attach a free-form annotation (used by experiments)."""
+        self.notes.append(text)
+
+    # -- queries ------------------------------------------------------------
+
+    def honest_pids(self) -> list[int]:
+        """Process ids of non-faulty processes, sorted."""
+        return sorted(pid for pid, p in self.processes.items() if not p.faulty)
+
+    def faulty_pids(self) -> list[int]:
+        """Process ids of faulty processes, sorted."""
+        return sorted(pid for pid, p in self.processes.items() if p.faulty)
+
+    def honest(self) -> list[ProcessTrace]:
+        """Traces of the honest processes."""
+        return [self.processes[pid] for pid in self.honest_pids()]
+
+    def all_breakpoints(self, pids: Optional[Iterable[int]] = None) -> list[float]:
+        """Sorted union of logical-clock breakpoints over the given processes."""
+        if pids is None:
+            pids = self.honest_pids()
+        points: set[float] = {0.0, self.end_time}
+        for pid in pids:
+            points.update(self.processes[pid].breakpoints())
+        return sorted(t for t in points if 0.0 <= t <= self.end_time)
+
+    def resync_events(self, honest_only: bool = True) -> list[ResyncEvent]:
+        """All resynchronization events, sorted by time."""
+        pids = self.honest_pids() if honest_only else sorted(self.processes)
+        events: list[ResyncEvent] = []
+        for pid in pids:
+            events.extend(self.processes[pid].resyncs)
+        events.sort(key=lambda e: (e.time, e.pid))
+        return events
+
+    def max_round(self) -> int:
+        """Largest round accepted by any honest process (0 if none)."""
+        best = 0
+        for ptrace in self.honest():
+            if ptrace.resyncs:
+                best = max(best, max(e.round for e in ptrace.resyncs))
+        return best
+
+    def min_completed_round(self) -> int:
+        """Largest round accepted by *every* honest process (0 if none)."""
+        rounds = []
+        for ptrace in self.honest():
+            accepted = [e.round for e in ptrace.resyncs]
+            rounds.append(max(accepted) if accepted else 0)
+        return min(rounds) if rounds else 0

@@ -1,0 +1,31 @@
+"""Scenario descriptions, cluster assembly and parameter sweeps."""
+
+from .scenarios import (
+    ALL_ALGORITHMS,
+    BASELINE_ALGORITHMS,
+    CLOCK_MODES,
+    DELAY_MODES,
+    ST_ALGORITHMS,
+    ClusterHandles,
+    Scenario,
+    ScenarioResult,
+    build_cluster,
+    run_scenario,
+)
+from .sweeps import grid, run_sweep, scenario_sweep
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "ClusterHandles",
+    "build_cluster",
+    "run_scenario",
+    "ST_ALGORITHMS",
+    "BASELINE_ALGORITHMS",
+    "ALL_ALGORITHMS",
+    "CLOCK_MODES",
+    "DELAY_MODES",
+    "grid",
+    "scenario_sweep",
+    "run_sweep",
+]

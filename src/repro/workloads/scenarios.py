@@ -1,0 +1,354 @@
+"""Scenario construction and execution.
+
+A :class:`Scenario` is a complete, declarative description of one simulated
+execution: model parameters, which algorithm runs, how the adversary sets
+hardware clock rates and message delays, which Byzantine behaviour the faulty
+processes follow, whether the system starts synchronized or from scratch, and
+for how many rounds to run.  :func:`build_cluster` turns it into a ready
+:class:`~repro.sim.engine.Simulation`; :func:`run_scenario` additionally runs
+it and returns a :class:`ScenarioResult` with the exact measurements used by
+tests, examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis import metrics
+from ..analysis.envelope import AccuracySummary, accuracy_summary
+from ..analysis.optimality import GuaranteeReport, verify_guarantees
+from ..baselines import (
+    FreeRunningProcess,
+    InflatedClockAttacker,
+    LamportMelliarSmithProcess,
+    LundeliusWelchProcess,
+    SyncToMaxProcess,
+)
+from ..core.auth_sync import AuthSyncProcess
+from ..core.bounds import AUTH, ECHO
+from ..core.params import SyncParams
+from ..core.startup import staggered_boot_times
+from ..core.unauth_sync import EchoSyncProcess
+from ..crypto.signatures import KeyStore
+from ..faults.behaviors import AdversaryContext, SilentFaulty
+from ..faults.strategies import make_faulty_processes
+from ..sim.clocks import FixedRateClock, HardwareClock, drifting_clock, spread_offsets
+from ..sim.engine import Simulation
+from ..sim.network import (
+    DelayPolicy,
+    FixedDelay,
+    MaxDelay,
+    MinDelay,
+    TargetedDelay,
+    UniformDelay,
+)
+from ..sim.trace import Trace
+
+#: Algorithms driven through the Srikanth-Toueg guarantee checker.
+ST_ALGORITHMS = ("auth", "echo")
+#: Baseline algorithms (compared against, no analytic guarantees checked).
+BASELINE_ALGORITHMS = ("lundelius_welch", "lamport_melliar_smith", "sync_to_max", "free_running")
+ALL_ALGORITHMS = ST_ALGORITHMS + BASELINE_ALGORITHMS
+
+CLOCK_MODES = ("extreme", "random", "nominal")
+DELAY_MODES = ("uniform", "max", "min", "midpoint", "targeted")
+
+
+@dataclass
+class Scenario:
+    """Declarative description of one simulated execution."""
+
+    params: SyncParams
+    algorithm: str = "auth"
+    name: str = ""
+    #: Number of resynchronization rounds every honest process must complete.
+    rounds: int = 20
+    #: Named adversary strategy (see :mod:`repro.faults.strategies`);
+    #: ``None`` means the faulty slots are filled with silent processes.
+    attack: Optional[str] = None
+    #: How many processes actually behave faultily; defaults to ``params.f``.
+    #: Setting this above ``params.f`` is how the resilience-threshold
+    #: experiments run the algorithms out of spec.
+    actual_faults: Optional[int] = None
+    #: Hardware clock assignment: "extreme" (honest clocks alternate between the
+    #: fastest and slowest admissible rate), "random" (wandering within the
+    #: bound) or "nominal" (all at rate 1).
+    clock_mode: str = "extreme"
+    #: Delay policy: "uniform", "max", "min", "midpoint" or "targeted"
+    #: (fast delivery to one half of the honest processes, slow to the other).
+    delay_mode: str = "uniform"
+    #: Start from scratch using the start-up protocol (round 0) instead of
+    #: assuming initial synchronization.
+    use_startup: bool = False
+    #: Real-time dispersion of process boot times (only used with start-up).
+    boot_spread: float = 0.0
+    #: Suppress backward clock corrections (ablation).
+    monotonic: bool = False
+    #: Number of passive joiners added on top of ``params.n`` processes.
+    joiner_count: int = 0
+    #: Real time at which the joiners come up.
+    join_time: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALL_ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; expected one of {ALL_ALGORITHMS}")
+        if self.clock_mode not in CLOCK_MODES:
+            raise ValueError(f"unknown clock_mode {self.clock_mode!r}; expected one of {CLOCK_MODES}")
+        if self.delay_mode not in DELAY_MODES:
+            raise ValueError(f"unknown delay_mode {self.delay_mode!r}; expected one of {DELAY_MODES}")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.actual_faults is None:
+            self.actual_faults = self.params.f
+        if self.actual_faults >= self.params.n:
+            raise ValueError("actual_faults must leave at least one honest process")
+        if not self.name:
+            self.name = f"{self.algorithm}-n{self.params.n}-f{self.actual_faults}-{self.attack or 'benign'}"
+
+    # -- derived layout ------------------------------------------------------------
+
+    @property
+    def honest_pids(self) -> list[int]:
+        """Honest process ids: the first ``n - actual_faults`` ids."""
+        return list(range(self.params.n - self.actual_faults))
+
+    @property
+    def faulty_pids(self) -> list[int]:
+        """Faulty process ids: the last ``actual_faults`` ids."""
+        return list(range(self.params.n - self.actual_faults, self.params.n))
+
+    @property
+    def joiner_pids(self) -> list[int]:
+        """Ids of the passive joiners (allocated above the base population)."""
+        return list(range(self.params.n, self.params.n + self.joiner_count))
+
+    @property
+    def st_algorithm(self) -> str:
+        """The bounds-module identifier for Srikanth-Toueg scenarios."""
+        return AUTH if self.algorithm == "auth" else ECHO
+
+    def horizon(self) -> float:
+        """Real-time budget: generous upper bound for completing ``rounds`` rounds."""
+        per_round = (1.0 + self.params.rho) * self.params.period + 4.0 * self.params.tdel
+        startup = self.boot_spread + 10.0 * self.params.tdel + self.params.initial_offset_spread
+        return startup + per_round * (self.rounds + 2) + self.join_time
+
+
+@dataclass
+class ClusterHandles:
+    """Everything :func:`build_cluster` created, for tests that need the internals."""
+
+    sim: Simulation
+    scenario: Scenario
+    keystore: Optional[KeyStore]
+    context: Optional[AdversaryContext]
+    honest: list
+    faulty: list
+    joiners: list
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one executed scenario."""
+
+    scenario: Scenario
+    trace: Trace
+    #: Worst-case skew among honest processes after every one of them
+    #: resynchronized at least once.
+    precision: float
+    #: Worst-case skew over the entire run (including the start-up transient).
+    precision_overall: float
+    period_stats: metrics.PeriodStats
+    acceptance_spread: float
+    accuracy: Optional[AccuracySummary]
+    completed_round: int
+    total_messages: int
+    messages_per_round: float
+    guarantees: Optional[GuaranteeReport]
+
+    @property
+    def params(self) -> SyncParams:
+        return self.scenario.params
+
+    @property
+    def guarantees_hold(self) -> bool:
+        return self.guarantees.all_hold if self.guarantees is not None else True
+
+
+# -- hardware clock assignment -----------------------------------------------------------
+
+
+def _honest_clock(scenario: Scenario, index: int, offset: float) -> HardwareClock:
+    params = scenario.params
+    if scenario.clock_mode == "nominal":
+        return FixedRateClock(rate=1.0, offset=offset)
+    if scenario.clock_mode == "extreme":
+        rate = params.max_rate if index % 2 == 0 else params.min_rate
+        return FixedRateClock(rate=rate, offset=offset)
+    horizon = scenario.horizon()
+    return drifting_clock(
+        params.rho,
+        offset=offset,
+        seed=scenario.seed * 1009 + index,
+        segment_length=max(params.period, 4.0 * params.tdel),
+        horizon=horizon * 1.2 + 1.0,
+    )
+
+
+def _delay_policy(scenario: Scenario, fast_group: list[int]) -> DelayPolicy:
+    params = scenario.params
+    if scenario.delay_mode == "uniform":
+        return UniformDelay()
+    if scenario.delay_mode == "max":
+        return MaxDelay()
+    if scenario.delay_mode == "min":
+        return MinDelay()
+    if scenario.delay_mode == "midpoint":
+        return FixedDelay(0.5 * (params.tmin + params.tdel))
+    return TargetedDelay(fast_destinations=fast_group)
+
+
+# -- process construction --------------------------------------------------------------------
+
+
+def _make_honest_process(scenario: Scenario, pid: int, keystore: Optional[KeyStore], joiner: bool = False):
+    params = scenario.params
+    common = dict(monotonic=scenario.monotonic, use_startup=scenario.use_startup and not joiner, joiner=joiner)
+    if scenario.algorithm == "auth":
+        assert keystore is not None
+        return AuthSyncProcess(pid, params, keystore, keystore.secret_key(pid), **common)
+    if scenario.algorithm == "echo":
+        return EchoSyncProcess(pid, params, **common)
+    if scenario.algorithm == "lundelius_welch":
+        return LundeliusWelchProcess(pid, params)
+    if scenario.algorithm == "lamport_melliar_smith":
+        return LamportMelliarSmithProcess(pid, params)
+    if scenario.algorithm == "sync_to_max":
+        return SyncToMaxProcess(pid, params)
+    return FreeRunningProcess(pid, params)
+
+
+def _make_faulty_processes(scenario: Scenario, context: AdversaryContext, keystore: Optional[KeyStore]):
+    if not scenario.faulty_pids:
+        return []
+    attack = scenario.attack
+    if attack is None or attack == "silent":
+        return [SilentFaulty(pid, context) for pid in scenario.faulty_pids]
+    if scenario.algorithm in ST_ALGORITHMS:
+        return make_faulty_processes(attack, context, algorithm=scenario.st_algorithm, keystore=keystore)
+    # Baseline-specific adversaries.
+    if attack == "inflated_clock":
+        return [InflatedClockAttacker(pid, scenario.params) for pid in scenario.faulty_pids]
+    raise ValueError(f"attack {attack!r} is not applicable to baseline algorithm {scenario.algorithm!r}")
+
+
+def build_cluster(scenario: Scenario) -> ClusterHandles:
+    """Assemble a ready-to-run simulation for ``scenario``."""
+    params = scenario.params
+    sim = Simulation(tmin=params.tmin, tdel=params.tdel, seed=scenario.seed)
+
+    keystore: Optional[KeyStore] = None
+    if scenario.algorithm == "auth":
+        keystore = KeyStore.generate(params.n + scenario.joiner_count, seed=scenario.seed + 7)
+
+    honest_pids = scenario.honest_pids
+    faulty_pids = scenario.faulty_pids
+    context = AdversaryContext.build(
+        params=params,
+        faulty_pids=faulty_pids,
+        honest_pids=honest_pids,
+        keystore=keystore,
+        seed=scenario.seed,
+    )
+    sim.network.policy = _delay_policy(scenario, fast_group=context.fast_group)
+
+    offsets = spread_offsets(len(honest_pids), params.initial_offset_spread, seed=scenario.seed + 13)
+    if scenario.use_startup:
+        boot_times = staggered_boot_times(len(honest_pids), scenario.boot_spread, seed=scenario.seed + 17)
+    else:
+        boot_times = [0.0] * len(honest_pids)
+
+    honest_processes = []
+    for index, pid in enumerate(honest_pids):
+        process = _make_honest_process(scenario, pid, keystore)
+        clock = _honest_clock(scenario, index, offsets[index])
+        sim.add_process(process, clock, faulty=False, boot_time=boot_times[index])
+        honest_processes.append(process)
+
+    faulty_processes = _make_faulty_processes(scenario, context, keystore)
+    for process in faulty_processes:
+        clock = FixedRateClock(rate=1.0, offset=0.0)
+        sim.add_process(process, clock, faulty=True)
+
+    joiners = []
+    for index, pid in enumerate(scenario.joiner_pids):
+        process = _make_honest_process(scenario, pid, keystore, joiner=True)
+        clock = _honest_clock(scenario, len(honest_pids) + index, 0.0)
+        sim.add_process(process, clock, faulty=False, boot_time=scenario.join_time)
+        joiners.append(process)
+
+    return ClusterHandles(
+        sim=sim,
+        scenario=scenario,
+        keystore=keystore,
+        context=context,
+        honest=honest_processes,
+        faulty=faulty_processes,
+        joiners=joiners,
+    )
+
+
+def run_scenario(scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
+    """Build, run and measure ``scenario``.
+
+    ``check_guarantees`` controls whether the Srikanth-Toueg analytic bounds
+    are evaluated against the trace; by default they are evaluated exactly
+    when the scenario runs an ST algorithm within its resilience bound under a
+    tolerated attack.
+    """
+    handles = build_cluster(scenario)
+    sim = handles.sim
+    horizon = scenario.horizon()
+    trace = sim.run_until_round(scenario.rounds, t_max=horizon)
+
+    st_scenario = scenario.algorithm in ST_ALGORITHMS
+    if check_guarantees is None:
+        within_spec = scenario.actual_faults <= scenario.params.f
+        check_guarantees = st_scenario and within_spec
+
+    guarantees: Optional[GuaranteeReport] = None
+    if check_guarantees and st_scenario:
+        guarantees = verify_guarantees(
+            trace,
+            scenario.params,
+            algorithm=scenario.st_algorithm,
+            expected_round=scenario.rounds,
+        )
+
+    steady = metrics.steady_state_start(trace)
+    accuracy: Optional[AccuracySummary] = None
+    if trace.end_time - steady > scenario.params.period:
+        accuracy = accuracy_summary(
+            trace,
+            rate_low=scenario.params.min_rate,
+            rate_high=scenario.params.max_rate,
+            t_start=steady,
+            t_end=trace.end_time,
+        )
+
+    return ScenarioResult(
+        scenario=scenario,
+        trace=trace,
+        precision=metrics.steady_state_skew(trace),
+        precision_overall=metrics.max_skew(trace),
+        period_stats=metrics.period_stats(trace),
+        acceptance_spread=metrics.max_acceptance_spread(trace),
+        accuracy=accuracy,
+        completed_round=trace.min_completed_round(),
+        total_messages=trace.total_messages,
+        messages_per_round=metrics.messages_per_completed_round(trace),
+        guarantees=guarantees,
+    )

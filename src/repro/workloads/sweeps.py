@@ -1,0 +1,65 @@
+"""Parameter sweeps.
+
+Every experiment in the benchmark harness is a sweep: vary one or two model
+parameters, run a scenario per grid point, and collect a results table.  The
+helpers here keep that pattern declarative and identical across experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from ..core.params import SyncParams
+from .scenarios import Scenario, ScenarioResult, run_scenario
+
+
+def grid(**axes: Sequence) -> list[dict]:
+    """Cartesian product of named value lists, as a list of keyword dictionaries.
+
+    >>> grid(n=[4, 7], rho=[0.001])
+    [{'n': 4, 'rho': 0.001}, {'n': 7, 'rho': 0.001}]
+    """
+    names = list(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, values)) for values in combos]
+
+
+def scenario_sweep(
+    base: Scenario,
+    points: Iterable[Mapping],
+    param_fields: Optional[Sequence[str]] = None,
+) -> list[Scenario]:
+    """Build one scenario per grid point.
+
+    Keys that name :class:`~repro.core.params.SyncParams` fields (or listed in
+    ``param_fields``) are applied to the scenario's parameters; all other keys
+    are applied to the scenario itself.
+    """
+    params_fields = set(SyncParams.__dataclass_fields__)
+    if param_fields:
+        params_fields.update(param_fields)
+    scenarios = []
+    for point in points:
+        param_changes = {k: v for k, v in point.items() if k in params_fields}
+        scenario_changes = {k: v for k, v in point.items() if k not in params_fields}
+        params = base.params.with_(**param_changes) if param_changes else base.params
+        scenario = replace(base, params=params, name="", **scenario_changes)
+        scenarios.append(scenario)
+    return scenarios
+
+
+def run_sweep(
+    scenarios: Iterable[Scenario],
+    check_guarantees: Optional[bool] = None,
+    callback: Optional[Callable[[ScenarioResult], None]] = None,
+) -> list[ScenarioResult]:
+    """Run every scenario and return the results in order."""
+    results = []
+    for scenario in scenarios:
+        result = run_scenario(scenario, check_guarantees=check_guarantees)
+        if callback is not None:
+            callback(result)
+        results.append(result)
+    return results

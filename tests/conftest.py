@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SyncParams, params_for
+from repro.crypto.signatures import KeyStore
+from repro.sim.clocks import FixedRateClock
+from repro.sim.engine import Simulation
+from repro.sim.network import FixedDelay
+
+
+@pytest.fixture
+def small_params() -> SyncParams:
+    """A small, fast parameterisation used across unit tests (n=5, f=2, auth-capable)."""
+    return params_for(n=5, authenticated=True, rho=1e-4, tdel=0.01, period=1.0, initial_offset_spread=0.005)
+
+
+@pytest.fixture
+def echo_params() -> SyncParams:
+    """A small parameterisation within the echo algorithm's resilience bound (n=7, f=2)."""
+    return params_for(n=7, authenticated=False, rho=1e-4, tdel=0.01, period=1.0, initial_offset_spread=0.005)
+
+
+@pytest.fixture
+def keystore(small_params) -> KeyStore:
+    return KeyStore.generate(small_params.n, seed=1)
+
+
+@pytest.fixture
+def fixed_delay_sim() -> Simulation:
+    """A simulation whose messages all take exactly 5 ms."""
+    return Simulation(tmin=0.0, tdel=0.01, delay_policy=FixedDelay(0.005), seed=0)
+
+
+def make_sim(tmin: float = 0.0, tdel: float = 0.01, delay: float = 0.005, seed: int = 0) -> Simulation:
+    """Build a simulation with a fixed message delay (helper for unit tests)."""
+    return Simulation(tmin=tmin, tdel=tdel, delay_policy=FixedDelay(delay), seed=seed)
+
+
+def perfect_clock(offset: float = 0.0) -> FixedRateClock:
+    """A drift-free hardware clock."""
+    return FixedRateClock(rate=1.0, offset=offset)

@@ -1,0 +1,218 @@
+"""Unit tests for the authenticated synchronizer's state machine.
+
+These tests drive a single (or a few) AuthSyncProcess instances through a
+scripted simulation with fixed delays, checking each protocol rule in
+isolation; the full-system behaviour is covered by the integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.auth_sync import AuthSyncProcess
+from repro.core.messages import RoundContent, SignatureBundle, SignedRound
+from repro.core.params import params_for
+from repro.crypto.signatures import KeyStore, forge_attempt, sign
+from repro.sim.clocks import FixedRateClock
+from repro.sim.engine import Simulation
+from repro.sim.network import FixedDelay
+
+
+def make_setup(n=5, f=2, delay=0.001, period=1.0, **proc_kwargs):
+    """One real AuthSyncProcess (pid 0) plus silent message sinks for the rest."""
+    params = params_for(n, f=f, rho=1e-4, tdel=0.01, period=period)
+    sim = Simulation(tmin=0.0, tdel=params.tdel, delay_policy=FixedDelay(delay), seed=0)
+    keystore = KeyStore.generate(n, seed=0)
+    proc = AuthSyncProcess(0, params, keystore, keystore.secret_key(0), **proc_kwargs)
+    sim.add_process(proc, FixedRateClock(rate=1.0, offset=0.0))
+
+    received: dict[int, list] = {pid: [] for pid in range(1, n)}
+    for pid in range(1, n):
+        sim.network.register(pid, lambda env, pid=pid: received[env.dest].append(env.payload))
+    return sim, proc, keystore, params, received
+
+
+def signed(keystore, signer, round_):
+    return SignedRound(round=round_, signature=sign(keystore.secret_key(signer), RoundContent(round_)))
+
+
+def test_rejects_foreign_secret_key():
+    params = params_for(3, f=1)
+    keystore = KeyStore.generate(3)
+    with pytest.raises(ValueError):
+        AuthSyncProcess(0, params, keystore, keystore.secret_key(1))
+
+
+def test_broadcasts_signature_when_clock_reaches_round():
+    sim, proc, keystore, params, received = make_setup()
+    sim.run_until(1.05)
+    for pid, msgs in received.items():
+        signed_rounds = [m for m in msgs if isinstance(m, SignedRound)]
+        assert len(signed_rounds) == 1
+        assert signed_rounds[0].round == 1
+        assert keystore.verify(signed_rounds[0].signature, RoundContent(1), claimed_signer=0)
+
+
+def test_does_not_broadcast_before_round_time():
+    sim, proc, keystore, params, received = make_setup()
+    sim.run_until(0.9)
+    assert all(len(msgs) == 0 for msgs in received.values())
+    assert proc.current_round == 1
+
+
+def test_accepts_on_f_plus_1_signatures_and_adjusts_clock():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    # Deliver signatures from two other processes; plus the process's own
+    # signature (sent at logical 1.0) that's 3 = f+1 supporters.
+    sim.schedule_at(1.001, lambda: sim.network.send(1, 0, signed(keystore, 1, 1)))
+    sim.schedule_at(1.002, lambda: sim.network.send(2, 0, signed(keystore, 2, 1)))
+    sim.run_until(1.1)
+    assert proc.accepted_rounds == [1]
+    assert proc.current_round == 2
+    # Clock was set to 1*P + alpha.
+    expected = params.period + params.alpha_value
+    assert proc.trace.resyncs[0].logical_after == pytest.approx(expected)
+
+
+def test_does_not_accept_below_threshold():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    sim.schedule_at(1.001, lambda: sim.network.send(1, 0, signed(keystore, 1, 1)))
+    sim.run_until(1.5)
+    assert proc.accepted_rounds == []
+
+
+def test_duplicate_signatures_do_not_count_twice():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    for i in range(3):
+        sim.schedule_at(1.001 + i * 0.001, lambda: sim.network.send(1, 0, signed(keystore, 1, 1)))
+    sim.run_until(1.5)
+    assert proc.accepted_rounds == []
+
+
+def test_forged_signatures_are_ignored():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    for signer in (1, 2, 3):
+        forged = SignedRound(round=1, signature=forge_attempt(signer, RoundContent(1)))
+        sim.schedule_at(1.001, lambda m=forged: sim.network.send(4, 0, m))
+    sim.run_until(1.5)
+    assert proc.accepted_rounds == []
+
+
+def test_acceptance_before_own_clock_via_bundle():
+    """A bundle with f+1 valid signatures triggers acceptance even before the
+    process's own clock reaches the round (it is behind and gets pulled forward)."""
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    bundle = SignatureBundle(
+        round=1,
+        signatures=tuple(sign(keystore.secret_key(s), RoundContent(1)) for s in (1, 2, 3)),
+    )
+    sim.schedule_at(0.5, lambda: sim.network.send(1, 0, bundle))
+    sim.run_until(0.6)
+    assert proc.accepted_rounds == [1]
+    assert proc.logical_time() >= params.period
+
+
+def test_relays_acceptance_bundle_to_everyone():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    sim.schedule_at(1.001, lambda: sim.network.send(1, 0, signed(keystore, 1, 1)))
+    sim.schedule_at(1.002, lambda: sim.network.send(2, 0, signed(keystore, 2, 1)))
+    sim.run_until(1.2)
+    for msgs in received.values():
+        bundles = [m for m in msgs if isinstance(m, SignatureBundle)]
+        assert len(bundles) == 1
+        assert bundles[0].round == 1
+        assert len(bundles[0].signatures) == params.f + 1
+        assert all(keystore.verify(s, RoundContent(1)) for s in bundles[0].signatures)
+
+
+def test_stale_round_signatures_ignored_after_acceptance():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    bundle = SignatureBundle(
+        round=1,
+        signatures=tuple(sign(keystore.secret_key(s), RoundContent(1)) for s in (1, 2, 3)),
+    )
+    sim.schedule_at(0.5, lambda: sim.network.send(1, 0, bundle))
+    # A replayed round-1 signature after acceptance must not produce a second resync.
+    sim.schedule_at(0.8, lambda: sim.network.send(2, 0, signed(keystore, 2, 1)))
+    sim.run_until(1.0)
+    assert proc.accepted_rounds == [1]
+    assert len(proc.trace.resyncs) == 1
+
+
+def test_accepts_successive_rounds_in_order():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2)
+    for k in (1, 2):
+        bundle = SignatureBundle(
+            round=k,
+            signatures=tuple(sign(keystore.secret_key(s), RoundContent(k)) for s in (1, 2, 3)),
+        )
+        sim.schedule_at(0.4 * k, lambda b=bundle: sim.network.send(1, 0, b))
+    sim.run_until(1.0)
+    assert proc.accepted_rounds == [1, 2]
+    assert proc.current_round == 3
+
+
+def test_garbage_messages_are_ignored():
+    sim, proc, keystore, params, received = make_setup()
+    sim.schedule_at(0.2, lambda: sim.network.send(1, 0, "garbage"))
+    sim.schedule_at(0.3, lambda: sim.network.send(1, 0, 12345))
+    sim.run_until(0.5)
+    assert proc.accepted_rounds == []
+
+
+def test_startup_mode_broadcasts_round_zero_at_boot():
+    sim, proc, keystore, params, received = make_setup(use_startup=True)
+    sim.run_until(0.01)
+    for msgs in received.values():
+        rounds = [m.round for m in msgs if isinstance(m, SignedRound)]
+        assert 0 in rounds
+
+
+def test_startup_acceptance_sets_clock_to_alpha():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2, use_startup=True)
+    sim.schedule_at(0.002, lambda: sim.network.send(1, 0, signed(keystore, 1, 0)))
+    sim.schedule_at(0.003, lambda: sim.network.send(2, 0, signed(keystore, 2, 0)))
+    sim.run_until(0.02)
+    assert proc.accepted_rounds == [0]
+    assert proc.trace.resyncs[0].logical_after == pytest.approx(params.alpha_value)
+    assert proc.current_round == 1
+
+
+def test_startup_retries_until_accepted():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2, use_startup=True)
+    sim.run_until(0.2)
+    # Without any peer support the process keeps re-announcing round 0.
+    counts = [len([m for m in msgs if isinstance(m, SignedRound) and m.round == 0]) for msgs in received.values()]
+    assert all(count >= 2 for count in counts)
+
+
+def test_joiner_stays_passive_until_first_acceptance():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2, joiner=True)
+    sim.run_until(1.5)
+    assert all(len(msgs) == 0 for msgs in received.values())
+    assert proc.current_round is None
+
+    bundle = SignatureBundle(
+        round=2,
+        signatures=tuple(sign(keystore.secret_key(s), RoundContent(2)) for s in (1, 2, 3)),
+    )
+    sim.schedule_at(1.6, lambda: sim.network.send(1, 0, bundle))
+    sim.run_until(1.7)
+    assert proc.accepted_rounds == [2]
+    assert proc.current_round == 3
+    assert proc.logical_time() == pytest.approx(2 * params.period + params.alpha_value, abs=0.2)
+
+
+def test_monotonic_variant_never_sets_clock_back():
+    sim, proc, keystore, params, received = make_setup(n=5, f=2, monotonic=True)
+    # Make the process's clock race ahead: deliver an acceptance for round 1
+    # late, when its own clock is already past 1*P + alpha.
+    bundle = SignatureBundle(
+        round=1,
+        signatures=tuple(sign(keystore.secret_key(s), RoundContent(1)) for s in (1, 2, 3)),
+    )
+    sim.schedule_at(1.5, lambda: sim.network.send(1, 0, bundle))
+    sim.run_until(1.6)
+    assert proc.accepted_rounds == [1]
+    event = proc.trace.resyncs[0]
+    assert event.logical_after >= event.logical_before

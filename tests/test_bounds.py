@@ -1,0 +1,179 @@
+"""Unit tests for the analytic bounds module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    AUTH,
+    ECHO,
+    ParameterError,
+    acceptance_latency,
+    acceptance_spread,
+    accuracy_excess,
+    beta_max,
+    beta_min,
+    envelope_constants,
+    gamma_max,
+    gamma_min,
+    long_run_rate_bounds,
+    max_adjustment,
+    messages_per_round_per_process,
+    messages_per_round_total,
+    precision_bound,
+    require_valid,
+    startup_precision_bound,
+    theoretical_bounds,
+    validate,
+)
+from repro.core.params import SyncParams, params_for
+
+
+@pytest.fixture
+def params() -> SyncParams:
+    return params_for(7, authenticated=True, rho=1e-4, tdel=0.01, period=1.0)
+
+
+def test_unknown_algorithm_rejected(params):
+    with pytest.raises(ValueError):
+        precision_bound(params, "nonsense")
+
+
+def test_acceptance_spread_echo_is_twice_auth(params):
+    assert acceptance_spread(params, AUTH) == pytest.approx(params.tdel)
+    assert acceptance_spread(params, ECHO) == pytest.approx(2 * params.tdel)
+    assert acceptance_latency(params, ECHO) == pytest.approx(2 * params.tdel)
+
+
+def test_gamma_and_beta_ordering(params):
+    for algorithm in (AUTH, ECHO):
+        assert 0 < gamma_min(params, algorithm) < gamma_max(params, algorithm)
+        assert 0 < beta_min(params, algorithm) < beta_max(params, algorithm)
+        assert beta_max(params, algorithm) >= gamma_max(params, algorithm)
+
+
+def test_precision_bound_positive_and_echo_larger(params):
+    assert precision_bound(params, AUTH) > 0
+    assert precision_bound(params, ECHO) > precision_bound(params, AUTH)
+
+
+def test_precision_bound_increases_with_tdel(params):
+    larger = params.with_(tdel=0.02)
+    assert precision_bound(larger, AUTH) > precision_bound(params, AUTH)
+
+
+def test_precision_bound_increases_with_rho(params):
+    larger = params.with_(rho=1e-3)
+    assert precision_bound(larger, AUTH) > precision_bound(params, AUTH)
+
+
+def test_precision_bound_exceeds_delay_uncertainty(params):
+    # Skew cannot be bounded below the single-hop delay uncertainty.
+    assert precision_bound(params, AUTH) >= params.tdel - params.tmin
+
+
+def test_startup_precision_at_least_steady(params):
+    spread = params.with_(initial_offset_spread=0.2)
+    assert startup_precision_bound(spread, AUTH) >= precision_bound(spread, AUTH)
+    assert startup_precision_bound(spread, AUTH) >= 0.2
+
+
+def test_rate_bounds_bracket_one(params):
+    rate_min, rate_max = long_run_rate_bounds(params, AUTH)
+    assert rate_min < 1.0 < rate_max
+
+
+def test_rate_bounds_converge_to_hardware_as_period_grows(params):
+    small_p = params.with_(period=0.5)
+    large_p = params.with_(period=50.0)
+    excess_small = accuracy_excess(small_p, AUTH)[1]
+    excess_large = accuracy_excess(large_p, AUTH)[1]
+    assert excess_large < excess_small
+    assert excess_large < 0.01
+
+
+def test_accuracy_excess_independent_of_n_and_f(params):
+    other = params_for(25, authenticated=True, rho=params.rho, tdel=params.tdel, period=params.period)
+    assert accuracy_excess(params, AUTH) == pytest.approx(accuracy_excess(other, AUTH))
+
+
+def test_rate_bounds_raise_when_period_too_short(params):
+    tiny = params.with_(period=0.012)
+    with pytest.raises(ParameterError):
+        long_run_rate_bounds(tiny, AUTH)
+
+
+def test_envelope_constants_positive(params):
+    a, b = envelope_constants(params, AUTH)
+    assert a > 0 and b > 0
+
+
+def test_max_adjustment_positive_and_bounded_by_period(params):
+    adj = max_adjustment(params, AUTH)
+    assert 0 < adj < params.period
+
+
+def test_message_complexity(params):
+    assert messages_per_round_per_process(params, AUTH) == 2 * (params.n - 1)
+    assert messages_per_round_total(params, AUTH) == (params.n - params.f) * 2 * (params.n - 1)
+
+
+def test_validate_accepts_good_parameters(params):
+    assert validate(params, AUTH) == []
+    require_valid(params, AUTH)  # should not raise
+
+
+def test_validate_rejects_resilience_violation():
+    params = SyncParams(n=6, f=3)
+    assert any("n > 2f" in issue for issue in validate(params, AUTH))
+    echo_params = SyncParams(n=6, f=2)
+    assert any("n > 3f" in issue for issue in validate(echo_params, ECHO))
+
+
+def test_validate_rejects_alpha_at_least_period(params):
+    bad = params.with_(alpha=2.0)
+    assert any("smaller than the period" in issue for issue in validate(bad, AUTH))
+
+
+def test_validate_rejects_too_small_alpha(params):
+    bad = params.with_(alpha=0.001)
+    assert any("recommended" in issue for issue in validate(bad, AUTH))
+
+
+def test_validate_rejects_too_short_period(params):
+    bad = params.with_(period=0.021, alpha=0.0201)
+    issues = validate(bad, AUTH)
+    assert issues  # several conditions fire
+
+
+def test_validate_rejects_huge_initial_spread(params):
+    bad = params.with_(initial_offset_spread=5.0)
+    assert any("initial_offset_spread" in issue for issue in validate(bad, AUTH))
+
+
+def test_require_valid_raises_parameter_error():
+    with pytest.raises(ParameterError):
+        require_valid(SyncParams(n=6, f=3), AUTH)
+
+
+def test_theoretical_bounds_record(params):
+    bounds = theoretical_bounds(params, AUTH)
+    assert bounds.algorithm == AUTH
+    assert bounds.resilience == 3
+    assert bounds.precision == pytest.approx(precision_bound(params, AUTH))
+    assert bounds.beta_min < bounds.beta_max
+    as_dict = bounds.as_dict()
+    assert as_dict["precision"] == bounds.precision
+    assert "rate_max" in as_dict
+
+
+def test_theoretical_bounds_echo_resilience():
+    params = params_for(7, authenticated=False)
+    bounds = theoretical_bounds(params, ECHO)
+    assert bounds.resilience == 2
+    assert bounds.sigma == pytest.approx(2 * params.tdel)
+
+
+def test_theoretical_bounds_rejects_invalid():
+    with pytest.raises(ParameterError):
+        theoretical_bounds(SyncParams(n=6, f=3), AUTH)

@@ -1,0 +1,71 @@
+"""Property-based tests of the analytic bounds (monotonicity and consistency)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    AUTH,
+    ECHO,
+    beta_max,
+    beta_min,
+    long_run_rate_bounds,
+    max_adjustment,
+    precision_bound,
+    validate,
+)
+from repro.core.params import params_for
+
+valid_params = st.builds(
+    params_for,
+    n=st.integers(min_value=3, max_value=40),
+    authenticated=st.just(True),
+    rho=st.floats(min_value=1e-6, max_value=5e-3),
+    tdel=st.floats(min_value=1e-3, max_value=0.05),
+    period=st.floats(min_value=2.0, max_value=60.0),
+)
+
+
+@given(valid_params, st.sampled_from([AUTH, ECHO]))
+@settings(max_examples=100)
+def test_property_bound_structure_is_consistent(params, algorithm):
+    if algorithm == ECHO and not params.unauthenticated_resilient():
+        params = params.with_(f=params.max_faults_unauthenticated())
+    assert validate(params, algorithm) == []
+    assert 0 < beta_min(params, algorithm) < beta_max(params, algorithm)
+    rate_min, rate_max = long_run_rate_bounds(params, algorithm)
+    assert 0 < rate_min <= 1.0 <= rate_max
+    assert precision_bound(params, algorithm) > 0
+    assert 0 < max_adjustment(params, algorithm) < params.period
+
+
+@given(valid_params, st.floats(min_value=1.1, max_value=3.0))
+@settings(max_examples=60)
+def test_property_precision_bound_monotone_in_tdel(params, factor):
+    slower_network = params.with_(tdel=params.tdel * factor)
+    assert precision_bound(slower_network, AUTH) >= precision_bound(params, AUTH)
+
+
+@given(valid_params, st.floats(min_value=1.5, max_value=10.0))
+@settings(max_examples=60)
+def test_property_precision_bound_monotone_in_drift(params, factor):
+    worse_clocks = params.with_(rho=params.rho * factor)
+    assert precision_bound(worse_clocks, AUTH) >= precision_bound(params, AUTH)
+
+
+@given(valid_params)
+@settings(max_examples=60)
+def test_property_echo_bounds_dominate_auth_bounds(params):
+    params = params.with_(f=params.max_faults_unauthenticated())
+    assert precision_bound(params, ECHO) >= precision_bound(params, AUTH)
+    assert beta_max(params, ECHO) >= beta_max(params, AUTH)
+    assert beta_min(params, ECHO) <= beta_min(params, AUTH)
+
+
+@given(valid_params, st.floats(min_value=2.0, max_value=20.0))
+@settings(max_examples=60)
+def test_property_rate_excess_shrinks_with_longer_period(params, factor):
+    longer = params.with_(period=params.period * factor)
+    _, rate_max_short = long_run_rate_bounds(params, AUTH)
+    _, rate_max_long = long_run_rate_bounds(longer, AUTH)
+    assert rate_max_long <= rate_max_short + 1e-12

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface and the JSON serialization helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.serialize import (
+    load_result_summary,
+    params_to_dict,
+    result_to_dict,
+    result_to_json,
+    save_result,
+    trace_to_dict,
+)
+from repro.cli import main
+from repro.core.params import params_for
+from repro.workloads.scenarios import Scenario, run_scenario
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    params = params_for(5, authenticated=True, rho=1e-4, tdel=0.01, period=1.0, initial_offset_spread=0.005)
+    return run_scenario(Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=3))
+
+
+# -- serialization ---------------------------------------------------------------------
+
+
+def test_params_to_dict_includes_resolved_alpha():
+    params = params_for(5, authenticated=True)
+    data = params_to_dict(params)
+    assert data["n"] == 5
+    assert data["alpha_value"] == pytest.approx(params.alpha_value)
+
+
+def test_result_to_dict_core_fields(sample_result):
+    data = result_to_dict(sample_result)
+    assert data["completed_round"] >= 4
+    assert data["precision"] == pytest.approx(sample_result.precision)
+    assert data["guarantees"]["all_hold"] is True
+    assert any(check["name"] == "precision" for check in data["guarantees"]["checks"])
+    assert data["scenario"]["algorithm"] == "auth"
+    assert "trace" not in data
+
+
+def test_result_to_dict_with_trace(sample_result):
+    data = result_to_dict(sample_result, include_trace=True)
+    trace = data["trace"]
+    assert trace["total_messages"] == sample_result.total_messages
+    pids = [p["pid"] for p in trace["processes"]]
+    assert pids == sorted(pids)
+    honest = [p for p in trace["processes"] if not p["faulty"]]
+    assert all(len(p["resyncs"]) >= 4 for p in honest)
+    assert all(len(p["adjustments"]) == len(p["resyncs"]) for p in honest)
+
+
+def test_result_to_json_is_valid_json(sample_result):
+    parsed = json.loads(result_to_json(sample_result))
+    assert parsed["messages_per_round"] > 0
+
+
+def test_save_and_load_roundtrip(sample_result, tmp_path):
+    path = save_result(sample_result, tmp_path / "result.json")
+    loaded = load_result_summary(path)
+    assert loaded["precision"] == pytest.approx(sample_result.precision)
+
+
+def test_trace_to_dict_standalone(sample_result):
+    data = trace_to_dict(sample_result.trace)
+    assert data["end_time"] == pytest.approx(sample_result.trace.end_time)
+    assert data["message_stats"]
+
+
+# -- CLI --------------------------------------------------------------------------------
+
+
+def test_cli_bounds_prints_table(capsys):
+    assert main(["bounds", "--n", "7", "--rho", "1e-4"]) == 0
+    out = capsys.readouterr().out
+    assert "precision" in out
+    assert "rate_max" in out
+
+
+def test_cli_bounds_echo_variant(capsys):
+    assert main(["bounds", "--n", "7", "--algorithm", "echo"]) == 0
+    assert "echo" in capsys.readouterr().out
+
+
+def test_cli_run_reports_guarantees(capsys):
+    code = main(["run", "--n", "5", "--rounds", "4", "--attack", "eager", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "precision" in out
+    assert "OK" in out
+
+
+def test_cli_run_json_output(capsys):
+    code = main(["run", "--n", "5", "--rounds", "3", "--json", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    parsed = json.loads(out)
+    assert parsed["completed_round"] >= 3
+
+
+def test_cli_run_baseline_algorithm(capsys):
+    code = main([
+        "run", "--n", "7", "--f", "1", "--algorithm", "lundelius_welch",
+        "--attack", "silent", "--rounds", "3", "--clock-mode", "random", "--delay-mode", "uniform",
+    ])
+    assert code == 0
+    assert "precision" in capsys.readouterr().out
+
+
+def test_cli_experiment_quick(capsys):
+    assert main(["experiment", "E3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "resilience" in out.lower()
+    assert "rushing_cabal" in out
+
+
+def test_cli_experiment_unknown_id(capsys):
+    assert main(["experiment", "E99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_list_attacks(capsys):
+    assert main(["list-attacks"]) == 0
+    out = capsys.readouterr().out
+    assert "eager" in out and "rushing_cabal" in out
+
+
+def test_cli_list_experiments(capsys):
+    assert main(["list-experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("E1", "E12"):
+        assert exp_id in out
+
+
+def test_cli_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,212 @@
+"""Unit and property tests for the hardware clock models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clocks import (
+    FixedRateClock,
+    PiecewiseLinearClock,
+    drifting_clock,
+    fastest_clock,
+    rate_bounds,
+    slowest_clock,
+    spread_offsets,
+)
+
+
+# -- rate_bounds -----------------------------------------------------------------
+
+
+def test_rate_bounds_values():
+    lo, hi = rate_bounds(0.01)
+    assert hi == pytest.approx(1.01)
+    assert lo == pytest.approx(1 / 1.01)
+
+
+def test_rate_bounds_zero_drift():
+    assert rate_bounds(0.0) == (1.0, 1.0)
+
+
+def test_rate_bounds_rejects_negative():
+    with pytest.raises(ValueError):
+        rate_bounds(-0.1)
+
+
+# -- FixedRateClock --------------------------------------------------------------
+
+
+def test_fixed_rate_read():
+    clock = FixedRateClock(rate=2.0, offset=1.0)
+    assert clock.read(0.0) == 1.0
+    assert clock.read(3.0) == 7.0
+
+
+def test_fixed_rate_invert_roundtrip():
+    clock = FixedRateClock(rate=1.5, offset=0.5)
+    for t in [0.0, 0.1, 1.0, 17.3]:
+        assert clock.invert(clock.read(t)) == pytest.approx(t)
+
+
+def test_fixed_rate_invert_below_offset_clamps_to_zero():
+    clock = FixedRateClock(rate=1.0, offset=5.0)
+    assert clock.invert(2.0) == 0.0
+
+
+def test_fixed_rate_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        FixedRateClock(rate=0.0)
+    with pytest.raises(ValueError):
+        FixedRateClock(rate=-1.0)
+
+
+def test_fixed_rate_bounds_and_breakpoints():
+    clock = FixedRateClock(rate=1.25, offset=0.0)
+    assert clock.min_rate == clock.max_rate == 1.25
+    assert list(clock.breakpoints()) == []
+
+
+def test_fastest_and_slowest_clock_respect_drift():
+    rho = 0.02
+    assert fastest_clock(rho).respects_drift(rho)
+    assert slowest_clock(rho).respects_drift(rho)
+    assert not FixedRateClock(rate=1.05).respects_drift(0.01)
+
+
+# -- PiecewiseLinearClock --------------------------------------------------------------
+
+
+def test_piecewise_read_matches_manual_integration():
+    clock = PiecewiseLinearClock([(0.0, 1.0), (10.0, 2.0), (20.0, 0.5)], offset=3.0)
+    assert clock.read(0.0) == 3.0
+    assert clock.read(5.0) == pytest.approx(8.0)
+    assert clock.read(10.0) == pytest.approx(13.0)
+    assert clock.read(15.0) == pytest.approx(23.0)
+    assert clock.read(25.0) == pytest.approx(33.0 + 0.5 * 5.0 - 10.0 + 10)  # 20->25 at rate 0.5 from value 33
+    assert clock.read(25.0) == pytest.approx(clock.read(20.0) + 2.5)
+
+
+def test_piecewise_invert_roundtrip():
+    clock = PiecewiseLinearClock([(0.0, 1.0), (2.0, 0.8), (7.0, 1.3)], offset=1.0)
+    for t in [0.0, 1.0, 2.0, 3.5, 7.0, 12.0]:
+        assert clock.invert(clock.read(t)) == pytest.approx(t)
+
+
+def test_piecewise_requires_first_segment_at_zero():
+    with pytest.raises(ValueError):
+        PiecewiseLinearClock([(1.0, 1.0)])
+
+
+def test_piecewise_requires_increasing_starts():
+    with pytest.raises(ValueError):
+        PiecewiseLinearClock([(0.0, 1.0), (5.0, 1.1), (5.0, 1.2)])
+
+
+def test_piecewise_requires_positive_rates():
+    with pytest.raises(ValueError):
+        PiecewiseLinearClock([(0.0, 1.0), (1.0, 0.0)])
+
+
+def test_piecewise_requires_nonempty():
+    with pytest.raises(ValueError):
+        PiecewiseLinearClock([])
+
+
+def test_piecewise_breakpoints_exclude_zero():
+    clock = PiecewiseLinearClock([(0.0, 1.0), (3.0, 1.1), (9.0, 0.9)])
+    assert list(clock.breakpoints()) == [3.0, 9.0]
+
+
+def test_piecewise_rate_extremes():
+    clock = PiecewiseLinearClock([(0.0, 0.9), (1.0, 1.2)])
+    assert clock.min_rate == 0.9
+    assert clock.max_rate == 1.2
+
+
+def test_piecewise_negative_time_reads_offset():
+    clock = PiecewiseLinearClock([(0.0, 1.0)], offset=2.0)
+    assert clock.read(-1.0) == 2.0
+
+
+# -- drifting_clock -------------------------------------------------------------------
+
+
+def test_drifting_clock_respects_drift_bound():
+    clock = drifting_clock(rho=0.01, seed=3, segment_length=5.0, horizon=100.0)
+    assert clock.respects_drift(0.01)
+
+
+def test_drifting_clock_is_deterministic_per_seed():
+    a = drifting_clock(rho=0.001, seed=7, horizon=50.0)
+    b = drifting_clock(rho=0.001, seed=7, horizon=50.0)
+    c = drifting_clock(rho=0.001, seed=8, horizon=50.0)
+    assert a.read(33.3) == b.read(33.3)
+    assert a.read(33.3) != c.read(33.3)
+
+
+def test_drifting_clock_offset_applied():
+    clock = drifting_clock(rho=0.001, offset=4.0, seed=1)
+    assert clock.read(0.0) == 4.0
+
+
+def test_drifting_clock_rejects_bad_segment_length():
+    with pytest.raises(ValueError):
+        drifting_clock(rho=0.001, segment_length=0.0)
+
+
+# -- spread_offsets -----------------------------------------------------------------------
+
+
+def test_spread_offsets_pins_extremes():
+    offsets = spread_offsets(5, 0.3, seed=2)
+    assert offsets[0] == 0.0
+    assert offsets[1] == 0.3
+    assert all(0.0 <= x <= 0.3 for x in offsets)
+    assert len(offsets) == 5
+
+
+def test_spread_offsets_single_process():
+    assert spread_offsets(1, 0.5) == [0.0]
+
+
+def test_spread_offsets_validation():
+    with pytest.raises(ValueError):
+        spread_offsets(0, 0.1)
+    with pytest.raises(ValueError):
+        spread_offsets(3, -0.1)
+
+
+# -- property-based ------------------------------------------------------------------------
+
+
+@st.composite
+def piecewise_clocks(draw):
+    n_segments = draw(st.integers(min_value=1, max_value=6))
+    starts = [0.0]
+    for _ in range(n_segments - 1):
+        starts.append(starts[-1] + draw(st.floats(min_value=0.1, max_value=20.0)))
+    rates = [draw(st.floats(min_value=0.5, max_value=2.0)) for _ in range(n_segments)]
+    offset = draw(st.floats(min_value=0.0, max_value=10.0))
+    return PiecewiseLinearClock(list(zip(starts, rates)), offset=offset)
+
+
+@given(piecewise_clocks(), st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=80)
+def test_property_clock_is_strictly_increasing(clock, t):
+    assert clock.read(t + 1.0) > clock.read(t)
+
+
+@given(piecewise_clocks(), st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=80)
+def test_property_invert_is_inverse_of_read(clock, t):
+    assert clock.invert(clock.read(t)) == pytest.approx(t, abs=1e-6)
+
+
+@given(piecewise_clocks(), st.floats(min_value=0.0, max_value=100.0), st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=80)
+def test_property_clock_advance_within_rate_bounds(clock, t1, dt):
+    t2 = t1 + dt
+    advance = clock.read(t2) - clock.read(t1)
+    assert advance <= clock.max_rate * dt + 1e-9
+    assert advance >= clock.min_rate * dt - 1e-9

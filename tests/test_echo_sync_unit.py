@@ -1,0 +1,144 @@
+"""Unit tests for the non-authenticated (echo) synchronizer's state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import EchoMessage, InitMessage
+from repro.core.params import params_for
+from repro.core.unauth_sync import EchoSyncProcess
+from repro.sim.clocks import FixedRateClock
+from repro.sim.engine import Simulation
+from repro.sim.network import FixedDelay
+
+
+def make_setup(n=7, f=2, delay=0.001, period=1.0, **proc_kwargs):
+    """One real EchoSyncProcess (pid 0) plus recording sinks for the rest."""
+    params = params_for(n, f=f, authenticated=False, rho=1e-4, tdel=0.01, period=period)
+    sim = Simulation(tmin=0.0, tdel=params.tdel, delay_policy=FixedDelay(delay), seed=0)
+    proc = EchoSyncProcess(0, params, **proc_kwargs)
+    sim.add_process(proc, FixedRateClock(rate=1.0, offset=0.0))
+    received: dict[int, list] = {pid: [] for pid in range(1, n)}
+    for pid in range(1, n):
+        sim.network.register(pid, lambda env, pid=pid: received[env.dest].append(env.payload))
+    return sim, proc, params, received
+
+
+def test_sends_init_when_clock_reaches_round():
+    sim, proc, params, received = make_setup()
+    sim.run_until(1.05)
+    for msgs in received.values():
+        inits = [m for m in msgs if isinstance(m, InitMessage)]
+        assert [m.round for m in inits] == [1]
+
+
+def test_echoes_after_f_plus_1_inits():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    # Own init counts as one; two foreign inits reach the echo threshold of 3.
+    sim.schedule_at(1.001, lambda: sim.network.send(1, 0, InitMessage(round=1)))
+    sim.schedule_at(1.002, lambda: sim.network.send(2, 0, InitMessage(round=1)))
+    sim.run_until(1.1)
+    for msgs in received.values():
+        echoes = [m for m in msgs if isinstance(m, EchoMessage)]
+        assert [m.round for m in echoes] == [1]
+
+
+def test_echoes_after_f_plus_1_echoes_even_without_inits():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    for sender in (1, 2, 3):
+        sim.schedule_at(0.3, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=1)))
+    sim.run_until(0.5)
+    echoes_to_1 = [m for m in received[1] if isinstance(m, EchoMessage)]
+    assert len(echoes_to_1) == 1
+
+
+def test_echo_sent_at_most_once_per_round():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    for sender in (1, 2, 3, 4, 5):
+        sim.schedule_at(0.3 + sender * 0.01, lambda s=sender: sim.network.send(s, 0, InitMessage(round=1)))
+    sim.run_until(0.9)
+    echoes_to_1 = [m for m in received[1] if isinstance(m, EchoMessage)]
+    assert len(echoes_to_1) == 1
+
+
+def test_accepts_on_2f_plus_1_echoes_and_adjusts():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    # 4 foreign echoes + the process's own echo = 5 = 2f+1.
+    for sender in (1, 2, 3, 4):
+        sim.schedule_at(0.3, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=1)))
+    sim.run_until(0.4)
+    assert proc.accepted_rounds == [1]
+    assert proc.trace.resyncs[0].logical_after == pytest.approx(params.period + params.alpha_value)
+    assert proc.current_round == 2
+
+
+def test_does_not_accept_without_enough_echoes():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    for sender in (1, 2, 3):
+        sim.schedule_at(0.3, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=1)))
+    sim.run_until(0.6)
+    # 3 foreign + own echo = 4 < 5: no acceptance.
+    assert proc.accepted_rounds == []
+
+
+def test_faulty_echoes_alone_cannot_cause_acceptance():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    # Only f = 2 distinct (faulty) echoers, repeated many times.
+    for repeat in range(10):
+        for sender in (1, 2):
+            sim.schedule_at(0.2 + repeat * 0.01, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=1)))
+    sim.run_until(0.9)
+    assert proc.accepted_rounds == []
+    # It did not even echo (f inits/echoes are below the echo threshold).
+    assert all(not any(isinstance(m, EchoMessage) for m in msgs) for msgs in received.values())
+
+
+def test_stale_round_messages_ignored_after_acceptance():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    for sender in (1, 2, 3, 4):
+        sim.schedule_at(0.3, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=1)))
+    sim.schedule_at(0.5, lambda: sim.network.send(5, 0, EchoMessage(round=1)))
+    sim.run_until(0.8)
+    assert len(proc.trace.resyncs) == 1
+
+
+def test_startup_mode_inits_round_zero_at_boot():
+    sim, proc, params, received = make_setup(use_startup=True)
+    sim.run_until(0.01)
+    for msgs in received.values():
+        assert any(isinstance(m, InitMessage) and m.round == 0 for m in msgs)
+
+
+def test_startup_retry_resends_init():
+    sim, proc, params, received = make_setup(use_startup=True)
+    sim.run_until(0.2)
+    counts = [len([m for m in msgs if isinstance(m, InitMessage) and m.round == 0]) for msgs in received.values()]
+    assert all(count >= 2 for count in counts)
+
+
+def test_joiner_is_passive_but_accepts_from_others():
+    sim, proc, params, received = make_setup(n=7, f=2, joiner=True)
+    sim.run_until(1.5)
+    assert all(len(msgs) == 0 for msgs in received.values())
+    for sender in (1, 2, 3, 4, 5):
+        sim.schedule_at(1.6, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=2)))
+    sim.run_until(1.7)
+    assert proc.accepted_rounds == [2]
+    assert proc.current_round == 3
+
+
+def test_garbage_and_wrong_type_messages_ignored():
+    sim, proc, params, received = make_setup()
+    sim.schedule_at(0.2, lambda: sim.network.send(1, 0, "junk"))
+    sim.schedule_at(0.2, lambda: sim.network.send(1, 0, None))
+    sim.run_until(0.5)
+    assert proc.accepted_rounds == []
+
+
+def test_next_round_scheduled_relative_to_adjusted_clock():
+    sim, proc, params, received = make_setup(n=7, f=2)
+    for sender in (1, 2, 3, 4):
+        sim.schedule_at(0.995, lambda s=sender: sim.network.send(s, 0, EchoMessage(round=1)))
+    sim.run_until(2.05)
+    inits_round2 = [m for m in received[1] if isinstance(m, InitMessage) and m.round == 2]
+    assert len(inits_round2) == 1

@@ -1,0 +1,168 @@
+"""Unit and property tests for the non-authenticated (echo) broadcast primitive."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.echo import EchoTracker
+from repro.broadcast.primitive import PrimitiveActions
+
+
+def test_requires_n_greater_than_3f():
+    with pytest.raises(ValueError):
+        EchoTracker(n=6, f=2)
+    with pytest.raises(ValueError):
+        EchoTracker(n=0, f=0)
+    with pytest.raises(ValueError):
+        EchoTracker(n=4, f=-1)
+    EchoTracker(n=7, f=2)  # fine
+
+
+def test_thresholds_derived_from_f():
+    tracker = EchoTracker(n=7, f=2)
+    assert tracker.echo_threshold == 3
+    assert tracker.accept_threshold == 5
+
+
+def test_echo_triggered_by_f_plus_1_inits():
+    tracker = EchoTracker(n=4, f=1)
+    assert tracker.record_init(1, 0) == PrimitiveActions()
+    actions = tracker.record_init(1, 1)
+    assert actions.send_echo and not actions.accept
+
+
+def test_echo_triggered_by_f_plus_1_echoes():
+    tracker = EchoTracker(n=4, f=1)
+    tracker.record_echo(1, 0)
+    actions = tracker.record_echo(1, 1)
+    assert actions.send_echo
+
+
+def test_echo_requested_only_until_marked():
+    tracker = EchoTracker(n=4, f=1)
+    tracker.record_init(1, 0)
+    actions = tracker.record_init(1, 1)
+    assert actions.send_echo
+    tracker.mark_echoed(1)
+    actions = tracker.record_init(1, 2)
+    assert not actions.send_echo
+    assert tracker.has_echoed(1)
+
+
+def test_accept_on_2f_plus_1_echoes():
+    tracker = EchoTracker(n=4, f=1)
+    tracker.record_echo(1, 0)
+    tracker.record_echo(1, 1)
+    actions = tracker.record_echo(1, 2)
+    assert actions.accept
+    assert tracker.reached(1)
+
+
+def test_accept_reported_only_once():
+    tracker = EchoTracker(n=4, f=1)
+    for sender in range(3):
+        tracker.record_echo(1, sender)
+    actions = tracker.record_echo(1, 3)
+    assert not actions.accept
+    assert tracker.reached(1)
+
+
+def test_duplicate_senders_not_double_counted():
+    tracker = EchoTracker(n=4, f=1)
+    for _ in range(5):
+        tracker.record_echo(1, 0)
+    assert tracker.support(1) == 1
+    assert not tracker.reached(1)
+
+
+def test_own_init_and_echo_count():
+    tracker = EchoTracker(n=4, f=1)
+    actions = tracker.note_own_init(1, own_pid=0)
+    assert not actions.send_echo
+    tracker.record_init(1, 1)
+    assert tracker.init_support(1) == 2
+    actions = tracker.note_own_echo(1, own_pid=0)
+    assert tracker.has_echoed(1)
+    assert tracker.support(1) == 1
+    assert isinstance(actions, PrimitiveActions)
+
+
+def test_unforgeability_f_echoes_alone_do_not_accept():
+    """f faulty echoes alone can neither trigger honest echoes nor acceptance."""
+    tracker = EchoTracker(n=7, f=2)
+    actions = PrimitiveActions()
+    for faulty in range(2):
+        actions = actions | tracker.record_echo(1, faulty)
+    assert not actions.send_echo
+    assert not actions.accept
+    assert not tracker.reached(1)
+
+
+def test_floor_ignores_stale_rounds():
+    tracker = EchoTracker(n=4, f=1)
+    tracker.record_init(1, 0)
+    tracker.set_floor(2)
+    assert tracker.init_support(1) == 0
+    assert tracker.record_init(1, 1) == PrimitiveActions()
+    assert tracker.rounds_with_support() == []
+
+
+def test_lookahead_cap():
+    tracker = EchoTracker(n=4, f=1, max_round_lookahead=5)
+    assert tracker.record_init(100, 0) == PrimitiveActions()
+    assert tracker.init_support(100) == 0
+
+
+def test_reached_rounds_minimum_filter():
+    tracker = EchoTracker(n=4, f=1)
+    for r in (1, 3):
+        for sender in range(3):
+            tracker.record_echo(r, sender)
+    assert tracker.reached_rounds() == [1, 3]
+    assert tracker.reached_rounds(minimum_round=2) == [3]
+
+
+def test_primitive_actions_or_combines():
+    a = PrimitiveActions(send_echo=True, accept=False)
+    b = PrimitiveActions(send_echo=False, accept=True)
+    combined = a | b
+    assert combined.send_echo and combined.accept
+
+
+@given(
+    events=st.lists(
+        st.tuples(st.sampled_from(["init", "echo"]), st.integers(min_value=0, max_value=6)),
+        min_size=0,
+        max_size=60,
+    ),
+    f=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=80)
+def test_property_accept_iff_2f_plus_1_distinct_echoers(events, f):
+    """Acceptance is equivalent to having received echoes from 2f+1 distinct senders,
+    regardless of the interleaving of inits and echoes and of duplicates."""
+    tracker = EchoTracker(n=7, f=f)
+    accepted_via_action = False
+    for kind, sender in events:
+        if kind == "init":
+            actions = tracker.record_init(1, sender)
+        else:
+            actions = tracker.record_echo(1, sender)
+        accepted_via_action = accepted_via_action or actions.accept
+    echoers = {s for kind, s in events if kind == "echo"}
+    assert tracker.reached(1) == (len(echoers) >= 2 * f + 1)
+    assert accepted_via_action == tracker.reached(1)
+
+
+@given(
+    inits=st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=30),
+    f=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=80)
+def test_property_echo_request_iff_f_plus_1_distinct_inits(inits, f):
+    tracker = EchoTracker(n=7, f=f)
+    requested = False
+    for sender in inits:
+        requested = requested or tracker.record_init(1, sender).send_echo
+    assert requested == (len(set(inits)) >= f + 1)

@@ -1,0 +1,140 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, lambda: order.append(3))
+    queue.push(1.0, lambda: order.append(1))
+    queue.push(2.0, lambda: order.append(2))
+    while queue:
+        queue.pop().action()
+    assert order == [1, 2, 3]
+
+
+def test_fifo_order_for_equal_times():
+    queue = EventQueue()
+    order = []
+    for i in range(10):
+        queue.push(1.0, lambda i=i: order.append(i))
+    while queue:
+        queue.pop().action()
+    assert order == list(range(10))
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(5)]
+    assert len(queue) == 5
+    queue.cancel(events[2])
+    assert len(queue) == 4
+    queue.pop()
+    assert len(queue) == 3
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    e1 = queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    queue.cancel(e1)
+    while queue:
+        queue.pop().action()
+    assert fired == ["b"]
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_event_cancel_method_marks_cancelled():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    assert queue.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    for i in range(3):
+        queue.push(float(i), lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_nan_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(float("nan"), lambda: None)
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    queue.cancel(event)
+    assert not queue
+
+
+def test_event_ordering_ignores_action():
+    early = Event(time=1.0, seq=0, action=lambda: None)
+    late = Event(time=2.0, seq=1, action=lambda: None)
+    assert early < late
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+def test_pop_order_is_sorted_for_random_times(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, lambda: None)
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=2, max_size=50),
+    st.data(),
+)
+def test_cancelling_random_subset_preserves_order(times, data):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in times]
+    to_cancel = data.draw(st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times) - 1))
+    for index in to_cancel:
+        queue.cancel(events[index])
+    expected = sorted(t for i, t in enumerate(times) if i not in to_cancel)
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == expected

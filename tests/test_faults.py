@@ -1,0 +1,237 @@
+"""Unit tests for the Byzantine behaviours and strategy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import AUTH, ECHO
+from repro.core.messages import EchoMessage, InitMessage, SignatureBundle, SignedRound
+from repro.core.params import params_for
+from repro.crypto.signatures import KeyStore
+from repro.faults.behaviors import (
+    AdversaryContext,
+    EagerEchoer,
+    EagerSigner,
+    EchoCabalMember,
+    ForgeAndFlood,
+    ReplayAttacker,
+    RushingCabalLeader,
+    SilentFaulty,
+    TwoFacedAuth,
+)
+from repro.faults.strategies import (
+    ALL_ATTACKS,
+    available_attacks,
+    breaking_attack_for,
+    make_faulty_processes,
+    register_attack,
+)
+from repro.sim.clocks import FixedRateClock
+from repro.sim.engine import Simulation
+from repro.sim.network import FixedDelay
+
+
+def make_context(n=5, f=2, with_keys=True, seed=0):
+    params = params_for(n, f=f, rho=1e-4, tdel=0.01, period=1.0)
+    keystore = KeyStore.generate(n, seed=seed) if with_keys else None
+    faulty = list(range(n - f, n))
+    honest = list(range(n - f))
+    context = AdversaryContext.build(params, faulty_pids=faulty, honest_pids=honest, keystore=keystore, seed=seed)
+    return params, keystore, context
+
+
+def make_sim_with_sinks(n=5, tdel=0.01):
+    sim = Simulation(tmin=0.0, tdel=tdel, delay_policy=FixedDelay(0.001), seed=0)
+    received = {pid: [] for pid in range(n)}
+    return sim, received
+
+
+def attach_sinks(sim, received, pids):
+    for pid in pids:
+        sim.network.register(pid, lambda env, pid=pid: received[env.dest].append(env.payload))
+
+
+def test_context_build_splits_fast_and_slow_groups():
+    _, _, context = make_context(n=7, f=3)
+    assert set(context.fast_group) | set(context.slow_group) == set(context.honest_pids)
+    assert set(context.fast_group).isdisjoint(context.slow_group)
+    assert len(context.fast_group) >= 1
+
+
+def test_context_collects_only_faulty_secret_keys():
+    params, keystore, context = make_context(n=5, f=2)
+    assert set(context.secret_keys) == {3, 4}
+
+
+def test_silent_faulty_sends_nothing():
+    params, keystore, context = make_context()
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    sim.add_process(SilentFaulty(4, context), FixedRateClock(), faulty=True)
+    sim.run_until(2.0)
+    assert all(len(v) == 0 for v in received.values())
+    assert sim.network.stats.total_messages == 0
+
+
+def test_eager_signer_broadcasts_valid_early_signatures():
+    params, keystore, context = make_context()
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    sim.add_process(EagerSigner(4, context, rounds=3), FixedRateClock(), faulty=True)
+    sim.run_until(1.0)
+    msgs = [m for m in received[0] if isinstance(m, SignedRound)]
+    assert {m.round for m in msgs} == {1}
+    from repro.core.messages import RoundContent
+
+    assert all(keystore.verify(m.signature, RoundContent(m.round), claimed_signer=4) for m in msgs)
+    # Round-1 signatures arrive before real time 1.0 * 0.9: they are "early".
+    assert sim.now <= 1.0
+
+
+def test_eager_signer_without_key_stays_silent():
+    params, _, context = make_context(with_keys=False)
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    sim.add_process(EagerSigner(4, context, rounds=3), FixedRateClock(), faulty=True)
+    sim.run_until(1.0)
+    assert all(len(v) == 0 for v in received.values())
+
+
+def test_eager_echoer_sends_inits_and_echoes():
+    params, _, context = make_context(with_keys=False)
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    sim.add_process(EagerEchoer(4, context, rounds=2), FixedRateClock(), faulty=True)
+    sim.run_until(2.0)
+    kinds = {type(m) for m in received[1]}
+    assert InitMessage in kinds and EchoMessage in kinds
+
+
+def test_two_faced_auth_only_talks_to_fast_group():
+    params, keystore, context = make_context(n=5, f=1)
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(4))
+    proc = TwoFacedAuth(4, params, keystore, keystore.secret_key(4), context=context)
+    sim.add_process(proc, FixedRateClock(), faulty=True)
+    sim.run_until(1.2)
+    for pid in context.fast_group:
+        assert any(isinstance(m, SignedRound) for m in received[pid])
+    for pid in context.slow_group:
+        assert not any(isinstance(m, SignedRound) for m in received[pid])
+
+
+def test_forge_and_flood_produces_traffic_that_never_verifies():
+    params, keystore, context = make_context()
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    sim.add_process(ForgeAndFlood(4, context, interval=0.05), FixedRateClock(), faulty=True)
+    sim.run_until(0.5)
+    signed = [m for m in received[0] if isinstance(m, SignedRound)]
+    assert signed  # it does flood
+    from repro.core.messages import RoundContent
+
+    assert all(not keystore.verify(m.signature, RoundContent(m.round)) for m in signed)
+
+
+def test_replay_attacker_rebroadcasts_observed_messages():
+    params, keystore, context = make_context()
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    replayer = ReplayAttacker(4, context, replay_delay=0.1)
+    sim.add_process(replayer, FixedRateClock(), faulty=True)
+    original = InitMessage(round=7)
+    sim.schedule_at(0.05, lambda: sim.network.send(0, 4, original))
+    sim.run_until(0.5)
+    assert any(m == original for m in received[1])
+
+
+def test_rushing_cabal_fabricates_valid_proofs_with_enough_keys():
+    # The cabal only works above the resilience threshold: the algorithm assumes
+    # f = 2 but f + 1 = 3 processes actually collude.
+    params = params_for(6, f=2, rho=1e-4, tdel=0.01, period=1.0)
+    keystore = KeyStore.generate(6, seed=0)
+    context = AdversaryContext.build(params, faulty_pids=[3, 4, 5], honest_pids=[0, 1, 2], keystore=keystore)
+    sim, received = make_sim_with_sinks(n=6)
+    attach_sinks(sim, received, range(3))
+    leader = RushingCabalLeader(4, context, attack_time=0.1, pump_rounds=3)
+    sim.add_process(leader, FixedRateClock(), faulty=True)
+    sim.run_until(0.5)
+    from repro.core.messages import RoundContent
+
+    bundles = [m for m in received[context.fast_group[0]] if isinstance(m, SignatureBundle)]
+    assert {b.round for b in bundles} == {1, 2, 3}
+    for bundle in bundles:
+        assert len(bundle.signatures) == params.f + 1
+        assert all(keystore.verify(s, RoundContent(bundle.round)) for s in bundle.signatures)
+    # The slow group receives nothing from the cabal directly.
+    for pid in context.slow_group:
+        assert not any(isinstance(m, SignatureBundle) for m in received[pid])
+
+
+def test_rushing_cabal_without_enough_keys_does_nothing():
+    params, keystore, context = make_context(n=5, f=2)
+    context.secret_keys.pop(max(context.secret_keys))  # only one key left < f+1
+    sim, received = make_sim_with_sinks()
+    attach_sinks(sim, received, range(3))
+    sim.add_process(RushingCabalLeader(4, context, attack_time=0.1), FixedRateClock(), faulty=True)
+    sim.run_until(0.5)
+    assert all(len(v) == 0 for v in received.values())
+
+
+def test_echo_cabal_pumps_inits_and_echoes_to_fast_group():
+    params, _, context = make_context(n=7, f=2, with_keys=False)
+    sim, received = make_sim_with_sinks(n=7)
+    attach_sinks(sim, received, range(5))
+    member = EchoCabalMember(6, context, attack_time=0.1, pump_rounds=2)
+    sim.add_process(member, FixedRateClock(), faulty=True)
+    sim.run_until(0.5)
+    fast = context.fast_group[0]
+    assert any(isinstance(m, EchoMessage) and m.round == 2 for m in received[fast])
+    for pid in context.slow_group:
+        assert len(received[pid]) == 0
+
+
+# -- strategy registry --------------------------------------------------------------------
+
+
+def test_available_attacks_contains_all_registered():
+    names = available_attacks()
+    for attack in ALL_ATTACKS:
+        assert attack in names
+
+
+def test_make_faulty_processes_unknown_attack_rejected():
+    params, keystore, context = make_context()
+    with pytest.raises(ValueError):
+        make_faulty_processes("not-an-attack", context, AUTH, keystore)
+
+
+def test_make_faulty_processes_unknown_algorithm_rejected():
+    params, keystore, context = make_context()
+    with pytest.raises(ValueError):
+        make_faulty_processes("eager", context, "bogus", keystore)
+
+
+@pytest.mark.parametrize("attack", list(ALL_ATTACKS))
+@pytest.mark.parametrize("algorithm", [AUTH, ECHO])
+def test_every_attack_instantiates_one_process_per_faulty_pid(attack, algorithm):
+    params, keystore, context = make_context(n=7, f=2)
+    processes = make_faulty_processes(attack, context, algorithm, keystore)
+    assert [p.pid for p in processes] == context.faulty_pids
+    assert all(p.faulty for p in processes)
+
+
+def test_breaking_attack_for_each_algorithm():
+    assert breaking_attack_for(AUTH) == "rushing_cabal"
+    assert breaking_attack_for(ECHO) == "echo_cabal"
+
+
+def test_register_custom_attack():
+    params, keystore, context = make_context()
+
+    def factory(pid, ctx, algorithm, ks):
+        return SilentFaulty(pid, ctx)
+
+    register_attack("custom_silent", factory)
+    procs = make_faulty_processes("custom_silent", context, AUTH, keystore)
+    assert all(isinstance(p, SilentFaulty) for p in procs)

@@ -1,0 +1,102 @@
+"""Integration tests for the resilience thresholds (tightness in both directions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import AUTH, ECHO, precision_bound
+from repro.core.params import params_for
+from repro.workloads.scenarios import Scenario, run_scenario
+
+
+def run_with_faults(algorithm, n, assumed_f, actual_faults, attack, rounds=6, seed=0):
+    params = params_for(n, f=assumed_f, authenticated=(algorithm == "auth"), rho=1e-4, tdel=0.01, period=1.0)
+    scenario = Scenario(
+        params=params,
+        algorithm=algorithm,
+        attack=attack,
+        actual_faults=actual_faults,
+        rounds=rounds,
+        clock_mode="extreme",
+        delay_mode="targeted",
+        seed=seed,
+    )
+    return run_scenario(scenario, check_guarantees=False)
+
+
+# -- authenticated: n > 2f is sufficient and necessary ----------------------------------------
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_auth_tolerates_max_faults(n):
+    f = -(-n // 2) - 1  # ceil(n/2) - 1
+    result = run_with_faults("auth", n, f, f, attack="skew_max")
+    assert result.precision <= precision_bound(result.params, AUTH)
+    assert result.completed_round >= 6
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_auth_breaks_one_fault_above_threshold(n):
+    f = -(-n // 2) - 1
+    result = run_with_faults("auth", n, f, f + 1, attack="rushing_cabal", seed=n)
+    assert result.precision > precision_bound(result.params, AUTH)
+
+
+def test_auth_cabal_is_harmless_within_threshold():
+    """The same cabal attack with only f members cannot forge proofs, so it is harmless."""
+    result = run_with_faults("auth", 7, 3, 3, attack="rushing_cabal")
+    assert result.precision <= precision_bound(result.params, AUTH)
+    assert result.completed_round >= 6
+
+
+# -- non-authenticated: n > 3f is sufficient and necessary --------------------------------------
+
+
+@pytest.mark.parametrize("n", [4, 7, 10])
+def test_echo_tolerates_max_faults(n):
+    f = -(-n // 3) - 1
+    result = run_with_faults("echo", n, f, f, attack="skew_max")
+    assert result.precision <= precision_bound(result.params, ECHO)
+    assert result.completed_round >= 6
+
+
+@pytest.mark.parametrize("n", [4, 7, 10])
+def test_echo_breaks_one_fault_above_threshold(n):
+    f = -(-n // 3) - 1
+    result = run_with_faults("echo", n, f, f + 1, attack="echo_cabal", seed=n)
+    violated = result.precision > precision_bound(result.params, ECHO)
+    stalled = result.completed_round < 6
+    assert violated or stalled
+
+
+def test_echo_cabal_is_harmless_within_threshold():
+    result = run_with_faults("echo", 7, 2, 2, attack="echo_cabal")
+    assert result.precision <= precision_bound(result.params, ECHO)
+    assert result.completed_round >= 6
+
+
+# -- signatures are what buys the extra resilience -----------------------------------------------
+
+
+def test_signatures_buy_resilience_between_n_thirds_and_n_half():
+    """At n=7 with 3 faults: the authenticated algorithm survives the worst
+    tolerated attack while 3 faults exceed the echo algorithm's threshold."""
+    auth = run_with_faults("auth", 7, 3, 3, attack="skew_max")
+    assert auth.precision <= precision_bound(auth.params, AUTH)
+    assert auth.completed_round >= 6
+
+    echo_params = params_for(7, f=2, authenticated=False)
+    echo = run_scenario(
+        Scenario(
+            params=echo_params,
+            algorithm="echo",
+            attack="echo_cabal",
+            actual_faults=3,
+            rounds=6,
+            clock_mode="extreme",
+            delay_mode="targeted",
+            seed=3,
+        ),
+        check_guarantees=False,
+    )
+    assert echo.precision > precision_bound(echo_params, ECHO) or echo.completed_round < 6

@@ -1,0 +1,88 @@
+"""Unit tests for the logical clock abstraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.clock import LogicalClock
+
+
+def test_initial_value_equals_hardware():
+    clock = LogicalClock()
+    assert clock.value(3.5) == 3.5
+    assert clock.adjustment == 0.0
+
+
+def test_initial_adjustment_applied():
+    clock = LogicalClock(initial_adjustment=0.25)
+    assert clock.value(1.0) == pytest.approx(1.25)
+
+
+def test_set_to_moves_clock_to_target():
+    clock = LogicalClock()
+    result = clock.set_to(5.0, hardware_reading=4.9)
+    assert result.before == pytest.approx(4.9)
+    assert result.after == pytest.approx(5.0)
+    assert result.delta == pytest.approx(0.1)
+    assert not result.suppressed
+    assert clock.value(4.9) == pytest.approx(5.0)
+    assert clock.value(5.9) == pytest.approx(6.0)
+
+
+def test_set_to_backwards_allowed_by_default():
+    clock = LogicalClock()
+    result = clock.set_to(1.0, hardware_reading=2.0)
+    assert result.delta == pytest.approx(-1.0)
+    assert clock.value(2.0) == pytest.approx(1.0)
+
+
+def test_monotonic_suppresses_backward_adjustment():
+    clock = LogicalClock()
+    result = clock.set_to(1.0, hardware_reading=2.0, monotonic=True)
+    assert result.suppressed
+    assert result.delta == 0.0
+    assert clock.value(2.0) == pytest.approx(2.0)
+
+
+def test_monotonic_allows_forward_adjustment():
+    clock = LogicalClock()
+    result = clock.set_to(3.0, hardware_reading=2.0, monotonic=True)
+    assert not result.suppressed
+    assert clock.value(2.0) == pytest.approx(3.0)
+
+
+def test_hardware_target_for_inverts_value():
+    clock = LogicalClock()
+    clock.set_to(10.0, hardware_reading=9.0)
+    target = clock.hardware_target_for(12.0)
+    assert clock.value(target) == pytest.approx(12.0)
+
+
+def test_shift_by_accumulates():
+    clock = LogicalClock()
+    clock.shift_by(0.5)
+    clock.shift_by(-0.2)
+    assert clock.adjustment == pytest.approx(0.3)
+    assert clock.value(1.0) == pytest.approx(1.3)
+
+
+@given(
+    target=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    reading=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_property_set_to_reaches_target_exactly(target, reading):
+    clock = LogicalClock()
+    clock.set_to(target, hardware_reading=reading)
+    assert clock.value(reading) == pytest.approx(target)
+
+
+@given(
+    target=st.floats(min_value=0.0, max_value=1e3),
+    reading=st.floats(min_value=0.0, max_value=1e3),
+)
+def test_property_monotonic_never_decreases(target, reading):
+    clock = LogicalClock()
+    before = clock.value(reading)
+    clock.set_to(target, hardware_reading=reading, monotonic=True)
+    assert clock.value(reading) >= before - 1e-12

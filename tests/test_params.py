@@ -1,0 +1,103 @@
+"""Unit tests for model/algorithm parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SyncParams, default_alpha, params_for
+
+
+def test_default_alpha_formula():
+    assert default_alpha(0.01, 0.5) == pytest.approx(1.01 * 0.5)
+
+
+def test_alpha_value_uses_default_when_unset(small_params):
+    assert small_params.alpha is None
+    assert small_params.alpha_value == pytest.approx((1 + small_params.rho) * small_params.tdel)
+
+
+def test_alpha_value_uses_explicit_value():
+    params = SyncParams(n=5, f=2, alpha=0.25)
+    assert params.alpha_value == 0.25
+
+
+def test_rate_properties():
+    params = SyncParams(n=4, f=1, rho=0.01)
+    assert params.max_rate == pytest.approx(1.01)
+    assert params.min_rate == pytest.approx(1 / 1.01)
+
+
+def test_delay_uncertainty_and_honest_count():
+    params = SyncParams(n=9, f=4, tmin=0.002, tdel=0.01)
+    assert params.delay_uncertainty == pytest.approx(0.008)
+    assert params.honest_count == 5
+
+
+@pytest.mark.parametrize(
+    "n,auth_f,echo_f",
+    [(3, 1, 0), (4, 1, 1), (5, 2, 1), (6, 2, 1), (7, 3, 2), (9, 4, 2), (10, 4, 3), (16, 7, 5)],
+)
+def test_max_fault_formulas(n, auth_f, echo_f):
+    params = SyncParams(n=n, f=0)
+    assert params.max_faults_authenticated() == auth_f
+    assert params.max_faults_unauthenticated() == echo_f
+
+
+def test_resilience_predicates():
+    assert SyncParams(n=7, f=3).authenticated_resilient()
+    assert not SyncParams(n=6, f=3).authenticated_resilient()
+    assert SyncParams(n=7, f=2).unauthenticated_resilient()
+    assert not SyncParams(n=6, f=2).unauthenticated_resilient()
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        SyncParams(n=0, f=0)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=3)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=-1)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=1, rho=-1e-3)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=1, tdel=0.0)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=1, tmin=0.02, tdel=0.01)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=1, period=0.0)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=1, alpha=-0.1)
+    with pytest.raises(ValueError):
+        SyncParams(n=3, f=1, initial_offset_spread=-0.1)
+
+
+def test_with_creates_modified_copy(small_params):
+    changed = small_params.with_(period=2.0)
+    assert changed.period == 2.0
+    assert small_params.period == 1.0
+    assert changed.n == small_params.n
+
+
+def test_round_logical_time(small_params):
+    assert small_params.round_logical_time(3) == pytest.approx(3.0)
+
+
+def test_describe_mentions_key_fields(small_params):
+    text = small_params.describe()
+    assert "n=5" in text and "f=2" in text and "P=1" in text
+
+
+def test_params_for_defaults_to_max_faults():
+    assert params_for(7, authenticated=True).f == 3
+    assert params_for(7, authenticated=False).f == 2
+    assert params_for(1, authenticated=True).f == 0
+
+
+def test_params_for_explicit_f_and_fields():
+    params = params_for(9, f=2, rho=1e-3, tdel=0.02, tmin=0.001, period=3.0, alpha=0.05)
+    assert params.f == 2
+    assert params.rho == 1e-3
+    assert params.tdel == 0.02
+    assert params.tmin == 0.001
+    assert params.period == 3.0
+    assert params.alpha_value == 0.05

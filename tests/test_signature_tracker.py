@@ -1,0 +1,162 @@
+"""Unit tests for the authenticated broadcast primitive (signature tracker)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.authenticated import SignatureTracker
+from repro.core.messages import RoundContent
+from repro.crypto.signatures import KeyStore, forge_attempt, sign
+
+
+def make_tracker(n=5, threshold=3, seed=0, **kwargs):
+    pki = KeyStore.generate(n, seed=seed)
+    tracker = SignatureTracker(keystore=pki, threshold=threshold, content_factory=RoundContent, **kwargs)
+    return pki, tracker
+
+
+def test_threshold_must_be_positive():
+    pki = KeyStore.generate(3)
+    with pytest.raises(ValueError):
+        SignatureTracker(keystore=pki, threshold=0, content_factory=RoundContent)
+
+
+def test_add_valid_signature_counts():
+    pki, tracker = make_tracker()
+    sig = sign(pki.secret_key(1), RoundContent(1))
+    assert tracker.add(1, sig)
+    assert tracker.support(1) == 1
+    assert not tracker.reached(1)
+
+
+def test_duplicate_signer_not_counted_twice():
+    pki, tracker = make_tracker()
+    sig = sign(pki.secret_key(1), RoundContent(1))
+    assert tracker.add(1, sig)
+    assert not tracker.add(1, sig)
+    assert tracker.support(1) == 1
+
+
+def test_invalid_signature_rejected():
+    pki, tracker = make_tracker()
+    forged = forge_attempt(2, RoundContent(1))
+    assert not tracker.add(1, forged)
+    assert tracker.support(1) == 0
+
+
+def test_signature_for_wrong_round_rejected():
+    pki, tracker = make_tracker()
+    sig = sign(pki.secret_key(1), RoundContent(2))
+    assert not tracker.add(1, sig)  # claimed round 1, signed round 2
+    assert tracker.support(1) == 0
+
+
+def test_reached_at_threshold():
+    pki, tracker = make_tracker(threshold=3)
+    for signer in range(3):
+        tracker.add(4, sign(pki.secret_key(signer), RoundContent(4)))
+    assert tracker.reached(4)
+    assert tracker.reached_rounds() == [4]
+
+
+def test_add_own_signs_and_counts():
+    pki, tracker = make_tracker(threshold=2)
+    sig = tracker.add_own(3, pki.secret_key(0))
+    assert sig.signer == 0
+    assert tracker.support(3) == 1
+    assert tracker.has_signer(3, 0)
+    assert not tracker.has_signer(3, 1)
+
+
+def test_add_many_counts_only_new_valid():
+    pki, tracker = make_tracker(threshold=3)
+    sigs = [sign(pki.secret_key(i), RoundContent(1)) for i in range(3)]
+    bad = forge_attempt(4, RoundContent(1))
+    assert tracker.add_many(1, sigs + [bad] + sigs) == 3
+    assert tracker.reached(1)
+
+
+def test_acceptance_proof_has_exactly_threshold_signatures():
+    pki, tracker = make_tracker(threshold=3)
+    for signer in range(5):
+        tracker.add(1, sign(pki.secret_key(signer), RoundContent(1)))
+    proof = tracker.acceptance_proof(1)
+    assert len(proof) == 3
+    assert all(pki.verify(s, RoundContent(1)) for s in proof)
+
+
+def test_acceptance_proof_requires_threshold():
+    pki, tracker = make_tracker(threshold=3)
+    tracker.add(1, sign(pki.secret_key(0), RoundContent(1)))
+    with pytest.raises(ValueError):
+        tracker.acceptance_proof(1)
+
+
+def test_signatures_sorted_by_signer():
+    pki, tracker = make_tracker(threshold=2)
+    tracker.add(1, sign(pki.secret_key(3), RoundContent(1)))
+    tracker.add(1, sign(pki.secret_key(1), RoundContent(1)))
+    assert [s.signer for s in tracker.signatures(1)] == [1, 3]
+
+
+def test_floor_ignores_and_forgets_stale_rounds():
+    pki, tracker = make_tracker(threshold=2)
+    tracker.add(1, sign(pki.secret_key(0), RoundContent(1)))
+    tracker.set_floor(2)
+    assert tracker.support(1) == 0
+    assert not tracker.add(1, sign(pki.secret_key(1), RoundContent(1)))
+    assert tracker.rounds_with_support() == []
+
+
+def test_floor_never_decreases():
+    pki, tracker = make_tracker()
+    tracker.set_floor(5)
+    tracker.set_floor(2)
+    assert not tracker.add(3, sign(pki.secret_key(0), RoundContent(3)))
+
+
+def test_lookahead_cap_bounds_memory():
+    pki, tracker = make_tracker(max_round_lookahead=10)
+    assert not tracker.add(100, sign(pki.secret_key(0), RoundContent(100)))
+    assert tracker.add(5, sign(pki.secret_key(0), RoundContent(5)))
+
+
+def test_lookahead_none_disables_cap():
+    pki, tracker = make_tracker(max_round_lookahead=None)
+    assert tracker.add(10**6, sign(pki.secret_key(0), RoundContent(10**6)))
+
+
+def test_reached_rounds_respects_minimum():
+    pki, tracker = make_tracker(threshold=1)
+    tracker.add(1, sign(pki.secret_key(0), RoundContent(1)))
+    tracker.add(5, sign(pki.secret_key(0), RoundContent(5)))
+    assert tracker.reached_rounds() == [1, 5]
+    assert tracker.reached_rounds(minimum_round=2) == [5]
+
+
+@given(
+    signers=st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=30),
+    threshold=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60)
+def test_property_acceptance_iff_enough_distinct_signers(signers, threshold):
+    """Acceptance happens exactly when `threshold` distinct valid signers contributed,
+    independent of arrival order and duplicates."""
+    pki = KeyStore.generate(7, seed=1)
+    tracker = SignatureTracker(keystore=pki, threshold=threshold, content_factory=RoundContent)
+    for signer in signers:
+        tracker.add(1, sign(pki.secret_key(signer), RoundContent(1)))
+    assert tracker.reached(1) == (len(set(signers)) >= threshold)
+    assert tracker.support(1) == len(set(signers))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=20))
+@settings(max_examples=60)
+def test_property_forged_signatures_never_contribute(claimed_signers):
+    pki = KeyStore.generate(7, seed=2)
+    tracker = SignatureTracker(keystore=pki, threshold=1, content_factory=RoundContent)
+    for claimed in claimed_signers:
+        tracker.add(1, forge_attempt(claimed, RoundContent(1), guess=claimed))
+    assert tracker.support(1) == 0
+    assert not tracker.reached(1)

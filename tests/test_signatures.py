@@ -1,0 +1,133 @@
+"""Unit tests for the simulated signature scheme and PKI."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import RoundContent, SignedRound
+from repro.crypto.signatures import (
+    KeyStore,
+    Signature,
+    forge_attempt,
+    message_digest,
+    sign,
+)
+
+
+@pytest.fixture
+def pki() -> KeyStore:
+    return KeyStore.generate(4, seed=42)
+
+
+def test_sign_and_verify_roundtrip(pki):
+    message = RoundContent(5)
+    sig = sign(pki.secret_key(1), message)
+    assert pki.verify(sig, message)
+    assert pki.verify(sig, message, claimed_signer=1)
+
+
+def test_verify_rejects_wrong_message(pki):
+    sig = sign(pki.secret_key(1), RoundContent(5))
+    assert not pki.verify(sig, RoundContent(6))
+
+
+def test_verify_rejects_wrong_claimed_signer(pki):
+    sig = sign(pki.secret_key(1), RoundContent(5))
+    assert not pki.verify(sig, RoundContent(5), claimed_signer=2)
+
+
+def test_verify_rejects_unknown_signer(pki):
+    rogue = KeyStore.generate(10, seed=99)
+    sig = sign(rogue.secret_key(7), RoundContent(5))
+    assert not pki.verify(sig, RoundContent(5))
+
+
+def test_forgery_without_key_fails(pki):
+    forged = forge_attempt(claimed_signer=2, message=RoundContent(3), guess=12345)
+    assert not pki.verify(forged, RoundContent(3))
+    assert not pki.verify(forged, RoundContent(3), claimed_signer=2)
+
+
+def test_signature_from_other_keystore_instance_with_same_seed_verifies():
+    a = KeyStore.generate(3, seed=7)
+    b = KeyStore.generate(3, seed=7)
+    sig = sign(a.secret_key(0), RoundContent(1))
+    assert b.verify(sig, RoundContent(1))
+
+
+def test_different_seeds_produce_incompatible_keys():
+    a = KeyStore.generate(3, seed=7)
+    b = KeyStore.generate(3, seed=8)
+    sig = sign(a.secret_key(0), RoundContent(1))
+    assert not b.verify(sig, RoundContent(1))
+
+
+def test_tampered_tag_rejected(pki):
+    sig = sign(pki.secret_key(0), RoundContent(2))
+    tampered = Signature(signer=sig.signer, digest=sig.digest, tag=sig.tag[::-1])
+    assert not pki.verify(tampered, RoundContent(2))
+
+
+def test_tampered_digest_rejected(pki):
+    sig = sign(pki.secret_key(0), RoundContent(2))
+    tampered = Signature(signer=sig.signer, digest="0" * 64, tag=sig.tag)
+    assert not pki.verify(tampered, RoundContent(2))
+
+
+def test_participants_and_membership(pki):
+    assert pki.participants() == [0, 1, 2, 3]
+    assert pki.has_participant(2)
+    assert not pki.has_participant(9)
+    assert pki.public_key(3).owner == 3
+    assert pki.secret_key(3).owner == 3
+
+
+def test_secret_key_repr_hides_secret(pki):
+    assert "hidden" in repr(pki.secret_key(0))
+    assert str(pki.secret_key(0).secret) not in repr(pki.secret_key(0))
+
+
+# -- message digests -----------------------------------------------------------------
+
+
+def test_digest_is_deterministic():
+    assert message_digest(RoundContent(7)) == message_digest(RoundContent(7))
+
+
+def test_digest_distinguishes_rounds():
+    assert message_digest(RoundContent(7)) != message_digest(RoundContent(8))
+
+
+def test_digest_distinguishes_types_with_same_fields():
+    sig = sign(KeyStore.generate(1).secret_key(0), RoundContent(1))
+    assert message_digest(RoundContent(1)) != message_digest(SignedRound(round=1, signature=sig))
+
+
+def test_digest_supports_tuples_and_primitives():
+    assert message_digest((1, "a", 2.5, None, True)) == message_digest((1, "a", 2.5, None, True))
+    assert message_digest((1, 2)) != message_digest((2, 1))
+
+
+def test_digest_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        message_digest(object())
+
+
+def test_digest_distinguishes_int_and_str():
+    assert message_digest((1,)) != message_digest(("1",))
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+def test_property_digest_injective_on_rounds(a, b):
+    if a != b:
+        assert message_digest(RoundContent(a)) != message_digest(RoundContent(b))
+    else:
+        assert message_digest(RoundContent(a)) == message_digest(RoundContent(b))
+
+
+@given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=100))
+def test_property_only_owner_key_verifies(signer, claimed, round_):
+    pki = KeyStore.generate(4, seed=0)
+    sig = sign(pki.secret_key(signer), RoundContent(round_))
+    assert pki.verify(sig, RoundContent(round_), claimed_signer=claimed) == (signer == claimed)

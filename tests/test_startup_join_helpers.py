@@ -1,0 +1,70 @@
+"""Unit tests for the start-up and join helper functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join import join_latency_bound, join_time, joined
+from repro.core.params import params_for
+from repro.core.startup import startup_completion_bound, staggered_boot_times
+from repro.sim.clocks import FixedRateClock
+from repro.sim.trace import ResyncEvent, Trace
+
+
+def test_staggered_boot_times_pin_extremes():
+    times = staggered_boot_times(6, 0.4, seed=1)
+    assert times[0] == 0.0
+    assert times[1] == 0.4
+    assert all(0.0 <= t <= 0.4 for t in times)
+    assert len(times) == 6
+
+
+def test_staggered_boot_times_single_and_validation():
+    assert staggered_boot_times(1, 0.5) == [0.0]
+    with pytest.raises(ValueError):
+        staggered_boot_times(0, 0.5)
+    with pytest.raises(ValueError):
+        staggered_boot_times(3, -0.1)
+
+
+def test_staggered_boot_times_deterministic():
+    assert staggered_boot_times(5, 0.2, seed=9) == staggered_boot_times(5, 0.2, seed=9)
+
+
+def test_startup_completion_bound_grows_with_spread():
+    params = params_for(7, authenticated=True)
+    assert startup_completion_bound(params, 0.5) > startup_completion_bound(params, 0.0)
+    assert startup_completion_bound(params, 0.0) > params.period  # includes the round-1 fallback
+
+
+def test_startup_completion_bound_echo_larger_than_auth():
+    params = params_for(7, authenticated=False)
+    assert startup_completion_bound(params, 0.1, "echo") > startup_completion_bound(params, 0.1, "auth")
+
+
+def test_join_latency_bound_exceeds_period():
+    params = params_for(7, authenticated=True)
+    assert join_latency_bound(params, "auth") > params.period * 0.9
+
+
+def make_trace_with_joiner(joined_at=None):
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    trace.add_process(9, FixedRateClock())
+    if joined_at is not None:
+        trace.record_resync(ResyncEvent(pid=9, round=3, time=joined_at, logical_before=0, logical_after=3.01))
+    trace.end_time = 10.0
+    return trace
+
+
+def test_joined_and_join_time():
+    trace = make_trace_with_joiner(joined_at=3.4)
+    assert joined(trace, 9)
+    assert join_time(trace, 9, boot_time=2.9) == pytest.approx(0.5)
+
+
+def test_join_time_raises_if_never_joined():
+    trace = make_trace_with_joiner(joined_at=None)
+    assert not joined(trace, 9)
+    with pytest.raises(ValueError):
+        join_time(trace, 9, boot_time=1.0)

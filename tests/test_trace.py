@@ -1,0 +1,132 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clocks import FixedRateClock, PiecewiseLinearClock
+from repro.sim.trace import ProcessTrace, ResyncEvent, Trace
+
+
+def make_ptrace(rate=1.0, offset=0.0, pid=0) -> ProcessTrace:
+    return ProcessTrace(pid=pid, clock=FixedRateClock(rate=rate, offset=offset))
+
+
+def test_logical_equals_hardware_before_any_adjustment():
+    ptrace = make_ptrace(rate=1.5, offset=2.0)
+    assert ptrace.logical_at(4.0) == pytest.approx(8.0)
+    assert ptrace.adjustment_at(4.0) == 0.0
+
+
+def test_adjustment_changes_logical_value():
+    ptrace = make_ptrace()
+    ptrace.record_adjustment(1.0, 0.5)
+    assert ptrace.logical_at(0.5) == pytest.approx(0.5)
+    assert ptrace.logical_at(1.0) == pytest.approx(1.5)
+    assert ptrace.logical_at(2.0) == pytest.approx(2.5)
+
+
+def test_adjustment_before_returns_left_limit():
+    ptrace = make_ptrace()
+    ptrace.record_adjustment(1.0, 0.5)
+    ptrace.record_adjustment(2.0, -0.25)
+    assert ptrace.adjustment_before(1.0) == 0.0
+    assert ptrace.adjustment_at(1.0) == 0.5
+    assert ptrace.adjustment_before(2.0) == 0.5
+    assert ptrace.adjustment_at(2.0) == -0.25
+    assert ptrace.logical_before(2.0) == pytest.approx(2.5)
+    assert ptrace.logical_at(2.0) == pytest.approx(1.75)
+
+
+def test_adjustments_must_be_in_time_order():
+    ptrace = make_ptrace()
+    ptrace.record_adjustment(2.0, 0.1)
+    with pytest.raises(ValueError):
+        ptrace.record_adjustment(1.0, 0.2)
+
+
+def test_breakpoints_include_clock_and_adjustments():
+    clock = PiecewiseLinearClock([(0.0, 1.0), (5.0, 1.1)])
+    ptrace = ProcessTrace(pid=0, clock=clock)
+    ptrace.record_adjustment(2.0, 0.3)
+    assert sorted(ptrace.breakpoints()) == [2.0, 5.0]
+
+
+def test_resync_event_adjustment_property():
+    event = ResyncEvent(pid=0, round=3, time=1.0, logical_before=2.9, logical_after=3.01)
+    assert event.adjustment == pytest.approx(0.11)
+
+
+def test_rounds_accepted_and_times():
+    ptrace = make_ptrace()
+    ptrace.resyncs.append(ResyncEvent(pid=0, round=1, time=1.0, logical_before=1.0, logical_after=1.01))
+    ptrace.resyncs.append(ResyncEvent(pid=0, round=2, time=2.0, logical_before=2.0, logical_after=2.01))
+    assert ptrace.rounds_accepted() == [1, 2]
+    assert ptrace.resync_times() == [1.0, 2.0]
+
+
+def test_trace_add_process_rejects_duplicates():
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    with pytest.raises(ValueError):
+        trace.add_process(0, FixedRateClock())
+
+
+def test_trace_honest_and_faulty_partition():
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    trace.add_process(1, FixedRateClock(), faulty=True)
+    trace.add_process(2, FixedRateClock())
+    assert trace.honest_pids() == [0, 2]
+    assert trace.faulty_pids() == [1]
+    assert [p.pid for p in trace.honest()] == [0, 2]
+
+
+def test_trace_resync_events_sorted_and_filtered():
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    trace.add_process(1, FixedRateClock(), faulty=True)
+    trace.record_resync(ResyncEvent(pid=0, round=2, time=2.0, logical_before=2.0, logical_after=2.0))
+    trace.record_resync(ResyncEvent(pid=1, round=1, time=0.5, logical_before=1.0, logical_after=1.0))
+    trace.record_resync(ResyncEvent(pid=0, round=1, time=1.0, logical_before=1.0, logical_after=1.0))
+    honest_events = trace.resync_events()
+    assert [(e.pid, e.round) for e in honest_events] == [(0, 1), (0, 2)]
+    all_events = trace.resync_events(honest_only=False)
+    assert [(e.pid, e.round) for e in all_events] == [(1, 1), (0, 1), (0, 2)]
+
+
+def test_trace_round_progress_queries():
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    trace.add_process(1, FixedRateClock())
+    trace.record_resync(ResyncEvent(pid=0, round=1, time=1.0, logical_before=1, logical_after=1))
+    trace.record_resync(ResyncEvent(pid=0, round=2, time=2.0, logical_before=2, logical_after=2))
+    trace.record_resync(ResyncEvent(pid=1, round=1, time=1.1, logical_before=1, logical_after=1))
+    assert trace.max_round() == 2
+    assert trace.min_completed_round() == 1
+
+
+def test_trace_round_progress_with_no_resyncs():
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    assert trace.max_round() == 0
+    assert trace.min_completed_round() == 0
+
+
+def test_all_breakpoints_limited_to_end_time():
+    trace = Trace()
+    trace.add_process(0, PiecewiseLinearClock([(0.0, 1.0), (4.0, 1.1), (20.0, 0.9)]))
+    trace.end_time = 10.0
+    points = trace.all_breakpoints()
+    assert 4.0 in points
+    assert 20.0 not in points
+    assert 0.0 in points and 10.0 in points
+
+
+def test_record_crash_and_notes():
+    trace = Trace()
+    trace.add_process(0, FixedRateClock())
+    trace.record_crash(0, 3.5)
+    trace.note("something happened")
+    assert trace.processes[0].crashed_at == 3.5
+    assert trace.notes == ["something happened"]
