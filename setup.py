@@ -1,10 +1,13 @@
 """Setuptools entry point.
 
-The project is fully described by ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose setuptools/pip stack
-predates PEP 660 editable wheels (no ``wheel`` package available).
+Metadata lives in ``pyproject.toml``; the ``src/`` layout is declared here as
+well so that ``pip install -e .`` works even with setuptools/pip stacks that
+predate PEP 660 editable wheels (no ``wheel`` package available).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -57,9 +57,10 @@ from .sim import (
     Trace,
     drifting_clock,
 )
+from .runner import ResultCache, SweepRunner
 from .workloads import Scenario, ScenarioResult, build_cluster, run_scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -87,6 +88,9 @@ __all__ = [
     "KeyStore",
     "Signature",
     "sign",
+    # sweep execution
+    "SweepRunner",
+    "ResultCache",
     # scenarios and analysis
     "Scenario",
     "ScenarioResult",

@@ -11,9 +11,9 @@ are jumps).  No sampling error enters the reproduction's measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..sim.trace import ProcessTrace, Trace
+from ..sim.trace import Trace
 
 
 def _evaluation_points(trace: Trace, pids: Sequence[int], t_start: float, t_end: float) -> list[float]:

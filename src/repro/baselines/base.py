@@ -16,7 +16,7 @@ what to broadcast and how to turn the estimate vector into a correction.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Hashable
 
 from ..core.clock import LogicalClock
 from ..core.messages import ClockSample, SyncPulse

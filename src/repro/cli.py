@@ -14,7 +14,6 @@ Invoke as ``python -m repro <command> ...``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Optional, Sequence
 
@@ -24,7 +23,45 @@ from .core.bounds import AUTH, ECHO, theoretical_bounds
 from .core.params import params_for
 from .experiments import EXPERIMENTS
 from .faults.strategies import available_attacks
-from .workloads.scenarios import ALL_ALGORITHMS, CLOCK_MODES, DELAY_MODES, Scenario, run_scenario
+from .runner.config import configure as configure_runner
+from .runner.config import get_runner
+from .workloads.scenarios import ALL_ALGORITHMS, CLOCK_MODES, DELAY_MODES, Scenario
+
+
+def _nonnegative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_nonnegative_int,
+        default=None,
+        help="worker processes for scenario sweeps (0 = one per CPU; default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="recompute every scenario instead of reusing the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="result cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-sweeps)",
+    )
+
+
+def _configure_runner(args: argparse.Namespace) -> None:
+    configure_runner(
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
 
 
 def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
@@ -63,6 +100,7 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _configure_runner(args)
     authenticated = args.algorithm == "auth"
     params = _params_from_args(args, authenticated=authenticated)
     scenario = Scenario(
@@ -80,7 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         monotonic=args.monotonic,
         seed=args.seed,
     )
-    result = run_scenario(scenario)
+    result = get_runner().run(scenario)
     if args.json:
         print(result_to_json(result, include_trace=args.include_trace))
         return 0 if result.guarantees_hold else 1
@@ -100,6 +138,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _configure_runner(args)
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
@@ -140,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one scenario and print the measured guarantees")
     _add_param_arguments(run)
+    _add_runner_arguments(run)
     run.add_argument("--algorithm", choices=list(ALL_ALGORITHMS), default="auth")
     run.add_argument("--attack", default="eager", help="adversary strategy (see list-attacks); default eager")
     run.add_argument("--actual-faults", type=int, default=None, dest="actual_faults",
@@ -161,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E12")
     experiment.add_argument("id", help="experiment id (E1..E12) or 'all'")
     experiment.add_argument("--quick", action="store_true", help="smaller grids (used by the test suite)")
+    _add_runner_arguments(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     sub.add_parser("list-attacks", help="list registered Byzantine strategies").set_defaults(func=_cmd_list_attacks)

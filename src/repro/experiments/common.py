@@ -9,10 +9,12 @@ documentation are exactly the numbers the harness produces.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from typing import Optional, Sequence
 
 from ..core.params import SyncParams, params_for
-from ..workloads.scenarios import Scenario, ScenarioResult, run_scenario
+from ..workloads.scenarios import Scenario, ScenarioResult
+from ..workloads.sweeps import run_sweep
 
 #: Default model parameters used across experiments unless a sweep overrides them.
 DEFAULT_RHO = 1e-4
@@ -84,6 +86,33 @@ def benign_scenario(
     )
 
 
+def stable_seed(*parts, modulus: int = 1_000_000) -> int:
+    """A deterministic seed derived from ``parts``.
+
+    Unlike the builtin ``hash`` (randomized per interpreter via
+    ``PYTHONHASHSEED``), this is stable across Python invocations and worker
+    processes -- which is what makes experiment scenarios reproducible and
+    their cached results reusable between runs.
+    """
+    digest = hashlib.sha256("\x1f".join(repr(part) for part in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % modulus
+
+
 def run(scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
-    """Thin alias so experiment modules read naturally."""
-    return run_scenario(scenario, check_guarantees=check_guarantees)
+    """Run one scenario through the shared sweep runner (cache included)."""
+    return run_sweep([scenario], check_guarantees=check_guarantees)[0]
+
+
+def run_batch(
+    scenarios: Sequence[Scenario],
+    check_guarantees=None,
+) -> list[ScenarioResult]:
+    """Run an experiment's whole scenario list through the shared sweep runner.
+
+    This is the experiment-side entry point to parallel execution: building
+    every scenario first and submitting them in one batch lets the runner
+    spread the grid across worker processes (``--jobs``/``REPRO_JOBS``) and
+    serve repeats from the result cache.  ``check_guarantees`` is a single
+    flag or one entry per scenario; results come back in input order.
+    """
+    return run_sweep(scenarios, check_guarantees=check_guarantees)

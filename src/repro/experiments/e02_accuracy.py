@@ -21,13 +21,24 @@ from __future__ import annotations
 from ..analysis.report import Table
 from ..core.bounds import AUTH, long_run_rate_bounds
 from ..workloads.scenarios import Scenario
-from .common import DEFAULT_RHO, DEFAULT_TDEL, benign_scenario, default_params, run
+from .common import DEFAULT_RHO, DEFAULT_TDEL, benign_scenario, default_params, run_batch
 
 
 def run_rate_vs_period(quick: bool = True) -> Table:
     """Table (a): accuracy excess shrinks as the period grows."""
     periods = [0.5, 1.0, 2.0] if quick else [0.5, 1.0, 2.0, 5.0, 10.0]
     rounds = 8 if quick else 20
+    scenarios = [
+        benign_scenario(
+            default_params(7, authenticated=True, period=period),
+            "auth",
+            rounds=rounds,
+            seed=int(period * 10),
+        )
+        for period in periods
+    ]
+    results = run_batch(scenarios)
+
     table = Table(
         title="E2a: logical clock rate vs resynchronization period (auth, n=7, f=3)",
         headers=[
@@ -39,11 +50,9 @@ def run_rate_vs_period(quick: bool = True) -> Table:
             "analytic excess",
         ],
     )
-    for period in periods:
-        params = default_params(7, authenticated=True, period=period)
-        scenario = benign_scenario(params, "auth", rounds=rounds, seed=int(period * 10))
-        result = run(scenario)
-        rate_min, rate_max = long_run_rate_bounds(params, AUTH)
+    for period, result in zip(periods, results):
+        params = result.params
+        _, rate_max = long_run_rate_bounds(params, AUTH)
         measured = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
         table.add_row(
             period,
@@ -71,11 +80,9 @@ def run_fault_tolerance_of_accuracy(quick: bool = True) -> Table:
         ("lamport_melliar_smith", "inflated_clock"),
         ("sync_to_max", "inflated_clock"),
     ]
-    for algorithm, attack in cases:
-        authenticated = algorithm == "auth"
-        params = default_params(7, authenticated=authenticated, f=1, rho=DEFAULT_RHO, tdel=DEFAULT_TDEL)
-        scenario = Scenario(
-            params=params,
+    scenarios = [
+        Scenario(
+            params=default_params(7, authenticated=(algorithm == "auth"), f=1, rho=DEFAULT_RHO, tdel=DEFAULT_TDEL),
             algorithm=algorithm,
             attack=attack,
             actual_faults=1,
@@ -84,7 +91,10 @@ def run_fault_tolerance_of_accuracy(quick: bool = True) -> Table:
             delay_mode="uniform",
             seed=11,
         )
-        result = run(scenario, check_guarantees=False)
+        for algorithm, attack in cases
+    ]
+    results = run_batch(scenarios, check_guarantees=False)
+    for (algorithm, attack), result in zip(cases, results):
         offset = result.accuracy.worst_offset_from_real_time if result.accuracy else float("nan")
         table.add_row(algorithm, attack, offset, result.precision)
     table.add_note("sync-to-max blindly follows the largest advertised clock; the fault-tolerant algorithms do not")

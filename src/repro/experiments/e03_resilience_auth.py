@@ -10,43 +10,47 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import AUTH, precision_bound
-from .common import adversarial_scenario, default_params, run
+from .common import adversarial_scenario, default_params, run_batch
 
 
 def run_experiment(quick: bool = True) -> Table:
     sizes = [4, 6] if quick else [4, 6, 8, 10]
     rounds = 6 if quick else 15
+
+    scenarios, checks = [], []
+    for n in sizes:
+        params = default_params(n, authenticated=True)
+        # Within spec: the strongest tolerated attack.
+        scenarios.append(adversarial_scenario(params, "auth", attack="skew_max", rounds=rounds, seed=n))
+        checks.append(None)
+        # Above spec: one extra faulty process forms a forging cabal.
+        scenarios.append(
+            adversarial_scenario(
+                params,
+                "auth",
+                attack="rushing_cabal",
+                rounds=rounds,
+                seed=n + 100,
+                actual_faults=params.f + 1,
+            )
+        )
+        checks.append(False)
+    results = run_batch(scenarios, check_guarantees=checks)
+
     table = Table(
         title="E3: authenticated algorithm at and above the resilience threshold",
         headers=["n", "assumed f", "actual faults", "attack", "measured skew", "bound Dmax", "within bound"],
     )
-    for n in sizes:
-        params = default_params(n, authenticated=True)
-        bound = precision_bound(params, AUTH)
-
-        # Within spec: the strongest tolerated attack.
-        in_spec = adversarial_scenario(params, "auth", attack="skew_max", rounds=rounds, seed=n)
-        result = run(in_spec)
-        table.add_row(n, params.f, params.f, "skew_max", result.precision, bound, result.precision <= bound + 1e-9)
-
-        # Above spec: one extra faulty process forms a forging cabal.
-        over = adversarial_scenario(
-            params,
-            "auth",
-            attack="rushing_cabal",
-            rounds=rounds,
-            seed=n + 100,
-            actual_faults=params.f + 1,
-        )
-        result_over = run(over, check_guarantees=False)
+    for scenario, result in zip(scenarios, results):
+        bound = precision_bound(scenario.params, AUTH)
         table.add_row(
-            n,
-            params.f,
-            params.f + 1,
-            "rushing_cabal",
-            result_over.precision,
+            scenario.params.n,
+            scenario.params.f,
+            scenario.actual_faults,
+            scenario.attack,
+            result.precision,
             bound,
-            result_over.precision <= bound + 1e-9,
+            result.precision <= bound + 1e-9,
         )
     table.add_note("the last row of each pair runs the algorithm out of spec and is expected to violate the bound")
     return table

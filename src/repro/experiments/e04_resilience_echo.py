@@ -9,41 +9,45 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import ECHO, precision_bound
-from .common import adversarial_scenario, default_params, run
+from .common import adversarial_scenario, default_params, run_batch
 
 
 def run_experiment(quick: bool = True) -> Table:
     sizes = [4, 7] if quick else [4, 7, 10, 13]
     rounds = 6 if quick else 15
+
+    scenarios, checks = [], []
+    for n in sizes:
+        params = default_params(n, authenticated=False)
+        scenarios.append(adversarial_scenario(params, "echo", attack="skew_max", rounds=rounds, seed=n))
+        checks.append(None)
+        scenarios.append(
+            adversarial_scenario(
+                params,
+                "echo",
+                attack="echo_cabal",
+                rounds=rounds,
+                seed=n + 100,
+                actual_faults=params.f + 1,
+            )
+        )
+        checks.append(False)
+    results = run_batch(scenarios, check_guarantees=checks)
+
     table = Table(
         title="E4: echo (non-authenticated) algorithm at and above the resilience threshold",
         headers=["n", "assumed f", "actual faults", "attack", "measured skew", "bound Dmax", "within bound"],
     )
-    for n in sizes:
-        params = default_params(n, authenticated=False)
-        bound = precision_bound(params, ECHO)
-
-        in_spec = adversarial_scenario(params, "echo", attack="skew_max", rounds=rounds, seed=n)
-        result = run(in_spec)
-        table.add_row(n, params.f, params.f, "skew_max", result.precision, bound, result.precision <= bound + 1e-9)
-
-        over = adversarial_scenario(
-            params,
-            "echo",
-            attack="echo_cabal",
-            rounds=rounds,
-            seed=n + 100,
-            actual_faults=params.f + 1,
-        )
-        result_over = run(over, check_guarantees=False)
+    for scenario, result in zip(scenarios, results):
+        bound = precision_bound(scenario.params, ECHO)
         table.add_row(
-            n,
-            params.f,
-            params.f + 1,
-            "echo_cabal",
-            result_over.precision,
+            scenario.params.n,
+            scenario.params.f,
+            scenario.actual_faults,
+            scenario.attack,
+            result.precision,
             bound,
-            result_over.precision <= bound + 1e-9,
+            result.precision <= bound + 1e-9,
         )
     table.add_note("the last row of each pair runs the algorithm out of spec and is expected to violate the bound")
     return table

@@ -9,25 +9,35 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import beta_max, beta_min
-from .common import adversarial_scenario, default_params, run
+from .common import adversarial_scenario, default_params, run_batch
 
 
 def run_experiment(quick: bool = True) -> Table:
     rhos = [1e-4, 1e-3] if quick else [1e-5, 1e-4, 1e-3, 5e-3]
     algorithms = ["auth", "echo"]
     rounds = 8 if quick else 20
+
+    cases = [(algorithm, rho) for algorithm in algorithms for rho in rhos]
+    scenarios = [
+        adversarial_scenario(
+            default_params(7, authenticated=(algorithm == "auth"), rho=rho),
+            algorithm,
+            attack="eager",
+            rounds=rounds,
+            seed=int(rho * 1e6),
+        )
+        for algorithm, rho in cases
+    ]
+    results = run_batch(scenarios)
+
     table = Table(
         title="E5: resynchronization intervals vs analytic bounds",
         headers=["algorithm", "rho", "beta_min", "measured min", "measured max", "beta_max", "within bounds"],
     )
-    for algorithm in algorithms:
-        for rho in rhos:
-            params = default_params(7, authenticated=(algorithm == "auth"), rho=rho)
-            scenario = adversarial_scenario(params, algorithm, attack="eager", rounds=rounds, seed=int(rho * 1e6))
-            result = run(scenario)
-            lo = beta_min(params, result.scenario.st_algorithm)
-            hi = beta_max(params, result.scenario.st_algorithm)
-            stats = result.period_stats
-            ok = stats.count > 0 and stats.minimum >= lo - 1e-9 and stats.maximum <= hi + 1e-9
-            table.add_row(algorithm, rho, lo, stats.minimum, stats.maximum, hi, ok)
+    for (algorithm, rho), result in zip(cases, results):
+        lo = beta_min(result.params, result.scenario.st_algorithm)
+        hi = beta_max(result.params, result.scenario.st_algorithm)
+        stats = result.period_stats
+        ok = stats.count > 0 and stats.minimum >= lo - 1e-9 and stats.maximum <= hi + 1e-9
+        table.add_row(algorithm, rho, lo, stats.minimum, stats.maximum, hi, ok)
     return table

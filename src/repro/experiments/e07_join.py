@@ -11,44 +11,48 @@ from ..analysis.report import Table
 from ..core.bounds import precision_bound
 from ..core.join import join_latency_bound, join_time, joined
 from ..workloads.scenarios import Scenario
-from .common import default_params, run
+from .common import default_params, run_batch
 
 
 def run_experiment(quick: bool = True) -> Table:
     join_times = [1.3, 2.6] if quick else [1.3, 2.6, 3.4, 5.7, 7.2]
     algorithms = ["auth", "echo"]
     rounds = 8 if quick else 15
+
+    cases = [(algorithm, at) for algorithm in algorithms for at in join_times]
+    scenarios = [
+        Scenario(
+            params=default_params(7, authenticated=(algorithm == "auth")),
+            algorithm=algorithm,
+            attack="eager",
+            rounds=rounds,
+            clock_mode="extreme",
+            delay_mode="uniform",
+            joiner_count=1,
+            join_time=at,
+            seed=int(at * 10),
+        )
+        for algorithm, at in cases
+    ]
+    results = run_batch(scenarios, check_guarantees=False)
+
     table = Table(
         title="E7: join latency of a late-starting process",
         headers=["algorithm", "join at", "joined", "join latency", "latency bound", "in time", "steady skew"],
     )
-    for algorithm in algorithms:
-        for at in join_times:
-            params = default_params(7, authenticated=(algorithm == "auth"))
-            scenario = Scenario(
-                params=params,
-                algorithm=algorithm,
-                attack="eager",
-                rounds=rounds,
-                clock_mode="extreme",
-                delay_mode="uniform",
-                joiner_count=1,
-                join_time=at,
-                seed=int(at * 10),
-            )
-            result = run(scenario, check_guarantees=False)
-            joiner_pid = scenario.joiner_pids[0]
-            ok = joined(result.trace, joiner_pid)
-            latency = join_time(result.trace, joiner_pid, at) if ok else float("inf")
-            bound = join_latency_bound(params, scenario.st_algorithm)
-            table.add_row(
-                algorithm,
-                at,
-                ok,
-                latency,
-                bound,
-                latency <= bound + 1e-9,
-                result.precision,
-            )
+    for ((algorithm, at), scenario, result) in zip(cases, scenarios, results):
+        joiner_pid = scenario.joiner_pids[0]
+        ok = joined(result.trace, joiner_pid)
+        latency = join_time(result.trace, joiner_pid, at) if ok else float("inf")
+        bound = join_latency_bound(scenario.params, scenario.st_algorithm)
+        table.add_row(
+            algorithm,
+            at,
+            ok,
+            latency,
+            bound,
+            latency <= bound + 1e-9,
+            result.precision,
+        )
     table.add_note(f"precision bound (auth, n=7): {precision_bound(default_params(7), 'auth'):.4g}")
     return table

@@ -10,24 +10,28 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import messages_per_round_total
-from .common import benign_scenario, default_params, run
+from .common import benign_scenario, default_params, run_batch
 
 
 def run_experiment(quick: bool = True) -> Table:
     sizes = [4, 7, 10] if quick else [4, 7, 10, 16, 25]
     algorithms = ["auth", "echo"]
     rounds = 6 if quick else 12
+
+    cases = [(algorithm, n) for algorithm in algorithms for n in sizes]
+    scenarios = [
+        benign_scenario(default_params(n, authenticated=(algorithm == "auth")), algorithm, rounds=rounds, seed=n)
+        for algorithm, n in cases
+    ]
+    results = run_batch(scenarios, check_guarantees=False)
+
     table = Table(
         title="E8: messages per resynchronization round",
         headers=["algorithm", "n", "f", "measured msgs/round", "bound 2*(n-f)*(n-1)", "within bound"],
     )
-    for algorithm in algorithms:
-        for n in sizes:
-            params = default_params(n, authenticated=(algorithm == "auth"))
-            scenario = benign_scenario(params, algorithm, rounds=rounds, seed=n)
-            result = run(scenario, check_guarantees=False)
-            bound = messages_per_round_total(params, scenario.st_algorithm)
-            measured = result.messages_per_round
-            table.add_row(algorithm, n, params.f, measured, bound, measured <= bound + 1e-9)
+    for ((algorithm, n), scenario, result) in zip(cases, scenarios, results):
+        bound = messages_per_round_total(scenario.params, scenario.st_algorithm)
+        measured = result.messages_per_round
+        table.add_row(algorithm, n, scenario.params.f, measured, bound, measured <= bound + 1e-9)
     table.add_note("benign runs (silent faulty processes); adversarial flooding is excluded from the complexity claim")
     return table

@@ -9,21 +9,30 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import AUTH, precision_bound
-from .common import adversarial_scenario, default_params, run
+from .common import adversarial_scenario, default_params, run_batch
 
 
 def run_tdel_sweep(quick: bool = True) -> Table:
     tdels = [0.005, 0.01, 0.02] if quick else [0.002, 0.005, 0.01, 0.02, 0.05]
     rounds = 8 if quick else 20
+    scenarios = [
+        adversarial_scenario(
+            default_params(7, authenticated=True, tdel=tdel),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=int(tdel * 1e4),
+        )
+        for tdel in tdels
+    ]
+    results = run_batch(scenarios)
+
     table = Table(
         title="E9a: precision vs maximum message delay (auth, n=7, rho=1e-4, P=1)",
         headers=["tdel", "measured skew", "bound Dmax", "skew / tdel"],
     )
-    for tdel in tdels:
-        params = default_params(7, authenticated=True, tdel=tdel)
-        scenario = adversarial_scenario(params, "auth", attack="skew_max", rounds=rounds, seed=int(tdel * 1e4))
-        result = run(scenario)
-        bound = precision_bound(params, AUTH)
+    for tdel, result in zip(tdels, results):
+        bound = precision_bound(result.params, AUTH)
         table.add_row(tdel, result.precision, bound, result.precision / tdel)
     return table
 
@@ -37,15 +46,24 @@ def run_drift_sweep(quick: bool = True) -> Table:
         (5e-3, 4.0),
     ]
     rounds = 8 if quick else 20
+    scenarios = [
+        adversarial_scenario(
+            default_params(7, authenticated=True, rho=rho, period=period),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=int(rho * 1e6),
+        )
+        for rho, period in rho_periods
+    ]
+    results = run_batch(scenarios)
+
     table = Table(
         title="E9b: precision vs drift-per-period rho*P (auth, n=7, tdel=0.01)",
         headers=["rho", "period P", "rho*P", "measured skew", "bound Dmax"],
     )
-    for rho, period in rho_periods:
-        params = default_params(7, authenticated=True, rho=rho, period=period)
-        scenario = adversarial_scenario(params, "auth", attack="skew_max", rounds=rounds, seed=int(rho * 1e6))
-        result = run(scenario)
-        bound = precision_bound(params, AUTH)
+    for (rho, period), result in zip(rho_periods, results):
+        bound = precision_bound(result.params, AUTH)
         table.add_row(rho, period, rho * period, result.precision, bound)
     return table
 

@@ -9,21 +9,31 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..faults.strategies import TOLERATED_ATTACKS
-from .common import adversarial_scenario, default_params, run
+from .common import adversarial_scenario, default_params, run_batch, stable_seed
 
 
 def run_experiment(quick: bool = True) -> Table:
     attacks = ["eager", "two_faced", "crash", "forge_flood"] if quick else list(TOLERATED_ATTACKS)
     algorithms = ["auth", "echo"]
     rounds = 6 if quick else 15
+
+    cases = [(algorithm, attack) for algorithm in algorithms for attack in attacks]
+    scenarios = [
+        adversarial_scenario(
+            default_params(7, authenticated=(algorithm == "auth")),
+            algorithm,
+            attack=attack,
+            rounds=rounds,
+            seed=stable_seed(attack, modulus=500),
+        )
+        for algorithm, attack in cases
+    ]
+    results = run_batch(scenarios)
+
     table = Table(
         title="E10: guarantees under every tolerated Byzantine strategy (n=7, worst-case f)",
         headers=["algorithm", "attack", "measured skew", "completed round", "all guarantees hold"],
     )
-    for algorithm in algorithms:
-        for attack in attacks:
-            params = default_params(7, authenticated=(algorithm == "auth"))
-            scenario = adversarial_scenario(params, algorithm, attack=attack, rounds=rounds, seed=abs(hash(attack)) % 500)
-            result = run(scenario)
-            table.add_row(algorithm, attack, result.precision, result.completed_round, result.guarantees_hold)
+    for (algorithm, attack), result in zip(cases, results):
+        table.add_row(algorithm, attack, result.precision, result.completed_round, result.guarantees_hold)
     return table

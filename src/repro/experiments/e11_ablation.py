@@ -15,21 +15,31 @@ from __future__ import annotations
 from ..analysis import metrics
 from ..analysis.report import Table
 from ..core.bounds import AUTH, long_run_rate_bounds, precision_bound
-from .common import adversarial_scenario, default_params, run
+from .common import adversarial_scenario, default_params, run_batch
 
 
 def run_alpha_sweep(quick: bool = True) -> Table:
     multipliers = [1.0, 2.0] if quick else [1.0, 1.5, 2.0, 4.0]
     rounds = 8 if quick else 20
+    base = default_params(7, authenticated=True)
+    scenarios = [
+        adversarial_scenario(
+            base.with_(alpha=multiplier * (1.0 + base.rho) * base.tdel),
+            "auth",
+            attack="eager",
+            rounds=rounds,
+            seed=int(multiplier * 10),
+        )
+        for multiplier in multipliers
+    ]
+    results = run_batch(scenarios, check_guarantees=False)
+
     table = Table(
         title="E11a: effect of the adjustment constant alpha (auth, n=7)",
         headers=["alpha / ((1+rho)*tdel)", "measured skew", "bound Dmax", "max rate bound", "max backward adj"],
     )
-    for multiplier in multipliers:
-        base = default_params(7, authenticated=True)
-        params = base.with_(alpha=multiplier * (1.0 + base.rho) * base.tdel)
-        scenario = adversarial_scenario(params, "auth", attack="eager", rounds=rounds, seed=int(multiplier * 10))
-        result = run(scenario, check_guarantees=False)
+    for multiplier, result in zip(multipliers, results):
+        params = result.params
         _, rate_max = long_run_rate_bounds(params, AUTH)
         table.add_row(
             multiplier,
@@ -43,24 +53,32 @@ def run_alpha_sweep(quick: bool = True) -> Table:
 
 def run_monotonic_ablation(quick: bool = True) -> Table:
     rounds = 8 if quick else 20
+    cases = [(algorithm, monotonic) for algorithm in ["auth", "echo"] for monotonic in [False, True]]
+    scenarios = [
+        adversarial_scenario(
+            default_params(7, authenticated=(algorithm == "auth")),
+            algorithm,
+            attack="skew_max",
+            rounds=rounds,
+            seed=41,
+            monotonic=monotonic,
+        )
+        for algorithm, monotonic in cases
+    ]
+    results = run_batch(scenarios, check_guarantees=False)
+
     table = Table(
         title="E11b: monotonic-clock variant (backward corrections suppressed)",
         headers=["algorithm", "monotonic", "measured skew", "max backward adj", "completed round"],
     )
-    for algorithm in ["auth", "echo"]:
-        for monotonic in [False, True]:
-            params = default_params(7, authenticated=(algorithm == "auth"))
-            scenario = adversarial_scenario(
-                params, algorithm, attack="skew_max", rounds=rounds, seed=41, monotonic=monotonic
-            )
-            result = run(scenario, check_guarantees=False)
-            table.add_row(
-                algorithm,
-                monotonic,
-                result.precision,
-                metrics.max_backward_adjustment(result.trace),
-                result.completed_round,
-            )
+    for (algorithm, monotonic), result in zip(cases, results):
+        table.add_row(
+            algorithm,
+            monotonic,
+            result.precision,
+            metrics.max_backward_adjustment(result.trace),
+            result.completed_round,
+        )
     return table
 
 

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..analysis.report import Table
 from ..workloads.scenarios import Scenario
-from .common import default_params, run
+from .common import default_params, run_batch
 
 
 _CASES: list[tuple[str, Optional[str]]] = [
@@ -45,10 +45,9 @@ def run_experiment(quick: bool = True) -> Table:
             "messages/round",
         ],
     )
-    for algorithm, attack in _CASES:
-        params = default_params(7, authenticated=(algorithm == "auth"), f=1)
-        scenario = Scenario(
-            params=params,
+    scenarios = [
+        Scenario(
+            params=default_params(7, authenticated=(algorithm == "auth"), f=1),
             algorithm=algorithm,
             attack=attack,
             actual_faults=1,
@@ -57,7 +56,10 @@ def run_experiment(quick: bool = True) -> Table:
             delay_mode="uniform",
             seed=7,
         )
-        result = run(scenario, check_guarantees=False)
+        for algorithm, attack in _CASES
+    ]
+    results = run_batch(scenarios, check_guarantees=False)
+    for (algorithm, attack), result in zip(_CASES, results):
         offset = result.accuracy.worst_offset_from_real_time if result.accuracy else float("nan")
         rate = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
         table.add_row(algorithm, attack or "none", result.precision, offset, rate, result.messages_per_round)

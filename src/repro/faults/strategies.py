@@ -30,7 +30,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core.bounds import AUTH, ECHO
-from ..core.params import SyncParams
 from ..crypto.signatures import KeyStore
 from ..sim.process import Process
 from .behaviors import (

@@ -1,0 +1,37 @@
+"""Parallel sweep execution with on-disk result caching.
+
+Every experiment in the reproduction is a sweep over independent, seeded
+scenarios, so the grid points can be computed in any order and on any number
+of worker processes without changing the results.  This subsystem provides:
+
+* :class:`~repro.runner.core.SweepRunner` -- executes a list of scenarios
+  either serially (exact result ordering, deterministic callback order) or
+  across worker processes (``jobs > 1``), with chunked batching to amortize
+  pickling overhead,
+* :class:`~repro.runner.cache.ResultCache` -- an on-disk cache keyed by a
+  stable hash of the scenario description, the resolved ``check_guarantees``
+  flag and a code-version salt, so repeated sweeps and report regeneration
+  skip already-computed grid points,
+* :mod:`~repro.runner.config` -- the process-wide default runner that
+  :func:`repro.workloads.sweeps.run_sweep`, the experiment modules, the CLI
+  and the report generator all share (configured via ``--jobs``/``--no-cache``
+  or the ``REPRO_JOBS``/``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment
+  variables).
+"""
+
+from .cache import CacheStats, ResultCache, cache_key, code_salt, default_cache_dir
+from .config import configure, get_runner, reset_runner
+from .core import SweepRunner, resolve_check_guarantees
+
+__all__ = [
+    "SweepRunner",
+    "ResultCache",
+    "CacheStats",
+    "cache_key",
+    "code_salt",
+    "default_cache_dir",
+    "configure",
+    "get_runner",
+    "reset_runner",
+    "resolve_check_guarantees",
+]

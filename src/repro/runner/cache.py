@@ -1,0 +1,193 @@
+"""On-disk cache of scenario results.
+
+A cache entry is one pickled :class:`~repro.workloads.scenarios.ScenarioResult`
+stored under a key that captures everything the result depends on:
+
+* the full declarative scenario description (including its parameters and
+  seed), serialized canonically,
+* the *resolved* ``check_guarantees`` flag (it changes whether the result
+  carries a guarantee report),
+* a code-version salt: a digest of every source file that can influence a
+  simulation outcome, so editing the simulator, the algorithms or the metrics
+  invalidates all previously cached results automatically.
+
+Keys are therefore stable across Python invocations and machines (no use of
+the randomized builtin ``hash``), which is what makes warm-cache report
+regeneration possible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..analysis.serialize import scenario_to_dict
+from ..workloads.scenarios import Scenario, ScenarioResult
+
+#: Bump when the on-disk entry format changes (pickled object layout, key schema).
+SCHEMA_VERSION = 1
+
+#: Source files that cannot influence a simulation result and are therefore
+#: excluded from the code-version salt (editing them must not invalidate the
+#: cache).
+_SALT_EXCLUDED_PARTS = ("runner", "experiments")
+_SALT_EXCLUDED_FILES = ("cli.py", "__main__.py")
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Digest of every source file that determines simulation results.
+
+    Computed once per process over the ``repro`` package sources (excluding
+    the runner itself, the experiment table definitions and the CLI, none of
+    which affect what :func:`~repro.workloads.scenarios.run_scenario` returns
+    for a given scenario).
+    """
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256(f"schema:{SCHEMA_VERSION}".encode())
+        # Pickled entries are not guaranteed portable across interpreters.
+        digest.update(f"python:{sys.version_info[0]}.{sys.version_info[1]}".encode())
+        for path in sorted(package_root.rglob("*.py")):
+            relative = path.relative_to(package_root)
+            if relative.parts and relative.parts[0] in _SALT_EXCLUDED_PARTS:
+                continue
+            if relative.name in _SALT_EXCLUDED_FILES:
+                continue
+            digest.update(str(relative).encode())
+            digest.update(path.read_bytes())
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+def cache_key(scenario: Scenario, check_guarantees: bool, salt: Optional[str] = None) -> str:
+    """Stable content hash of ``(scenario, check_guarantees, code-version salt)``.
+
+    The scenario's display ``name`` is cosmetic (it never influences the
+    simulation), so differently-labelled but otherwise identical scenarios
+    share one cache entry; the runner re-attaches the requested scenario on
+    a hit.
+    """
+    description = scenario_to_dict(scenario)
+    description.pop("name", None)
+    payload = {
+        "scenario": description,
+        "check_guarantees": bool(check_guarantees),
+        "salt": salt if salt is not None else code_salt(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is configured.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise results go to ``~/.cache/repro-sweeps``
+    (or ``$XDG_CACHE_HOME/repro-sweeps`` when set).
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-sweeps"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Pickle-per-entry result cache rooted at ``directory``.
+
+    Entries are sharded into 256 subdirectories by key prefix and written
+    atomically (temp file + rename), so concurrent sweep runs can share a
+    cache directory safely.  Unreadable or corrupt entries count as misses
+    and are deleted.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r})"
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[ScenarioResult]:
+        """Return the cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            # A corrupt or stale entry (e.g. interrupted write, renamed class):
+            # drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: ScenarioResult) -> None:
+        """Store ``result`` under ``key`` atomically.
+
+        Best-effort: an unwritable or full cache directory must not kill the
+        sweep that produced the result, so storage errors are swallowed (the
+        entry simply is not cached).
+        """
+        path = self._path(key)
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,78 @@
+"""The process-wide default sweep runner.
+
+The experiment modules, :func:`repro.workloads.sweeps.run_sweep`, the CLI and
+the report generator all execute sweeps through one shared
+:class:`~repro.runner.core.SweepRunner` so that a single ``--jobs 8`` (or
+``REPRO_JOBS=8``) parallelizes every sweep in the process.  Library users who
+need an isolated configuration construct their own runner and pass it
+explicitly.
+
+Environment defaults (used until :func:`configure` is called):
+
+* ``REPRO_JOBS`` -- worker processes (``0`` means one per CPU; default ``1``),
+* ``REPRO_CACHE`` -- set to ``0``/``false``/``no``/``off`` to disable the
+  result cache (default: enabled),
+* ``REPRO_CACHE_DIR`` -- cache location (default ``~/.cache/repro-sweeps``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .cache import ResultCache
+from .core import SweepRunner
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+_default_runner: Optional[SweepRunner] = None
+
+
+def _env_jobs() -> int:
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+
+
+def _env_cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in _FALSY
+
+
+def configure(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Union[str, Path, None] = None,
+) -> SweepRunner:
+    """Install (and return) the process-wide default runner.
+
+    Arguments left as ``None`` fall back to the environment defaults above,
+    except that an explicitly passed ``cache_dir`` implies caching (it would
+    otherwise be silently ignored under ``REPRO_CACHE=0``).
+    """
+    global _default_runner
+    if jobs is None:
+        jobs = _env_jobs()
+    if use_cache is None:
+        use_cache = True if cache_dir is not None else _env_cache_enabled()
+    cache = ResultCache(cache_dir) if use_cache else None
+    _default_runner = SweepRunner(jobs=jobs, cache=cache)
+    return _default_runner
+
+
+def get_runner() -> SweepRunner:
+    """The current default runner (built from the environment on first use)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = configure()
+    return _default_runner
+
+
+def reset_runner() -> None:
+    """Forget the configured default (next :func:`get_runner` re-reads the env)."""
+    global _default_runner
+    _default_runner = None

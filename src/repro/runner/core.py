@@ -1,0 +1,218 @@
+"""The sweep runner: serial or multi-process execution of scenario lists.
+
+Scenarios are fully declarative and seeded, so each grid point is a pure
+function of its :class:`~repro.workloads.scenarios.Scenario` -- independent of
+execution order, host process and sibling scenarios.  That makes the sweep
+embarrassingly parallel: the runner ships batches of scenarios to worker
+processes and reassembles the results in input order, producing exactly the
+table a serial run would.
+
+Guarantees:
+
+* Results are always returned in input order, bit-identical between
+  ``jobs=1`` and ``jobs=N`` for the same scenarios (each scenario carries its
+  own seed and the simulation never reads global RNG state).
+* With ``jobs=1`` the progress ``callback`` fires in input order, exactly
+  like the historical ``run_sweep`` loop; with ``jobs>1`` it fires in
+  completion order (still once per scenario, cache hits included).
+* Batching (``chunk_size``) amortizes per-task pickling and scheduling
+  overhead; the default targets a few chunks per worker so stragglers do not
+  serialize the tail of the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..workloads.scenarios import ST_ALGORITHMS, Scenario, ScenarioResult, run_scenario
+from .cache import ResultCache, cache_key, code_salt
+
+#: ``check_guarantees`` as accepted by :meth:`SweepRunner.run_sweep`: one flag
+#: for the whole sweep, or one per scenario.
+CheckSpec = Union[None, bool, Sequence[Optional[bool]]]
+
+#: Maximum scenarios per worker task; beyond this, batching stops paying for
+#: itself and only hurts load balance.
+MAX_CHUNK = 32
+
+
+def resolve_check_guarantees(scenario: Scenario, check_guarantees: Optional[bool]) -> bool:
+    """The effective guarantee-checking flag for one scenario.
+
+    Mirrors the defaulting inside
+    :func:`~repro.workloads.scenarios.run_scenario`: guarantees are verified
+    exactly when the scenario runs a Srikanth-Toueg algorithm, and (absent an
+    explicit flag) only within its resilience bound.  The resolved flag is
+    what the result cache keys on, so ``None`` and its resolved value share
+    one cache entry.
+    """
+    st_scenario = scenario.algorithm in ST_ALGORITHMS
+    if check_guarantees is None:
+        check_guarantees = scenario.actual_faults <= scenario.params.f
+    return st_scenario and bool(check_guarantees)
+
+
+def _normalize_checks(scenarios: Sequence[Scenario], check_guarantees: CheckSpec) -> list[bool]:
+    if check_guarantees is None or isinstance(check_guarantees, bool):
+        return [resolve_check_guarantees(s, check_guarantees) for s in scenarios]
+    checks = list(check_guarantees)
+    if len(checks) != len(scenarios):
+        raise ValueError(f"check_guarantees has {len(checks)} entries for {len(scenarios)} scenarios")
+    return [resolve_check_guarantees(s, c) for s, c in zip(scenarios, checks)]
+
+
+def _run_chunk(chunk: list[tuple[int, Scenario, bool]]) -> list[tuple[int, ScenarioResult]]:
+    """Worker task: run a batch of (index, scenario, check) triples."""
+    return [(index, run_scenario(scenario, check_guarantees=check)) for index, scenario, check in chunk]
+
+
+class SweepRunner:
+    """Executes scenario sweeps serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs in-process with
+        exact historical ordering; ``0`` or ``None`` means "one per CPU".
+    cache:
+        A :class:`~repro.runner.cache.ResultCache`, or ``None`` to disable
+        caching.
+    chunk_size:
+        Scenarios per worker task; ``None`` picks a size that gives every
+        worker several chunks (bounded by :data:`MAX_CHUNK`).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 0:
+            raise ValueError(f"jobs must be non-negative, got {jobs}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.jobs = jobs
+        self.cache = cache
+        self.chunk_size = chunk_size
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
+        """Run (or fetch from cache) a single scenario."""
+        return self.run_sweep([scenario], check_guarantees=check_guarantees)[0]
+
+    def run_sweep(
+        self,
+        scenarios: Iterable[Scenario],
+        check_guarantees: CheckSpec = None,
+        callback: Optional[Callable[[ScenarioResult], None]] = None,
+    ) -> list[ScenarioResult]:
+        """Run every scenario and return the results in input order."""
+        scenarios = list(scenarios)
+        checks = _normalize_checks(scenarios, check_guarantees)
+        if not scenarios:
+            return []
+        if self.jobs <= 1 or len(scenarios) == 1:
+            return self._run_serial(scenarios, checks, callback)
+        return self._run_parallel(scenarios, checks, callback)
+
+    def _cached(self, scenario: Scenario, check: bool, salt: str) -> tuple[Optional[str], Optional[ScenarioResult]]:
+        if self.cache is None:
+            return None, None
+        key = cache_key(scenario, check, salt=salt)
+        result = self.cache.get(key)
+        if result is not None and result.scenario != scenario:
+            # The key ignores the cosmetic display name; hand back the
+            # scenario the caller actually asked for.
+            result = dataclasses.replace(result, scenario=scenario)
+        return key, result
+
+    def _run_serial(
+        self,
+        scenarios: Sequence[Scenario],
+        checks: Sequence[bool],
+        callback: Optional[Callable[[ScenarioResult], None]],
+    ) -> list[ScenarioResult]:
+        salt = code_salt()
+        results = []
+        for scenario, check in zip(scenarios, checks):
+            key, result = self._cached(scenario, check, salt)
+            if result is None:
+                result = run_scenario(scenario, check_guarantees=check)
+                if key is not None:
+                    self.cache.put(key, result)
+            if callback is not None:
+                callback(result)
+            results.append(result)
+        return results
+
+    def _run_parallel(
+        self,
+        scenarios: Sequence[Scenario],
+        checks: Sequence[bool],
+        callback: Optional[Callable[[ScenarioResult], None]],
+    ) -> list[ScenarioResult]:
+        salt = code_salt()
+        results: list[Optional[ScenarioResult]] = [None] * len(scenarios)
+        keys: list[Optional[str]] = [None] * len(scenarios)
+        pending: list[tuple[int, Scenario, bool]] = []
+        # With the cache on, repeated grid points are computed once: the first
+        # occurrence runs, the rest share its result (as a serial cached run
+        # would, where later repeats hit the just-stored entry).
+        first_for_key: dict[str, int] = {}
+        duplicates: dict[int, list[int]] = {}
+        for index, (scenario, check) in enumerate(zip(scenarios, checks)):
+            key, result = self._cached(scenario, check, salt)
+            keys[index] = key
+            if result is not None:
+                results[index] = result
+                if callback is not None:
+                    callback(result)
+                continue
+            if key is not None:
+                primary = first_for_key.setdefault(key, index)
+                if primary != index:
+                    duplicates.setdefault(primary, []).append(index)
+                    continue
+            pending.append((index, scenario, check))
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        workers = min(self.jobs, len(pending))
+        chunk = self.chunk_size
+        if chunk is None:
+            # A few chunks per worker balances batching against stragglers.
+            chunk = max(1, min(MAX_CHUNK, math.ceil(len(pending) / (workers * 4))))
+        chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_chunk, piece) for piece in chunks}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index, result in future.result():
+                        results[index] = result
+                        key = keys[index]
+                        if key is not None:
+                            self.cache.put(key, result)
+                        if callback is not None:
+                            callback(result)
+                        for dup in duplicates.get(index, ()):
+                            dup_result = result
+                            if scenarios[dup] != result.scenario:
+                                dup_result = dataclasses.replace(result, scenario=scenarios[dup])
+                            results[dup] = dup_result
+                            if callback is not None:
+                                callback(dup_result)
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        cache_dir = self.cache.directory if self.cache is not None else None
+        return f"SweepRunner(jobs={self.jobs}, cache={str(cache_dir)!r}, chunk_size={self.chunk_size})"

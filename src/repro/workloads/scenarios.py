@@ -12,8 +12,7 @@ tests, examples and the benchmark harness.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..analysis import metrics

@@ -12,7 +12,7 @@ from dataclasses import replace
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from ..core.params import SyncParams
-from .scenarios import Scenario, ScenarioResult, run_scenario
+from .scenarios import Scenario, ScenarioResult
 
 
 def grid(**axes: Sequence) -> list[dict]:
@@ -52,14 +52,21 @@ def scenario_sweep(
 
 def run_sweep(
     scenarios: Iterable[Scenario],
-    check_guarantees: Optional[bool] = None,
+    check_guarantees=None,
     callback: Optional[Callable[[ScenarioResult], None]] = None,
+    runner=None,
 ) -> list[ScenarioResult]:
-    """Run every scenario and return the results in order."""
-    results = []
-    for scenario in scenarios:
-        result = run_scenario(scenario, check_guarantees=check_guarantees)
-        if callback is not None:
-            callback(result)
-        results.append(result)
-    return results
+    """Run every scenario and return the results in input order.
+
+    Execution goes through a :class:`~repro.runner.core.SweepRunner`: the one
+    passed as ``runner``, or the process-wide default (see
+    :mod:`repro.runner.config`), which may parallelize across worker
+    processes and serve repeated grid points from the on-disk result cache.
+    ``check_guarantees`` is a single flag for the whole sweep or a sequence
+    with one entry per scenario.
+    """
+    if runner is None:
+        from ..runner.config import get_runner
+
+        runner = get_runner()
+    return runner.run_sweep(scenarios, check_guarantees=check_guarantees, callback=callback)

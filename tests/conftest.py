@@ -6,9 +6,27 @@ import pytest
 
 from repro.core.params import SyncParams, params_for
 from repro.crypto.signatures import KeyStore
+from repro.runner.config import reset_runner
 from repro.sim.clocks import FixedRateClock
 from repro.sim.engine import Simulation
 from repro.sim.network import FixedDelay
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_sweep_runner(monkeypatch):
+    """Keep the suite independent of ambient runner configuration.
+
+    Without this, an exported ``REPRO_JOBS=2`` would make sweep-order
+    assertions nondeterministic and the suite would read/write the user's
+    real ``~/.cache/repro-sweeps``.  Tests that exercise the runner pass
+    their own :class:`~repro.runner.core.SweepRunner` / env explicitly.
+    """
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    reset_runner()
+    yield
+    reset_runner()
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import metrics
-from repro.analysis.optimality import verify_guarantees
 from repro.core.bounds import AUTH, beta_max, beta_min, precision_bound
 from repro.core.params import params_for
 from repro.faults.strategies import TOLERATED_ATTACKS

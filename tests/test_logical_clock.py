@@ -74,7 +74,9 @@ def test_shift_by_accumulates():
 def test_property_set_to_reaches_target_exactly(target, reading):
     clock = LogicalClock()
     clock.set_to(target, hardware_reading=reading)
-    assert clock.value(reading) == pytest.approx(target)
+    # ``reading + (target - reading)`` cancels catastrophically when target is
+    # tiny and reading is large, so allow the absolute error of that float op.
+    assert clock.value(reading) == pytest.approx(target, abs=1e-9 * max(1.0, reading * 1e-3))
 
 
 @given(

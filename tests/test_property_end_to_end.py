@@ -7,7 +7,6 @@ because each example is a full simulation.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import metrics

@@ -1,0 +1,272 @@
+"""Tests for the parallel sweep runner and its on-disk result cache."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.serialize import result_to_json
+from repro.experiments.common import default_params, stable_seed
+from repro.runner import (
+    ResultCache,
+    SweepRunner,
+    cache_key,
+    configure,
+    get_runner,
+    reset_runner,
+    resolve_check_guarantees,
+)
+from repro.workloads.scenarios import Scenario
+from repro.workloads.sweeps import run_sweep
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_runner():
+    """Keep the process-wide default runner out of these tests."""
+    reset_runner()
+    yield
+    reset_runner()
+
+
+def small_grid() -> list[Scenario]:
+    scenarios = []
+    for n in [4, 5]:
+        for attack in ["eager", "silent"]:
+            params = default_params(n, authenticated=True)
+            scenarios.append(
+                Scenario(params=params, algorithm="auth", attack=attack, rounds=4, seed=stable_seed(n, attack))
+            )
+    return scenarios
+
+
+def results_fingerprint(results) -> list[str]:
+    return [result_to_json(result, include_trace=True) for result in results]
+
+
+# -- serial vs parallel ----------------------------------------------------------------
+
+
+def test_parallel_results_identical_to_serial():
+    scenarios = small_grid()
+    serial = SweepRunner(jobs=1).run_sweep(scenarios)
+    parallel = SweepRunner(jobs=2).run_sweep(scenarios)
+    assert results_fingerprint(serial) == results_fingerprint(parallel)
+
+
+def test_parallel_chunking_preserves_order():
+    scenarios = small_grid()
+    serial = SweepRunner(jobs=1).run_sweep(scenarios)
+    chunked = SweepRunner(jobs=2, chunk_size=3).run_sweep(scenarios)
+    assert results_fingerprint(serial) == results_fingerprint(chunked)
+
+
+def test_serial_callback_order_matches_input():
+    scenarios = small_grid()
+    seen = []
+    results = SweepRunner(jobs=1).run_sweep(scenarios, callback=seen.append)
+    assert seen == results
+
+
+def test_parallel_callback_fires_once_per_scenario():
+    scenarios = small_grid()
+    seen = []
+    results = SweepRunner(jobs=2).run_sweep(scenarios, callback=seen.append)
+    assert len(seen) == len(scenarios)
+    assert sorted(results_fingerprint(seen)) == sorted(results_fingerprint(results))
+
+
+def test_empty_sweep():
+    assert SweepRunner(jobs=2).run_sweep([]) == []
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=-1)
+    with pytest.raises(ValueError):
+        SweepRunner(chunk_size=0)
+
+
+# -- check_guarantees handling ---------------------------------------------------------
+
+
+def test_per_scenario_check_guarantees():
+    params = default_params(4, authenticated=True)
+    scenarios = [
+        Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=1),
+        Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=2),
+    ]
+    results = SweepRunner(jobs=1).run_sweep(scenarios, check_guarantees=[None, False])
+    assert results[0].guarantees is not None
+    assert results[1].guarantees is None
+
+
+def test_check_guarantees_length_mismatch():
+    scenarios = small_grid()
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=1).run_sweep(scenarios, check_guarantees=[True])
+
+
+def test_resolve_check_guarantees_defaults():
+    params = default_params(4, authenticated=True)
+    st = Scenario(params=params, algorithm="auth", rounds=4)
+    over_spec = Scenario(params=params, algorithm="auth", rounds=4, actual_faults=params.f + 1)
+    baseline = Scenario(params=params, algorithm="free_running", rounds=4)
+    assert resolve_check_guarantees(st, None) is True
+    assert resolve_check_guarantees(st, False) is False
+    assert resolve_check_guarantees(over_spec, None) is False
+    # Baselines never get a guarantee report, even when asked.
+    assert resolve_check_guarantees(baseline, True) is False
+
+
+# -- cache -----------------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    scenarios = small_grid()
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+
+    cold = runner.run_sweep(scenarios)
+    assert cache.stats.misses == len(scenarios)
+    assert cache.stats.stores == len(scenarios)
+    assert cache.stats.hits == 0
+
+    warm = runner.run_sweep(scenarios)
+    assert cache.stats.hits == len(scenarios)
+    assert results_fingerprint(cold) == results_fingerprint(warm)
+
+
+def test_cache_shared_between_serial_and_parallel(tmp_path):
+    scenarios = small_grid()
+    cold = SweepRunner(jobs=2, cache=ResultCache(tmp_path)).run_sweep(scenarios)
+
+    cache = ResultCache(tmp_path)
+    warm = SweepRunner(jobs=1, cache=cache).run_sweep(scenarios)
+    assert cache.stats.hits == len(scenarios)
+    assert cache.stats.misses == 0
+    assert results_fingerprint(cold) == results_fingerprint(warm)
+
+
+def test_cache_invalidated_by_parameter_change(tmp_path):
+    params = default_params(4, authenticated=True)
+    scenario = Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=3)
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.run(scenario)
+
+    changed = replace(scenario, params=params.with_(tdel=params.tdel * 2), name="")
+    runner.run(changed)
+    assert cache.stats.hits == 0
+    assert cache.stats.misses == 2
+
+    runner.run(changed)
+    assert cache.stats.hits == 1
+
+
+def test_cache_key_stability_and_sensitivity():
+    params = default_params(4, authenticated=True)
+    a = Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=3)
+    b = Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=3)
+    assert cache_key(a, True) == cache_key(b, True)
+    assert cache_key(a, True) != cache_key(a, False)
+    assert cache_key(a, True, salt="one") != cache_key(a, True, salt="two")
+    c = replace(a, seed=4, name="")
+    assert cache_key(a, True) != cache_key(c, True)
+
+
+def test_cache_key_ignores_display_name(tmp_path):
+    params = default_params(4, authenticated=True)
+    plain = Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=8)
+    labelled = replace(plain, name="my-label")
+    assert cache_key(plain, True) == cache_key(labelled, True)
+
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.run(plain)
+    result = runner.run(labelled)
+    assert cache.stats.hits == 1
+    # The hit hands back the scenario that was asked for, label included.
+    assert result.scenario.name == "my-label"
+
+
+def test_parallel_duplicates_computed_once(tmp_path):
+    params = default_params(4, authenticated=True)
+    scenario = Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=9)
+    scenarios = [scenario, replace(scenario, name="twin"), scenario]
+    cache = ResultCache(tmp_path)
+    seen = []
+    results = SweepRunner(jobs=2, cache=cache).run_sweep(scenarios, callback=seen.append)
+    assert cache.stats.stores == 1
+    assert len(seen) == len(scenarios)
+    assert [r.scenario.name for r in results] == [scenario.name, "twin", scenario.name]
+    fingerprints = results_fingerprint([replace(r, scenario=scenario) for r in results])
+    assert len(set(fingerprints)) == 1
+
+
+def test_corrupt_cache_entry_recomputed(tmp_path):
+    params = default_params(4, authenticated=True)
+    scenario = Scenario(params=params, algorithm="auth", attack="eager", rounds=4, seed=5)
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    first = runner.run(scenario)
+
+    (entry,) = list(tmp_path.glob("*/*.pkl"))
+    entry.write_bytes(b"not a pickle")
+    again = runner.run(scenario)
+    assert cache.stats.misses == 2  # initial miss + corrupt entry treated as miss
+    assert results_fingerprint([first]) == results_fingerprint([again])
+
+
+def test_cache_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.run_sweep(small_grid())
+    assert len(cache) == len(small_grid())
+    assert cache.clear() == len(small_grid())
+    assert len(cache) == 0
+
+
+# -- wiring ----------------------------------------------------------------------------
+
+
+def test_run_sweep_uses_explicit_runner(tmp_path):
+    scenarios = small_grid()[:2]
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    run_sweep(scenarios, runner=runner)
+    assert cache.stats.stores == len(scenarios)
+
+
+def test_configure_installs_default_runner(tmp_path):
+    runner = configure(jobs=1, use_cache=True, cache_dir=tmp_path)
+    assert get_runner() is runner
+    assert runner.cache is not None and runner.cache.directory == tmp_path
+
+    disabled = configure(jobs=2, use_cache=False)
+    assert get_runner() is disabled
+    assert disabled.cache is None
+    assert disabled.jobs == 2
+
+
+def test_explicit_cache_dir_implies_caching(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    runner = configure(cache_dir=tmp_path)
+    assert runner.cache is not None
+    assert runner.cache.directory == tmp_path
+
+
+def test_env_defaults(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    reset_runner()
+    runner = get_runner()
+    assert runner.jobs == 3
+    assert runner.cache is None
+
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachedir"))
+    reset_runner()
+    runner = get_runner()
+    assert runner.cache is not None
+    assert runner.cache.directory == tmp_path / "cachedir"
