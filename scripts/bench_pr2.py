@@ -1,0 +1,96 @@
+"""Write BENCH_PR2.json: per-experiment wall times plus full-vs-metrics timing.
+
+CI's quick-benchmark job runs this after the smoke suite and uploads the JSON
+as an artifact, seeding the performance trajectory of the observation
+refactor: every experiment's wall time, and a head-to-head of the full-trace
+versus metrics-only observation paths on an E9-style scaling grid.
+
+Usage::
+
+    python scripts/bench_pr2.py [--quick] [--output BENCH_PR2.json]
+
+Timings always run against a cold result cache (caching is disabled for the
+measured runs), so they measure simulation + observation, not cache reads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import adversarial_scenario, default_params
+from repro.runner.config import configure as configure_runner
+from repro.workloads.scenarios import run_scenario
+
+
+def time_experiments(quick: bool) -> dict:
+    timings = {}
+    for exp_id, experiment in EXPERIMENTS.items():
+        start = time.perf_counter()
+        experiment.run(quick=quick)
+        timings[exp_id] = {
+            "claim": experiment.claim,
+            "wall_time_s": round(time.perf_counter() - start, 4),
+        }
+    return timings
+
+
+def time_trace_levels(quick: bool) -> dict:
+    """Full vs metrics-only observation on an E9-style grid, including 4x n."""
+    rounds = 5 if quick else 12
+    sizes = [7, 14, 28] if quick else [7, 14, 28, 42]
+    comparison = {}
+    for n in sizes:
+        scenario = adversarial_scenario(
+            default_params(n, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=100 + n,
+        )
+        entry = {}
+        for level in ("full", "metrics"):
+            start = time.perf_counter()
+            result = run_scenario(scenario, trace_level=level)
+            entry[level] = {
+                "wall_time_s": round(time.perf_counter() - start, 4),
+                "precision": result.precision,
+                "total_messages": result.total_messages,
+            }
+        entry["speedup_full_over_metrics"] = round(
+            entry["full"]["wall_time_s"] / max(entry["metrics"]["wall_time_s"], 1e-9), 3
+        )
+        comparison[f"n={n}"] = entry
+    return {"rounds": rounds, "grid": comparison}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
+    parser.add_argument("--output", default="BENCH_PR2.json", help="output path")
+    args = parser.parse_args()
+
+    # Cold-cache, serial timings: measure the work, not the cache or the pool.
+    configure_runner(jobs=1, use_cache=False)
+
+    summary = {
+        "schema": "bench-pr2/1",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "experiments": time_experiments(args.quick),
+        "trace_levels": time_trace_levels(args.quick),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    total = sum(entry["wall_time_s"] for entry in summary["experiments"].values())
+    print(f"wrote {output} ({len(summary['experiments'])} experiments, {total:.2f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

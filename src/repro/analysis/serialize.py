@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -100,6 +101,7 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
     """
     data: dict[str, Any] = {
         "scenario": scenario_to_dict(result.scenario),
+        "trace_level": getattr(result, "trace_level", "full"),
         "precision": result.precision,
         "precision_overall": result.precision_overall,
         "acceptance_spread": result.acceptance_spread,
@@ -111,8 +113,14 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
         "guarantees": guarantees_to_dict(result.guarantees),
     }
     if result.accuracy is not None:
-        data["accuracy"] = dataclasses.asdict(result.accuracy)
-    if include_trace:
+        accuracy = dataclasses.asdict(result.accuracy)
+        # The streaming observation path reports unavailable window-rate
+        # extremes as nan; emit null so the document stays valid JSON.
+        data["accuracy"] = {
+            key: None if isinstance(value, float) and math.isnan(value) else value
+            for key, value in accuracy.items()
+        }
+    if include_trace and result.trace is not None:
         data["trace"] = trace_to_dict(result.trace)
     return data
 

@@ -83,8 +83,8 @@ class CollectAndCorrectProcess(Process):
         before = self.logical_time()
         self.logical.shift_by(correction)
         after = self.logical_time()
-        self.trace.record_adjustment(self.sim.now, self.logical.adjustment)
-        self.trace.resyncs.append(
+        self.record_adjustment(self.sim.now, self.logical.adjustment)
+        self.record_resync(
             ResyncEvent(
                 pid=self.pid,
                 round=round_,

@@ -63,7 +63,7 @@ class FreeRunningProcess(Process):
             return
         round_ = key[1]
         value = self.logical_time()
-        self.trace.resyncs.append(
+        self.record_resync(
             ResyncEvent(
                 pid=self.pid,
                 round=round_,

@@ -25,7 +25,7 @@ from .experiments import EXPERIMENTS
 from .faults.strategies import available_attacks
 from .runner.config import configure as configure_runner
 from .runner.config import get_runner
-from .workloads.scenarios import ALL_ALGORITHMS, CLOCK_MODES, DELAY_MODES, Scenario
+from .workloads.scenarios import ALL_ALGORITHMS, CLOCK_MODES, DELAY_MODES, TRACE_LEVELS, Scenario
 
 
 def _nonnegative_int(raw: str) -> int:
@@ -118,9 +118,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         monotonic=args.monotonic,
         seed=args.seed,
     )
-    result = get_runner().run(scenario)
+    result = get_runner().run(scenario, trace_level=args.trace_level)
     if args.json:
-        print(result_to_json(result, include_trace=args.include_trace))
+        include_trace = args.include_trace and result.trace is not None
+        print(result_to_json(result, include_trace=include_trace))
         return 0 if result.guarantees_hold else 1
     table = Table(title=f"Scenario {scenario.name}", headers=["quantity", "value"])
     table.add_row("completed round", result.completed_round)
@@ -192,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--joiners", type=int, default=0, help="number of late joiners")
     run.add_argument("--join-time", type=float, default=0.0, dest="join_time")
     run.add_argument("--monotonic", action="store_true", help="suppress backward clock corrections")
+    run.add_argument(
+        "--trace-level",
+        choices=list(TRACE_LEVELS),
+        default="full",
+        dest="trace_level",
+        help="observation depth: 'full' records the whole trace, 'metrics' streams scalar metrics in O(n) memory",
+    )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="emit the result as JSON")
     run.add_argument("--include-trace", action="store_true", dest="include_trace",

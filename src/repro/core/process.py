@@ -5,8 +5,8 @@ with the notions every synchronizer needs:
 
 * a :class:`~repro.core.clock.LogicalClock` and :meth:`logical_time`,
 * logical-clock timers (fire when the *logical* clock reaches a target),
-* :meth:`resynchronize_to`, which applies an adjustment and records both the
-  adjustment and a :class:`~repro.sim.trace.ResyncEvent` in the trace,
+* :meth:`resynchronize_to`, which applies an adjustment and emits both the
+  adjustment and a :class:`~repro.sim.trace.ResyncEvent` into the recorder,
 * the three operating modes shared by the Srikanth-Toueg variants:
 
   - normal (round 1 scheduled at logical time ``P``),
@@ -71,8 +71,8 @@ class ClockSyncProcess(Process):
         now = self.sim.now
         reading = self.local_time()
         result = self.logical.set_to(logical_target, reading, monotonic=self.monotonic)
-        self.trace.record_adjustment(now, self.logical.adjustment)
-        self.trace.resyncs.append(
+        self.record_adjustment(now, self.logical.adjustment)
+        self.record_resync(
             ResyncEvent(
                 pid=self.pid,
                 round=round_,

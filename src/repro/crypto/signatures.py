@@ -25,6 +25,7 @@ plain tuples of primitives.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import hashlib
 import random
@@ -32,14 +33,82 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 
+#: Size of the digest memo; generously above the live-message population of
+#: any one simulated round so sign + N verifies of one broadcast hash once.
+_DIGEST_CACHE_SIZE = 8192
+
+
+def _compute_digest(message: object) -> str:
+    canonical = _canonicalize(message)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cache_key(message: object):
+    """A hashable key that distinguishes messages iff their canonical forms differ.
+
+    Plain Python equality is too coarse here (``1 == 1.0 == True`` and
+    ``0.0 == -0.0`` although they canonicalise differently), so every leaf is
+    tagged with its concrete type and floats by their exact textual form.
+    Lists key like tuples because they share a canonical form.  Raises
+    ``TypeError`` for leaves outside ``_canonicalize``'s supported domain.
+    """
+    if dataclasses.is_dataclass(message) and not isinstance(message, type):
+        return (
+            type(message),
+            tuple(_cache_key(getattr(message, f.name)) for f in dataclasses.fields(message)),
+        )
+    if isinstance(message, (list, tuple)):
+        return (tuple, tuple(_cache_key(item) for item in message))
+    if isinstance(message, float):
+        return (float, repr(message))  # distinguishes -0.0 from 0.0
+    hash(message)  # reject unhashable leaves up front
+    return (type(message), message)
+
+
+_DigestCacheInfo = collections.namedtuple("_DigestCacheInfo", ["hits", "misses", "maxsize", "currsize"])
+_digest_cache: dict = {}
+_digest_cache_hits = 0
+_digest_cache_misses = 0
+
+
 def message_digest(message: object) -> str:
     """Return a canonical, collision-resistant digest of ``message``.
 
     Supports (nested) tuples/lists of primitives and frozen dataclasses.  Two
-    messages have equal digests iff their canonical forms are equal.
+    messages have equal digests iff their canonical forms are equal.  Digests
+    are memoized under a type-tagged structural key, so signing and repeatedly
+    verifying the same (or an equal) broadcast message canonicalises and
+    hashes it once -- the authenticated algorithm's hot path is one ``sign``
+    plus up to ``n - 1`` ``verify`` calls per broadcast.
     """
-    canonical = _canonicalize(message)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    global _digest_cache_hits, _digest_cache_misses
+    try:
+        key = _cache_key(message)
+    except TypeError:
+        # Every canonicalisable message has a hashable key, so this only
+        # triggers for unsupported leaves (e.g. dicts, sets); defer to
+        # _canonicalize for its clearer unsupported-type error.
+        return _compute_digest(message)
+    cached = _digest_cache.get(key)
+    if cached is not None:
+        _digest_cache_hits += 1
+        return cached
+    _digest_cache_misses += 1
+    digest = _compute_digest(message)
+    if len(_digest_cache) >= _DIGEST_CACHE_SIZE:
+        _digest_cache.clear()
+    _digest_cache[key] = digest
+    return digest
+
+
+def digest_cache_info() -> _DigestCacheInfo:
+    """Hit/miss statistics of the digest memo (for tests and benchmarks)."""
+    return _DigestCacheInfo(
+        hits=_digest_cache_hits,
+        misses=_digest_cache_misses,
+        maxsize=_DIGEST_CACHE_SIZE,
+        currsize=len(_digest_cache),
+    )
 
 
 def _canonicalize(message: object) -> str:

@@ -98,14 +98,19 @@ def stable_seed(*parts, modulus: int = 1_000_000) -> int:
     return int.from_bytes(digest[:8], "big") % modulus
 
 
-def run(scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
+def run(
+    scenario: Scenario,
+    check_guarantees: Optional[bool] = None,
+    trace_level: str = "full",
+) -> ScenarioResult:
     """Run one scenario through the shared sweep runner (cache included)."""
-    return run_sweep([scenario], check_guarantees=check_guarantees)[0]
+    return run_sweep([scenario], check_guarantees=check_guarantees, trace_level=trace_level)[0]
 
 
 def run_batch(
     scenarios: Sequence[Scenario],
     check_guarantees=None,
+    trace_level: str = "full",
 ) -> list[ScenarioResult]:
     """Run an experiment's whole scenario list through the shared sweep runner.
 
@@ -114,5 +119,10 @@ def run_batch(
     spread the grid across worker processes (``--jobs``/``REPRO_JOBS``) and
     serve repeats from the result cache.  ``check_guarantees`` is a single
     flag or one entry per scenario; results come back in input order.
+
+    Experiments that only read scalar metrics off the results pass
+    ``trace_level="metrics"`` so large sweeps never build execution traces;
+    experiments that post-process history (E6 start-up, E7 join, E11
+    ablation) keep the default full level.
     """
-    return run_sweep(scenarios, check_guarantees=check_guarantees)
+    return run_sweep(scenarios, check_guarantees=check_guarantees, trace_level=trace_level)

@@ -33,7 +33,7 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for n, attack in cases
     ]
-    results = run_batch(scenarios)
+    results = run_batch(scenarios, trace_level="metrics")
 
     table = Table(
         title="E1: precision of the authenticated algorithm at f = ceil(n/2)-1",

@@ -37,7 +37,7 @@ def run_rate_vs_period(quick: bool = True) -> Table:
         )
         for period in periods
     ]
-    results = run_batch(scenarios)
+    results = run_batch(scenarios, trace_level="metrics")
 
     table = Table(
         title="E2a: logical clock rate vs resynchronization period (auth, n=7, f=3)",
@@ -93,7 +93,7 @@ def run_fault_tolerance_of_accuracy(quick: bool = True) -> Table:
         )
         for algorithm, attack in cases
     ]
-    results = run_batch(scenarios, check_guarantees=False)
+    results = run_batch(scenarios, check_guarantees=False, trace_level="metrics")
     for (algorithm, attack), result in zip(cases, results):
         offset = result.accuracy.worst_offset_from_real_time if result.accuracy else float("nan")
         table.add_row(algorithm, attack, offset, result.precision)

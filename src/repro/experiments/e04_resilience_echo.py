@@ -32,7 +32,7 @@ def run_experiment(quick: bool = True) -> Table:
             )
         )
         checks.append(False)
-    results = run_batch(scenarios, check_guarantees=checks)
+    results = run_batch(scenarios, check_guarantees=checks, trace_level="metrics")
 
     table = Table(
         title="E4: echo (non-authenticated) algorithm at and above the resilience threshold",

@@ -28,7 +28,7 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for algorithm, rho in cases
     ]
-    results = run_batch(scenarios)
+    results = run_batch(scenarios, trace_level="metrics")
 
     table = Table(
         title="E5: resynchronization intervals vs analytic bounds",

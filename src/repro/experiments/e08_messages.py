@@ -23,7 +23,7 @@ def run_experiment(quick: bool = True) -> Table:
         benign_scenario(default_params(n, authenticated=(algorithm == "auth")), algorithm, rounds=rounds, seed=n)
         for algorithm, n in cases
     ]
-    results = run_batch(scenarios, check_guarantees=False)
+    results = run_batch(scenarios, check_guarantees=False, trace_level="metrics")
 
     table = Table(
         title="E8: messages per resynchronization round",

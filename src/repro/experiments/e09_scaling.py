@@ -25,7 +25,7 @@ def run_tdel_sweep(quick: bool = True) -> Table:
         )
         for tdel in tdels
     ]
-    results = run_batch(scenarios)
+    results = run_batch(scenarios, trace_level="metrics")
 
     table = Table(
         title="E9a: precision vs maximum message delay (auth, n=7, rho=1e-4, P=1)",
@@ -56,7 +56,7 @@ def run_drift_sweep(quick: bool = True) -> Table:
         )
         for rho, period in rho_periods
     ]
-    results = run_batch(scenarios)
+    results = run_batch(scenarios, trace_level="metrics")
 
     table = Table(
         title="E9b: precision vs drift-per-period rho*P (auth, n=7, tdel=0.01)",

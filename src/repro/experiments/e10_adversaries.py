@@ -28,7 +28,7 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for algorithm, attack in cases
     ]
-    results = run_batch(scenarios)
+    results = run_batch(scenarios, trace_level="metrics")
 
     table = Table(
         title="E10: guarantees under every tolerated Byzantine strategy (n=7, worst-case f)",

@@ -58,7 +58,7 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for algorithm, attack in _CASES
     ]
-    results = run_batch(scenarios, check_guarantees=False)
+    results = run_batch(scenarios, check_guarantees=False, trace_level="metrics")
     for (algorithm, attack), result in zip(_CASES, results):
         offset = result.accuracy.worst_offset_from_real_time if result.accuracy else float("nan")
         rate = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")

@@ -32,7 +32,9 @@ from ..analysis.serialize import scenario_to_dict
 from ..workloads.scenarios import Scenario, ScenarioResult
 
 #: Bump when the on-disk entry format changes (pickled object layout, key schema).
-SCHEMA_VERSION = 1
+#: 2: ScenarioResult gained ``trace_level`` (and an optional trace); keys carry
+#: the trace level.
+SCHEMA_VERSION = 2
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the
@@ -69,19 +71,26 @@ def code_salt() -> str:
     return _code_salt
 
 
-def cache_key(scenario: Scenario, check_guarantees: bool, salt: Optional[str] = None) -> str:
-    """Stable content hash of ``(scenario, check_guarantees, code-version salt)``.
+def cache_key(
+    scenario: Scenario,
+    check_guarantees: bool,
+    trace_level: str = "full",
+    salt: Optional[str] = None,
+) -> str:
+    """Stable content hash of ``(scenario, check_guarantees, trace_level, salt)``.
 
     The scenario's display ``name`` is cosmetic (it never influences the
     simulation), so differently-labelled but otherwise identical scenarios
     share one cache entry; the runner re-attaches the requested scenario on
-    a hit.
+    a hit.  ``trace_level`` is part of the key because it changes what the
+    stored result contains (a full trace versus streamed scalars only).
     """
     description = scenario_to_dict(scenario)
     description.pop("name", None)
     payload = {
         "scenario": description,
         "check_guarantees": bool(check_guarantees),
+        "trace_level": trace_level,
         "salt": salt if salt is not None else code_salt(),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

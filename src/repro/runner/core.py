@@ -28,12 +28,16 @@ import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, Optional, Sequence, Union
 
-from ..workloads.scenarios import ST_ALGORITHMS, Scenario, ScenarioResult, run_scenario
+from ..workloads.scenarios import ST_ALGORITHMS, TRACE_LEVELS, Scenario, ScenarioResult, run_scenario
 from .cache import ResultCache, cache_key, code_salt
 
 #: ``check_guarantees`` as accepted by :meth:`SweepRunner.run_sweep`: one flag
 #: for the whole sweep, or one per scenario.
 CheckSpec = Union[None, bool, Sequence[Optional[bool]]]
+
+#: ``trace_level`` as accepted by :meth:`SweepRunner.run_sweep`: one level for
+#: the whole sweep, or one per scenario.
+TraceSpec = Union[str, Sequence[str]]
 
 #: Maximum scenarios per worker task; beyond this, batching stops paying for
 #: itself and only hurts load balance.
@@ -65,9 +69,25 @@ def _normalize_checks(scenarios: Sequence[Scenario], check_guarantees: CheckSpec
     return [resolve_check_guarantees(s, c) for s, c in zip(scenarios, checks)]
 
 
-def _run_chunk(chunk: list[tuple[int, Scenario, bool]]) -> list[tuple[int, ScenarioResult]]:
-    """Worker task: run a batch of (index, scenario, check) triples."""
-    return [(index, run_scenario(scenario, check_guarantees=check)) for index, scenario, check in chunk]
+def _normalize_trace_levels(scenarios: Sequence[Scenario], trace_level: TraceSpec) -> list[str]:
+    if isinstance(trace_level, str):
+        levels = [trace_level] * len(scenarios)
+    else:
+        levels = list(trace_level)
+        if len(levels) != len(scenarios):
+            raise ValueError(f"trace_level has {len(levels)} entries for {len(scenarios)} scenarios")
+    for level in levels:
+        if level not in TRACE_LEVELS:
+            raise ValueError(f"unknown trace_level {level!r}; expected one of {TRACE_LEVELS}")
+    return levels
+
+
+def _run_chunk(chunk: list[tuple[int, Scenario, bool, str]]) -> list[tuple[int, ScenarioResult]]:
+    """Worker task: run a batch of (index, scenario, check, trace_level) tuples."""
+    return [
+        (index, run_scenario(scenario, check_guarantees=check, trace_level=level))
+        for index, scenario, check, level in chunk
+    ]
 
 
 class SweepRunner:
@@ -104,29 +124,38 @@ class SweepRunner:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
+    def run(
+        self,
+        scenario: Scenario,
+        check_guarantees: Optional[bool] = None,
+        trace_level: str = "full",
+    ) -> ScenarioResult:
         """Run (or fetch from cache) a single scenario."""
-        return self.run_sweep([scenario], check_guarantees=check_guarantees)[0]
+        return self.run_sweep([scenario], check_guarantees=check_guarantees, trace_level=trace_level)[0]
 
     def run_sweep(
         self,
         scenarios: Iterable[Scenario],
         check_guarantees: CheckSpec = None,
         callback: Optional[Callable[[ScenarioResult], None]] = None,
+        trace_level: TraceSpec = "full",
     ) -> list[ScenarioResult]:
         """Run every scenario and return the results in input order."""
         scenarios = list(scenarios)
         checks = _normalize_checks(scenarios, check_guarantees)
+        levels = _normalize_trace_levels(scenarios, trace_level)
         if not scenarios:
             return []
         if self.jobs <= 1 or len(scenarios) == 1:
-            return self._run_serial(scenarios, checks, callback)
-        return self._run_parallel(scenarios, checks, callback)
+            return self._run_serial(scenarios, checks, levels, callback)
+        return self._run_parallel(scenarios, checks, levels, callback)
 
-    def _cached(self, scenario: Scenario, check: bool, salt: str) -> tuple[Optional[str], Optional[ScenarioResult]]:
+    def _cached(
+        self, scenario: Scenario, check: bool, level: str, salt: str
+    ) -> tuple[Optional[str], Optional[ScenarioResult]]:
         if self.cache is None:
             return None, None
-        key = cache_key(scenario, check, salt=salt)
+        key = cache_key(scenario, check, trace_level=level, salt=salt)
         result = self.cache.get(key)
         if result is not None and result.scenario != scenario:
             # The key ignores the cosmetic display name; hand back the
@@ -138,14 +167,15 @@ class SweepRunner:
         self,
         scenarios: Sequence[Scenario],
         checks: Sequence[bool],
+        levels: Sequence[str],
         callback: Optional[Callable[[ScenarioResult], None]],
     ) -> list[ScenarioResult]:
         salt = code_salt()
         results = []
-        for scenario, check in zip(scenarios, checks):
-            key, result = self._cached(scenario, check, salt)
+        for scenario, check, level in zip(scenarios, checks, levels):
+            key, result = self._cached(scenario, check, level, salt)
             if result is None:
-                result = run_scenario(scenario, check_guarantees=check)
+                result = run_scenario(scenario, check_guarantees=check, trace_level=level)
                 if key is not None:
                     self.cache.put(key, result)
             if callback is not None:
@@ -157,19 +187,20 @@ class SweepRunner:
         self,
         scenarios: Sequence[Scenario],
         checks: Sequence[bool],
+        levels: Sequence[str],
         callback: Optional[Callable[[ScenarioResult], None]],
     ) -> list[ScenarioResult]:
         salt = code_salt()
         results: list[Optional[ScenarioResult]] = [None] * len(scenarios)
         keys: list[Optional[str]] = [None] * len(scenarios)
-        pending: list[tuple[int, Scenario, bool]] = []
+        pending: list[tuple[int, Scenario, bool, str]] = []
         # With the cache on, repeated grid points are computed once: the first
         # occurrence runs, the rest share its result (as a serial cached run
         # would, where later repeats hit the just-stored entry).
         first_for_key: dict[str, int] = {}
         duplicates: dict[int, list[int]] = {}
-        for index, (scenario, check) in enumerate(zip(scenarios, checks)):
-            key, result = self._cached(scenario, check, salt)
+        for index, (scenario, check, level) in enumerate(zip(scenarios, checks, levels)):
+            key, result = self._cached(scenario, check, level, salt)
             keys[index] = key
             if result is not None:
                 results[index] = result
@@ -181,7 +212,7 @@ class SweepRunner:
                 if primary != index:
                     duplicates.setdefault(primary, []).append(index)
                     continue
-            pending.append((index, scenario, check))
+            pending.append((index, scenario, check, level))
         if not pending:
             return results  # type: ignore[return-value]
 

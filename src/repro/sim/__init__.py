@@ -31,6 +31,13 @@ from .network import (
     UniformDelay,
 )
 from .process import Process, Timer
+from .recorder import (
+    FullTraceRecorder,
+    OnlineMetricsRecorder,
+    OnlineMetricsSummary,
+    Recorder,
+    RecorderError,
+)
 from .trace import ProcessTrace, ResyncEvent, Trace
 
 __all__ = [
@@ -56,6 +63,11 @@ __all__ = [
     "Envelope",
     "Process",
     "Timer",
+    "Recorder",
+    "RecorderError",
+    "FullTraceRecorder",
+    "OnlineMetricsRecorder",
+    "OnlineMetricsSummary",
     "Simulation",
     "Trace",
     "ProcessTrace",

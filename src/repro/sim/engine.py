@@ -1,9 +1,14 @@
 """The discrete-event simulation engine.
 
-A :class:`Simulation` owns the event queue, the network, the trace, and the
-set of processes.  Its job is deliberately small: advance virtual real time
-from event to event, dispatch callbacks, and expose scheduling primitives to
-the network and the processes.  All protocol logic lives in the processes.
+A :class:`Simulation` owns the event queue, the network, the recorder, and
+the set of processes.  Its job is deliberately small: advance virtual real
+time from event to event, dispatch callbacks, and expose scheduling
+primitives to the network and the processes.  All protocol logic lives in
+the processes; all *observation* lives in the pluggable
+:class:`~repro.sim.recorder.Recorder` the engine (and everything bound to
+it) emits into.  The default recorder keeps a full :class:`Trace`; passing
+an :class:`~repro.sim.recorder.OnlineMetricsRecorder` instead streams scalar
+metrics in O(n) memory without retaining history.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from .clocks import HardwareClock
 from .events import Event, EventQueue
 from .network import DelayPolicy, Network
 from .process import Process
+from .recorder import FullTraceRecorder, Recorder
 from .trace import Trace
 
 
@@ -27,12 +33,15 @@ class Simulation:
         tdel: float = 0.01,
         delay_policy: Optional[DelayPolicy] = None,
         seed: int = 0,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self._now = 0.0
         self.queue = EventQueue()
         self.rng = random.Random(seed)
-        self.trace = Trace()
-        self.network = Network(self, tmin=tmin, tdel=tdel, policy=delay_policy, seed=seed + 1)
+        self.recorder: Recorder = recorder if recorder is not None else FullTraceRecorder()
+        self.network = Network(
+            self, tmin=tmin, tdel=tdel, policy=delay_policy, seed=seed + 1, recorder=self.recorder
+        )
         self.processes: dict[int, Process] = {}
         self._boot_times: dict[int, float] = {}
         self.stop_condition: Optional[Callable[["Simulation"], bool]] = None
@@ -45,19 +54,24 @@ class Simulation:
         """Current real (simulated) time."""
         return self._now
 
+    @property
+    def trace(self) -> Trace:
+        """The full execution trace (only with a trace-keeping recorder)."""
+        return self.recorder.trace
+
     # -- scheduling -----------------------------------------------------------
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
-        """Schedule ``action`` at absolute real time ``time`` (>= now)."""
+    def schedule_at(self, time: float, action: Callable[..., None], *args) -> Event:
+        """Schedule ``action(*args)`` at absolute real time ``time`` (>= now)."""
         if time < self._now:
             time = self._now
-        return self.queue.push(time, action)
+        return self.queue.push(time, action, *args)
 
-    def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
-        """Schedule ``action`` after ``delay`` units of real time."""
+    def schedule_after(self, delay: float, action: Callable[..., None], *args) -> Event:
+        """Schedule ``action(*args)`` after ``delay`` units of real time."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.queue.push(self._now + delay, action)
+        return self.queue.push(self._now + delay, action, *args)
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event."""
@@ -74,15 +88,16 @@ class Simulation:
     ) -> Process:
         """Attach ``process`` to the simulation with the given hardware clock.
 
-        ``faulty`` overrides the process's own ``faulty`` attribute for trace
-        purposes.  ``boot_time`` is the real time at which ``on_start`` runs.
+        ``faulty`` overrides the process's own ``faulty`` attribute for
+        observation purposes.  ``boot_time`` is the real time at which
+        ``on_start`` runs.
         """
         if process.pid in self.processes:
             raise ValueError(f"duplicate process id {process.pid}")
         is_faulty = process.faulty if faulty is None else faulty
-        ptrace = self.trace.add_process(process.pid, clock, faulty=is_faulty)
+        self.recorder.register_process(process.pid, clock, faulty=is_faulty)
         process.faulty = is_faulty
-        process.bind(self, self.network, clock, ptrace)
+        process.bind(self, self.network, clock, self.recorder)
         self.processes[process.pid] = process
         self._boot_times[process.pid] = boot_time
         self.schedule_at(boot_time, process._start)
@@ -106,13 +121,22 @@ class Simulation:
         if event.time < self._now:
             raise RuntimeError("event queue returned an event in the past")
         self._now = event.time
-        event.action()
+        event.fire()
         return True
 
-    def run_until(self, t_end: float) -> Trace:
-        """Run until real time ``t_end`` (inclusive of events at ``t_end``)."""
+    def run_until(self, t_end: float):
+        """Run until real time ``t_end`` (inclusive of events at ``t_end``).
+
+        Returns the recorder's finalized result: the :class:`Trace` with the
+        default full-trace recorder, an
+        :class:`~repro.sim.recorder.OnlineMetricsSummary` with the streaming
+        metrics recorder.
+        """
         if t_end < self._now:
             raise ValueError("cannot run into the past")
+        # A stop condition that triggered in an earlier run segment must not
+        # leak into this one (it previously suppressed the advance to t_end).
+        self._stopped = False
         while True:
             next_time = self.queue.peek_time()
             if next_time is None or next_time > t_end:
@@ -123,16 +147,13 @@ class Simulation:
                 break
         if not self._stopped:
             self._now = t_end
-        self.trace.end_time = self._now
-        self.trace.total_messages = self.network.stats.total_messages
-        self.trace.message_stats = dict(self.network.stats.messages_by_type)
-        return self.trace
+        return self.recorder.finalize(self._now, self.network.stats)
 
-    def run_until_round(self, target_round: int, t_max: float) -> Trace:
+    def run_until_round(self, target_round: int, t_max: float):
         """Run until every honest process accepted ``target_round`` (or ``t_max``)."""
 
         def reached(sim: "Simulation") -> bool:
-            return sim.trace.min_completed_round() >= target_round
+            return sim.recorder.min_completed_round() >= target_round
 
         previous = self.stop_condition
         self.stop_condition = reached

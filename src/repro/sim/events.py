@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -28,15 +28,24 @@ class Event:
     seq:
         Tie-breaking sequence number (insertion order).
     action:
-        Zero-argument callable executed when the event fires.
+        Callable executed when the event fires.
+    args:
+        Positional arguments passed to ``action``.  Scheduling hot paths (one
+        event per message) pass a bound method plus its argument here instead
+        of allocating a fresh closure per event.
     cancelled:
         Lazily-set cancellation flag; cancelled events are skipped.
     """
 
     time: float
     seq: int
-    action: Callable[[], None] = field(compare=False)
+    action: Callable[..., None] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
     cancelled: bool = field(default=False, compare=False)
+
+    def fire(self) -> None:
+        """Execute the event's callback."""
+        self.action(*self.args)
 
     def cancel(self) -> None:
         """Mark this event as cancelled; it will never fire."""
@@ -61,11 +70,11 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
-    def push(self, time: float, action: Callable[[], None]) -> Event:
-        """Schedule ``action`` at absolute time ``time`` and return its event."""
+    def push(self, time: float, action: Callable[..., None], *args) -> Event:
+        """Schedule ``action(*args)`` at absolute time ``time`` and return its event."""
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        event = Event(time=time, seq=next(self._counter), action=action)
+        event = Event(time=time, seq=next(self._counter), action=action, args=args)
         heapq.heappush(self._heap, event)
         self._live += 1
         return event

@@ -23,9 +23,10 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from .engine import Simulation
+    from .recorder import Recorder
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message in flight (or delivered).
 
@@ -141,6 +142,7 @@ class Network:
         tdel: float,
         policy: Optional[DelayPolicy] = None,
         seed: int = 0,
+        recorder: Optional["Recorder"] = None,
     ) -> None:
         if tdel <= 0:
             raise ValueError(f"tdel must be positive, got {tdel}")
@@ -152,6 +154,7 @@ class Network:
         self.policy = policy or UniformDelay()
         self.rng = random.Random(seed)
         self.stats = NetworkStats()
+        self.recorder = recorder
         self._handlers: dict[int, Callable[[Envelope], None]] = {}
         self._msg_ids = itertools.count()
         self._dropped_destinations: set[int] = set()
@@ -207,7 +210,11 @@ class Network:
             deliver_time=send_time + chosen,
         )
         self.stats.record(sender, payload)
-        self.sim.schedule_at(envelope.deliver_time, lambda env=envelope: self._deliver(env))
+        if self.recorder is not None:
+            self.recorder.on_message(envelope)
+        # Bound method + args instead of a per-message closure: this is the
+        # hottest allocation site of a run (one event per message sent).
+        self.sim.schedule_at(envelope.deliver_time, self._deliver, envelope)
         return envelope
 
     def broadcast(self, sender: int, payload: object, include_self: bool = False) -> list[Envelope]:

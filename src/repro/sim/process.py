@@ -23,7 +23,8 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Optional
 from .clocks import HardwareClock
 from .events import Event
 from .network import Envelope, Network
-from .trace import ProcessTrace
+from .recorder import Recorder
+from .trace import ProcessTrace, ResyncEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Simulation
@@ -32,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Timer:
     """Handle for a pending local-clock timer."""
 
-    def __init__(self, key: Hashable, local_target: float, event: Event) -> None:
+    def __init__(self, key: Hashable, local_target: float, event: Optional[Event]) -> None:
         self.key = key
         self.local_target = local_target
         self._event = event
@@ -57,7 +58,7 @@ class Process:
         self._sim: Optional["Simulation"] = None
         self._network: Optional[Network] = None
         self._clock: Optional[HardwareClock] = None
-        self._trace: Optional[ProcessTrace] = None
+        self._recorder: Optional[Recorder] = None
         self._timers: list[Timer] = []
         self._started = False
         self._halted = False
@@ -69,13 +70,13 @@ class Process:
         sim: "Simulation",
         network: Network,
         clock: HardwareClock,
-        trace: ProcessTrace,
+        recorder: Recorder,
     ) -> None:
         """Attach this process to a simulation; called by ``Simulation.add_process``."""
         self._sim = sim
         self._network = network
         self._clock = clock
-        self._trace = trace
+        self._recorder = recorder
         network.register(self.pid, self._handle_envelope)
 
     @property
@@ -97,14 +98,29 @@ class Process:
         return self._clock
 
     @property
+    def recorder(self) -> Recorder:
+        if self._recorder is None:
+            raise RuntimeError(f"process {self.pid} is not bound to a recorder")
+        return self._recorder
+
+    @property
     def trace(self) -> ProcessTrace:
-        if self._trace is None:
-            raise RuntimeError(f"process {self.pid} has no trace")
-        return self._trace
+        """This process's trace (only with a trace-keeping recorder)."""
+        return self.recorder.process_trace(self.pid)
 
     @property
     def halted(self) -> bool:
         return self._halted
+
+    # -- observation (emitted into the bound recorder) -----------------------
+
+    def record_adjustment(self, time: float, adjustment: float) -> None:
+        """Report that from real time ``time`` on, C(t) = H(t) + ``adjustment``."""
+        self.recorder.on_adjustment(self.pid, time, adjustment)
+
+    def record_resync(self, event: ResyncEvent) -> None:
+        """Report a resynchronization (round acceptance) of this process."""
+        self.recorder.on_resync(event)
 
     # -- environment available to algorithm code ----------------------------
 
@@ -151,9 +167,8 @@ class Process:
         """
         real_target = self.clock.invert(local_target)
         real_target = max(real_target, self.sim.now)
-        timer: Timer
-        event = self.sim.schedule_at(real_target, lambda: self._fire_timer(timer))
-        timer = Timer(key=key, local_target=local_target, event=event)
+        timer = Timer(key=key, local_target=local_target, event=None)
+        timer._event = self.sim.schedule_at(real_target, self._fire_timer, timer)
         self._timers.append(timer)
         return timer
 
@@ -172,7 +187,7 @@ class Process:
         """Stop participating: cancel timers and ignore all future deliveries."""
         self._halted = True
         self.cancel_all_timers()
-        self.trace.crashed_at = self.sim.now
+        self.recorder.on_crash(self.pid, self.sim.now)
 
     # -- hooks for subclasses ------------------------------------------------
 

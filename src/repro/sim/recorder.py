@@ -1,0 +1,680 @@
+"""Pluggable instrumentation: recorders observe executions, the engine emits.
+
+Historically the engine *was* the observer: every simulation built a full
+:class:`~repro.sim.trace.Trace` (per-process clocks, every adjustment, every
+resynchronization) and the analysis layer re-walked the union of all
+logical-clock breakpoints after the fact.  That is the right tool for the
+exact-measurement experiments, but it makes every scenario pay O(rounds * n)
+memory and a full post-hoc analysis pass even when only a handful of scalar
+metrics are wanted -- which is what caps large scaling sweeps.
+
+This module separates the two concerns.  The engine, the framework
+:class:`~repro.sim.process.Process`, the network and the algorithm base
+classes emit observation events into a :class:`Recorder`:
+
+* :meth:`Recorder.on_adjustment` -- a logical-clock adjustment took effect,
+* :meth:`Recorder.on_resync` -- a resynchronization (round acceptance),
+* :meth:`Recorder.on_crash` -- a process halted,
+* :meth:`Recorder.on_message` -- the network accepted a message for delivery,
+* :meth:`Recorder.on_note` -- a free-form annotation,
+* :meth:`Recorder.finalize` -- the run (segment) ended.
+
+Two implementations ship here:
+
+* :class:`FullTraceRecorder` reproduces the historical behaviour exactly: it
+  owns a :class:`~repro.sim.trace.Trace` and every measurement computed from
+  it is byte-identical to the pre-refactor code path.
+* :class:`OnlineMetricsRecorder` streams the worst-case-exact scalar metrics
+  (precision, accuracy envelope, rounds, message counts) in O(n) memory,
+  evaluating logical clocks at exactly the same breakpoints the post-hoc
+  analysis would, but without retaining any history.  Its results are
+  float-for-float identical to the full-trace pipeline for every metric it
+  reports (see ``tests/test_recorder_parity.py``).
+
+The recorder seam is where future execution backends (sharded engines,
+compiled fast paths) plug in without touching the analysis layer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .trace import ProcessTrace, ResyncEvent, Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .clocks import HardwareClock
+    from .network import Envelope, NetworkStats
+
+
+class RecorderError(RuntimeError):
+    """Raised when a recorder cannot serve a request (e.g. no trace kept)."""
+
+
+class Recorder(ABC):
+    """Observer interface the simulation substrate emits into.
+
+    Emissions arrive in nondecreasing real-time order (the engine is a
+    single-threaded discrete-event loop).  ``register_process`` is called for
+    every process before the first event; ``finalize`` is called at the end
+    of every ``run_until`` and returns the recorder's result object.
+    """
+
+    @abstractmethod
+    def register_process(self, pid: int, clock: "HardwareClock", faulty: bool = False) -> None:
+        """Attach a process (and its hardware clock) to the recording."""
+
+    @abstractmethod
+    def on_adjustment(self, pid: int, time: float, adjustment: float) -> None:
+        """From real time ``time`` on, ``C_pid(t) = H_pid(t) + adjustment``."""
+
+    @abstractmethod
+    def on_resync(self, event: ResyncEvent) -> None:
+        """Process ``event.pid`` accepted round ``event.round`` at ``event.time``."""
+
+    @abstractmethod
+    def on_crash(self, pid: int, time: float) -> None:
+        """Process ``pid`` halted at real time ``time``."""
+
+    def on_message(self, envelope: "Envelope") -> None:
+        """The network accepted ``envelope`` for delivery (default: ignore)."""
+
+    def on_note(self, text: str) -> None:
+        """Attach a free-form annotation (default: ignore)."""
+
+    @abstractmethod
+    def min_completed_round(self) -> int:
+        """Largest round accepted by every non-faulty process (0 if none)."""
+
+    @abstractmethod
+    def finalize(self, end_time: float, network_stats: "NetworkStats"):
+        """Close the recording at ``end_time`` and return the result object."""
+
+    # -- full-trace access (only meaningful for history-keeping recorders) ----
+
+    @property
+    def trace(self) -> Trace:
+        raise RecorderError(
+            f"{type(self).__name__} does not keep an execution trace; "
+            "use trace_level='full' (FullTraceRecorder) for history-based analysis"
+        )
+
+    def process_trace(self, pid: int) -> ProcessTrace:
+        raise RecorderError(
+            f"{type(self).__name__} does not keep per-process traces; "
+            "use trace_level='full' (FullTraceRecorder) for history-based analysis"
+        )
+
+
+class FullTraceRecorder(Recorder):
+    """The historical observer: record everything into a :class:`Trace`.
+
+    Every measurement the analysis layer computes from the resulting trace is
+    exactly what the pre-recorder engine produced.
+    """
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    def process_trace(self, pid: int) -> ProcessTrace:
+        return self._trace.processes[pid]
+
+    def register_process(self, pid: int, clock: "HardwareClock", faulty: bool = False) -> None:
+        self._trace.add_process(pid, clock, faulty=faulty)
+
+    def on_adjustment(self, pid: int, time: float, adjustment: float) -> None:
+        self._trace.record_adjustment(pid, time, adjustment)
+
+    def on_resync(self, event: ResyncEvent) -> None:
+        self._trace.record_resync(event)
+
+    def on_crash(self, pid: int, time: float) -> None:
+        self._trace.record_crash(pid, time)
+
+    def on_note(self, text: str) -> None:
+        self._trace.note(text)
+
+    def min_completed_round(self) -> int:
+        return self._trace.min_completed_round()
+
+    def finalize(self, end_time: float, network_stats: "NetworkStats") -> Trace:
+        self._trace.end_time = end_time
+        self._trace.total_messages = network_stats.total_messages
+        self._trace.message_stats = dict(network_stats.messages_by_type)
+        return self._trace
+
+
+# ---------------------------------------------------------------------------
+# Online (streaming) metrics
+# ---------------------------------------------------------------------------
+
+
+class _ProcState:
+    """O(1) per-process streaming state of :class:`OnlineMetricsRecorder`."""
+
+    __slots__ = (
+        "pid",
+        "clock",
+        "faulty",
+        "adj",
+        "resync_count",
+        "prev_resync_time",
+        "min_round",
+        "max_round",
+        "first_gap",
+        "crashed",
+        "bp_seq",
+        "bp_idx",
+        "value_at_steady",
+        "env_max_g",
+        "env_drawdown",
+        "env_min_h",
+        "env_rise",
+    )
+
+    def __init__(self, pid: int, clock: "HardwareClock", faulty: bool) -> None:
+        self.pid = pid
+        self.clock = clock
+        self.faulty = faulty
+        self.adj = 0.0
+        self.resync_count = 0
+        self.prev_resync_time = 0.0
+        self.min_round = 0
+        self.max_round = 0
+        self.first_gap: Optional[int] = None
+        self.crashed = False
+        self.bp_seq = clock.breakpoints()
+        self.bp_idx = 0
+        self.value_at_steady = 0.0
+        # Envelope drawdown/run-up state (see analysis.envelope.fit_envelope).
+        self.env_max_g = float("-inf")
+        self.env_drawdown = 0.0
+        self.env_min_h = float("inf")
+        self.env_rise = 0.0
+
+
+@dataclass(frozen=True)
+class OnlineMetricsSummary:
+    """Scalar measurements streamed by :class:`OnlineMetricsRecorder`.
+
+    Field-for-field, each value equals what the full-trace pipeline computes
+    (:mod:`repro.analysis.metrics` / :mod:`repro.analysis.envelope`) for the
+    same execution; ``tests/test_recorder_parity.py`` asserts exact equality.
+    The window-rate extremes of :class:`~repro.analysis.envelope.AccuracySummary`
+    are the one quantity that inherently needs the retained breakpoint samples
+    (a quadratic pass), so the streaming path reports them as ``nan``.
+    """
+
+    end_time: float
+    steady_start: float
+    steady_skew: float
+    overall_skew: float
+    period_min: float
+    period_max: float
+    period_count: int
+    acceptance_spread: float
+    max_adjustment: Optional[float]
+    max_backward_adjustment: float
+    completed_round: int
+    max_round: int
+    #: One ``(first, last, first_gap)`` entry per honest process, ``None``
+    #: for a process that never resynchronized.
+    liveness_triples: tuple
+    slowest_long_run_rate: Optional[float]
+    fastest_long_run_rate: Optional[float]
+    envelope_a: Optional[float]
+    envelope_b: Optional[float]
+    worst_offset_from_real_time: Optional[float]
+    total_messages: int
+    message_stats: dict
+    notes: list
+
+    def liveness(self, expected_round: int) -> bool:
+        """Exact replica of :func:`repro.analysis.metrics.liveness`.
+
+        Accepted rounds are strictly increasing per process, so contiguity
+        plus the extremes in :attr:`liveness_triples` determine subset
+        membership of the needed round range.
+        """
+        for triple in self.liveness_triples:
+            if triple is None:
+                return False
+            first, last, first_gap = triple
+            start = max(first, 1)
+            if start > expected_round:
+                continue  # needed range is empty for this process
+            if last < expected_round:
+                return False
+            if first_gap is not None and first_gap <= expected_round:
+                return False
+        return True
+
+    def messages_per_round(self) -> float:
+        """Exact replica of :func:`repro.analysis.metrics.messages_per_completed_round`."""
+        if self.completed_round <= 0:
+            return float(self.total_messages)
+        return self.total_messages / self.completed_round
+
+    def long_run_rates(self, period: float) -> Optional[tuple[float, float]]:
+        """(slowest, fastest) long-run rates, or None if the steady interval
+        is too short (not longer than one resynchronization ``period``) for
+        accuracy to be meaningful -- the same availability gate the
+        full-trace pipeline applies."""
+        if self.end_time - self.steady_start > period and self.slowest_long_run_rate is not None:
+            return (self.slowest_long_run_rate, self.fastest_long_run_rate)
+        return None
+
+
+class OnlineMetricsRecorder(Recorder):
+    """Stream worst-case-exact metrics in O(n) memory, retaining no history.
+
+    Honest logical clocks are piecewise linear, so all worst-case quantities
+    are attained at breakpoints (hardware-clock rate changes and adjustment
+    instants).  Instead of storing the history and re-walking it afterwards,
+    this recorder evaluates skew and the accuracy envelope *as the
+    breakpoints stream past*:
+
+    * a lazy merge (heap) over each clock's static breakpoint sequence
+      supplies rate-change instants between adjustment events;
+    * adjustments at one instant are batched so the left limit ("just
+      before") and the settled value ("just after") are evaluated exactly
+      like the post-hoc analysis evaluates both sides of a jump;
+    * the accuracy envelope constants use the same one-pass drawdown/run-up
+      recursion as :func:`repro.analysis.envelope.fit_envelope`, started at
+      the steady-state instant.
+
+    The evaluation points are exactly the post-hoc analysis's evaluation
+    points, so every reported metric is float-for-float identical to the
+    full-trace pipeline -- not an approximation.
+
+    ``rate_low``/``rate_high`` parameterize the accuracy envelope fit
+    (scenarios pass the model's admissible hardware rates); when omitted the
+    envelope constants are reported as ``None``.
+
+    The recorder observes one run segment: after :meth:`finalize`, new events
+    are rejected (re-finalizing at the same end time returns the cached
+    summary).  Multi-segment runs that resume after ``run_until`` need the
+    full-trace recorder.
+    """
+
+    def __init__(self, rate_low: Optional[float] = None, rate_high: Optional[float] = None) -> None:
+        if (rate_low is None) != (rate_high is None):
+            raise ValueError("rate_low and rate_high must be given together")
+        self.rate_low = rate_low
+        self.rate_high = rate_high
+        self._procs: dict[int, _ProcState] = {}
+        self._honest: list[_ProcState] = []
+        self._sealed = False
+        self._finalized: Optional[tuple[float, OnlineMetricsSummary]] = None
+        # Merged clock-breakpoint walk.
+        self._heap: list[tuple[float, int]] = []
+        # Current adjustment batch (all events at one real-time instant).
+        self._batch_time: Optional[float] = None
+        self._batch_before: dict[int, float] = {}
+        self._batch_has_adjustment = False
+        self._batch_completes_steady = False
+        self._batch_initial = False
+        # Skew accumulators.
+        self._overall_skew = 0.0
+        self._steady_skew = 0.0
+        self._steady_start: Optional[float] = None
+        self._unsynced = 0
+        # Accuracy (active from the steady-state instant on).
+        self._worst_offset = 0.0
+        # Resynchronization structure.
+        self._period_min = float("inf")
+        self._period_max = 0.0
+        self._period_count = 0
+        self._max_adjustment: Optional[float] = None
+        self._max_backward = 0.0
+        self._acceptance_spread = 0.0
+        self._round_times: dict[int, list] = {}  # round -> [min_t, max_t, count]
+        self._crash_ceiling = math.inf  # rounds above this can never complete
+        self._notes: list[str] = []
+
+    # -- registration --------------------------------------------------------
+
+    def register_process(self, pid: int, clock: "HardwareClock", faulty: bool = False) -> None:
+        if self._sealed:
+            raise RecorderError("cannot register processes after the first recorded event")
+        if pid in self._procs:
+            raise ValueError(f"process {pid} already registered in recorder")
+        self._procs[pid] = _ProcState(pid, clock, faulty)
+
+    def _seal(self) -> None:
+        if self._sealed:
+            return
+        self._sealed = True
+        self._honest = [self._procs[pid] for pid in sorted(self._procs) if not self._procs[pid].faulty]
+        self._unsynced = len(self._honest)
+        for index, proc in enumerate(self._honest):
+            if proc.bp_seq:
+                heapq.heappush(self._heap, (proc.bp_seq[0], index))
+                proc.bp_idx = 1
+        # The post-hoc analysis always evaluates at t = 0; model that as an
+        # implicit batch so any adjustments recorded at 0 settle first.
+        self._batch_time = 0.0
+        self._batch_initial = True
+
+    # -- exact skew evaluation ----------------------------------------------
+
+    def _skew(self, t: float) -> float:
+        """Max pairwise logical-clock difference at ``t`` under current adjustments."""
+        if not self._honest:
+            return 0.0
+        lo = math.inf
+        hi = -math.inf
+        for proc in self._honest:
+            value = proc.clock.read(t) + proc.adj
+            if value < lo:
+                lo = value
+            if value > hi:
+                hi = value
+        return hi - lo
+
+    def _note_skew(self, t: float, overall: bool, steady: bool) -> None:
+        if not self._honest:
+            return
+        value = self._skew(t)
+        if overall and value > self._overall_skew:
+            self._overall_skew = value
+        if steady and self._steady_start is not None and t >= self._steady_start and value > self._steady_skew:
+            self._steady_skew = value
+
+    # -- accuracy envelope (one-pass drawdown/run-up) ------------------------
+
+    def _env_sample(self, proc: _ProcState, t: float, value: float) -> None:
+        """Feed one breakpoint sample into the per-process envelope recursion."""
+        offset = abs(value - t)
+        if offset > self._worst_offset:
+            self._worst_offset = offset
+        if self.rate_low is None:
+            return
+        g = value - self.rate_low * t
+        if g > proc.env_max_g:
+            proc.env_max_g = g
+        drawdown = proc.env_max_g - g
+        if drawdown > proc.env_drawdown:
+            proc.env_drawdown = drawdown
+        h = value - self.rate_high * t
+        if h < proc.env_min_h:
+            proc.env_min_h = h
+        rise = h - proc.env_min_h
+        if rise > proc.env_rise:
+            proc.env_rise = rise
+
+    # -- breakpoint walk ------------------------------------------------------
+
+    def _walk(self, limit: float, inclusive: bool = False) -> None:
+        """Evaluate at merged clock breakpoints below (or up to) ``limit``."""
+        heap = self._heap
+        while heap:
+            time, index = heap[0]
+            if time > limit or (time == limit and not inclusive):
+                return
+            heapq.heappop(heap)
+            proc = self._honest[index]
+            if proc.bp_idx < len(proc.bp_seq):
+                heapq.heappush(heap, (proc.bp_seq[proc.bp_idx], index))
+                proc.bp_idx += 1
+            self._note_skew(time, overall=True, steady=True)
+            if self._steady_start is not None and time >= self._steady_start:
+                self._env_sample(proc, time, proc.clock.read(time) + proc.adj)
+
+    # -- batch machinery ------------------------------------------------------
+
+    def _advance(self, t: float) -> None:
+        if self._finalized is not None:
+            raise RecorderError(
+                "OnlineMetricsRecorder cannot record past finalize(); use trace_level='full' to resume runs"
+            )
+        self._seal()
+        if self._batch_time is not None:
+            if t < self._batch_time:
+                raise RuntimeError("recorder events must arrive in time order")
+            if t > self._batch_time:
+                self._close_batch()
+        self._walk(t)
+
+    def _open_batch(self, t: float) -> None:
+        if self._batch_time is None:
+            self._batch_time = t
+
+    def _close_batch(self) -> None:
+        t = self._batch_time
+        completes_steady = self._batch_completes_steady
+        steady_active = self._steady_start is not None
+        if completes_steady:
+            # Steady state begins here: seed every honest process's envelope
+            # recursion with both sides of the t_start sample, exactly as the
+            # post-hoc _clock_samples pass does.
+            for proc in self._honest:
+                before_adj = self._batch_before.get(proc.pid, proc.adj)
+                reading = proc.clock.read(t)
+                self._env_sample(proc, t, reading + before_adj)
+                after = reading + proc.adj
+                self._env_sample(proc, t, after)
+                proc.value_at_steady = after
+        elif steady_active and t >= self._steady_start:
+            for pid, before_adj in self._batch_before.items():
+                proc = self._procs[pid]
+                reading = proc.clock.read(t)
+                self._env_sample(proc, t, reading + before_adj)
+                self._env_sample(proc, t, reading + proc.adj)
+        if self._batch_has_adjustment or self._batch_initial:
+            self._note_skew(t, overall=True, steady=steady_active)
+        elif completes_steady:
+            # A resynchronization with no clock adjustment (e.g. a pulse of a
+            # free-running baseline) is not a breakpoint of the overall range,
+            # but it *is* the steady interval's start point.
+            self._note_skew(t, overall=False, steady=True)
+        self._batch_time = None
+        self._batch_before = {}
+        self._batch_has_adjustment = False
+        self._batch_completes_steady = False
+        self._batch_initial = False
+
+    # -- event intake ----------------------------------------------------------
+
+    def on_adjustment(self, pid: int, time: float, adjustment: float) -> None:
+        proc = self._procs[pid]
+        if proc.faulty:
+            return
+        self._advance(time)
+        self._open_batch(time)
+        if not self._batch_has_adjustment and not self._batch_initial:
+            # Left limit at the first adjustment of this instant (all current
+            # adjustments are still the pre-batch ones).  The post-hoc pass
+            # evaluates it whenever t lies strictly inside the measured range.
+            inside_steady = self._steady_start is not None and time > self._steady_start
+            self._note_skew(time, overall=time > 0.0, steady=inside_steady)
+        self._batch_has_adjustment = True
+        if pid not in self._batch_before:
+            self._batch_before[pid] = proc.adj
+        proc.adj = adjustment
+
+    def on_resync(self, event: ResyncEvent) -> None:
+        proc = self._procs[event.pid]
+        if proc.faulty:
+            return
+        t = event.time
+        self._advance(t)
+        round_ = event.round
+        proc.resync_count += 1
+        if proc.resync_count == 1:
+            proc.min_round = round_
+            proc.max_round = round_
+            self._unsynced -= 1
+            if self._unsynced == 0:
+                self._open_batch(t)
+                self._batch_completes_steady = True
+                self._steady_start = t
+        else:
+            interval = t - proc.prev_resync_time
+            if proc.resync_count >= 3:
+                # Interval i sits between resyncs i and i+1; the first
+                # interval covers the start-up transient and is skipped.
+                if interval < self._period_min:
+                    self._period_min = interval
+                if interval > self._period_max:
+                    self._period_max = interval
+                self._period_count += 1
+            if round_ > proc.max_round + 1 and proc.first_gap is None:
+                proc.first_gap = proc.max_round + 1
+            if round_ < proc.min_round:
+                proc.min_round = round_
+            if round_ > proc.max_round:
+                proc.max_round = round_
+            adjustment = event.logical_after - event.logical_before
+            magnitude = abs(adjustment)
+            if self._max_adjustment is None or magnitude > self._max_adjustment:
+                self._max_adjustment = magnitude
+            backward = -min(0.0, adjustment)
+            if backward > self._max_backward:
+                self._max_backward = backward
+        proc.prev_resync_time = t
+        self._record_acceptance(round_, t)
+
+    def _record_acceptance(self, round_: int, t: float) -> None:
+        if round_ > self._crash_ceiling:
+            return
+        entry = self._round_times.get(round_)
+        if entry is None:
+            self._round_times[round_] = entry = [t, t, 0]
+        if t < entry[0]:
+            entry[0] = t
+        if t > entry[1]:
+            entry[1] = t
+        entry[2] += 1
+        if entry[2] == len(self._honest):
+            spread = entry[1] - entry[0]
+            if spread > self._acceptance_spread:
+                self._acceptance_spread = spread
+            del self._round_times[round_]
+            # Rounds at or below the globally completed round that are still
+            # incomplete were skipped by someone (acceptances are strictly
+            # increasing per process) and can never complete: drop them.
+            completed = self.min_completed_round()
+            for stale in [r for r in self._round_times if r <= completed]:
+                del self._round_times[stale]
+
+    def on_crash(self, pid: int, time: float) -> None:
+        proc = self._procs[pid]
+        proc.crashed = True
+        if not proc.faulty:
+            # A crashed honest process never accepts again: rounds above its
+            # progress can never be completed by everyone, so stop tracking.
+            ceiling = proc.max_round if proc.resync_count else 0
+            if ceiling < self._crash_ceiling:
+                self._crash_ceiling = ceiling
+                for stale in [r for r in self._round_times if r > ceiling]:
+                    del self._round_times[stale]
+
+    def on_note(self, text: str) -> None:
+        self._notes.append(text)
+
+    def min_completed_round(self) -> int:
+        if not self._honest:
+            return 0
+        worst = None
+        for proc in self._honest:
+            value = proc.max_round if proc.resync_count else 0
+            if worst is None or value < worst:
+                worst = value
+        return worst if worst is not None else 0
+
+    # -- finalization -----------------------------------------------------------
+
+    def finalize(self, end_time: float, network_stats: "NetworkStats") -> OnlineMetricsSummary:
+        if self._finalized is not None:
+            finalized_at, summary = self._finalized
+            if end_time == finalized_at:
+                return summary
+            raise RecorderError(
+                "OnlineMetricsRecorder was already finalized at a different end time; "
+                "use trace_level='full' for runs resumed with multiple run_until calls"
+            )
+        self._seal()
+        if self._batch_time is not None:
+            self._close_batch()
+        self._walk(end_time, inclusive=True)
+
+        steady_reached = self._steady_start is not None
+        self._note_skew(end_time, overall=True, steady=steady_reached)
+        if not steady_reached:
+            # Matches metrics.steady_state_start: the steady interval
+            # degenerates to the single point t = end_time.
+            self._steady_skew = self._skew(end_time)
+
+        slowest_lr = fastest_lr = envelope_a = envelope_b = worst_offset = None
+        if steady_reached and end_time > self._steady_start:
+            span = end_time - self._steady_start
+            slowest_lr = math.inf
+            fastest_lr = -math.inf
+            envelope_a = 0.0
+            envelope_b = 0.0
+            for proc in self._honest:
+                value = proc.clock.read(end_time) + proc.adj
+                self._env_sample(proc, end_time, value)
+                rate = (value - proc.value_at_steady) / span
+                slowest_lr = min(slowest_lr, rate)
+                fastest_lr = max(fastest_lr, rate)
+                if self.rate_low is not None:
+                    envelope_a = max(envelope_a, proc.env_drawdown)
+                    envelope_b = max(envelope_b, proc.env_rise)
+            if self.rate_low is None:
+                envelope_a = envelope_b = None
+            worst_offset = self._worst_offset
+
+        triples = tuple(
+            (proc.min_round, proc.max_round, proc.first_gap) if proc.resync_count else None
+            for proc in self._honest
+        )
+        summary = OnlineMetricsSummary(
+            end_time=end_time,
+            steady_start=self._steady_start if steady_reached else end_time,
+            steady_skew=self._steady_skew,
+            overall_skew=self._overall_skew,
+            period_min=self._period_min,
+            period_max=self._period_max,
+            period_count=self._period_count,
+            acceptance_spread=self._acceptance_spread,
+            max_adjustment=self._max_adjustment,
+            max_backward_adjustment=self._max_backward,
+            completed_round=self.min_completed_round(),
+            max_round=max((p.max_round for p in self._honest if p.resync_count), default=0),
+            liveness_triples=triples,
+            slowest_long_run_rate=slowest_lr,
+            fastest_long_run_rate=fastest_lr,
+            envelope_a=envelope_a,
+            envelope_b=envelope_b,
+            worst_offset_from_real_time=worst_offset,
+            total_messages=network_stats.total_messages,
+            message_stats=dict(network_stats.messages_by_type),
+            notes=list(self._notes),
+        )
+        self._finalized = (end_time, summary)
+        return summary
+
+    # -- introspection -----------------------------------------------------------
+
+    def retained_state_size(self) -> int:
+        """Number of dynamically retained bookkeeping entries.
+
+        Used by tests and benchmarks to demonstrate that memory stays O(n):
+        unlike a full trace, this count does not grow with run length.
+        """
+        return (
+            len(self._procs)
+            + len(self._heap)
+            + len(self._batch_before)
+            + len(self._round_times)
+            + len(self._notes)
+        )

@@ -6,6 +6,7 @@ from .scenarios import (
     CLOCK_MODES,
     DELAY_MODES,
     ST_ALGORITHMS,
+    TRACE_LEVELS,
     ClusterHandles,
     Scenario,
     ScenarioResult,
@@ -25,6 +26,7 @@ __all__ = [
     "ALL_ALGORITHMS",
     "CLOCK_MODES",
     "DELAY_MODES",
+    "TRACE_LEVELS",
     "grid",
     "scenario_sweep",
     "run_sweep",

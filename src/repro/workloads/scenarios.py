@@ -17,7 +17,13 @@ from typing import Optional
 
 from ..analysis import metrics
 from ..analysis.envelope import AccuracySummary, accuracy_summary
-from ..analysis.optimality import GuaranteeReport, verify_guarantees
+from ..analysis.optimality import (
+    ExecutionMeasurements,
+    GuaranteeReport,
+    period_stats_from_summary,
+    verify_measurements,
+    verify_summary,
+)
 from ..baselines import (
     FreeRunningProcess,
     InflatedClockAttacker,
@@ -35,6 +41,7 @@ from ..faults.behaviors import AdversaryContext, SilentFaulty
 from ..faults.strategies import make_faulty_processes
 from ..sim.clocks import FixedRateClock, HardwareClock, drifting_clock, spread_offsets
 from ..sim.engine import Simulation
+from ..sim.recorder import OnlineMetricsRecorder, OnlineMetricsSummary, Recorder
 from ..sim.network import (
     DelayPolicy,
     FixedDelay,
@@ -53,6 +60,9 @@ ALL_ALGORITHMS = ST_ALGORITHMS + BASELINE_ALGORITHMS
 
 CLOCK_MODES = ("extreme", "random", "nominal")
 DELAY_MODES = ("uniform", "max", "min", "midpoint", "targeted")
+#: Observation depth: "full" keeps the whole execution trace (exact
+#: history-based analysis), "metrics" streams scalar metrics in O(n) memory.
+TRACE_LEVELS = ("full", "metrics")
 
 
 @dataclass
@@ -151,10 +161,17 @@ class ClusterHandles:
 
 @dataclass
 class ScenarioResult:
-    """Measurements of one executed scenario."""
+    """Measurements of one executed scenario.
+
+    ``trace`` is only populated at ``trace_level="full"``; the scalar metrics
+    are identical between trace levels (the streaming recorder evaluates the
+    same breakpoints the post-hoc analysis walks).  At ``trace_level="metrics"``
+    the accuracy summary reports the window-rate extremes as ``nan`` -- they
+    are the one measurement that requires retained history.
+    """
 
     scenario: Scenario
-    trace: Trace
+    trace: Optional[Trace]
     #: Worst-case skew among honest processes after every one of them
     #: resynchronized at least once.
     precision: float
@@ -167,6 +184,7 @@ class ScenarioResult:
     total_messages: int
     messages_per_round: float
     guarantees: Optional[GuaranteeReport]
+    trace_level: str = "full"
 
     @property
     def params(self) -> SyncParams:
@@ -244,10 +262,29 @@ def _make_faulty_processes(scenario: Scenario, context: AdversaryContext, keysto
     raise ValueError(f"attack {attack!r} is not applicable to baseline algorithm {scenario.algorithm!r}")
 
 
-def build_cluster(scenario: Scenario) -> ClusterHandles:
-    """Assemble a ready-to-run simulation for ``scenario``."""
+def _make_recorder(scenario: Scenario, trace_level: str) -> Optional[Recorder]:
+    if trace_level not in TRACE_LEVELS:
+        raise ValueError(f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}")
+    if trace_level == "full":
+        return None  # the engine's default FullTraceRecorder
     params = scenario.params
-    sim = Simulation(tmin=params.tmin, tdel=params.tdel, seed=scenario.seed)
+    return OnlineMetricsRecorder(rate_low=params.min_rate, rate_high=params.max_rate)
+
+
+def build_cluster(scenario: Scenario, trace_level: str = "full") -> ClusterHandles:
+    """Assemble a ready-to-run simulation for ``scenario``.
+
+    ``trace_level`` selects the recorder the engine emits into: ``"full"``
+    keeps the complete execution trace, ``"metrics"`` streams scalar metrics
+    in O(n) memory (no history retained).
+    """
+    params = scenario.params
+    sim = Simulation(
+        tmin=params.tmin,
+        tdel=params.tdel,
+        seed=scenario.seed,
+        recorder=_make_recorder(scenario, trace_level),
+    )
 
     keystore: Optional[KeyStore] = None
     if scenario.algorithm == "auth":
@@ -300,33 +337,15 @@ def build_cluster(scenario: Scenario) -> ClusterHandles:
     )
 
 
-def run_scenario(scenario: Scenario, check_guarantees: Optional[bool] = None) -> ScenarioResult:
-    """Build, run and measure ``scenario``.
-
-    ``check_guarantees`` controls whether the Srikanth-Toueg analytic bounds
-    are evaluated against the trace; by default they are evaluated exactly
-    when the scenario runs an ST algorithm within its resilience bound under a
-    tolerated attack.
-    """
-    handles = build_cluster(scenario)
-    sim = handles.sim
-    horizon = scenario.horizon()
-    trace = sim.run_until_round(scenario.rounds, t_max=horizon)
-
+def _resolve_check(scenario: Scenario, check_guarantees: Optional[bool]) -> bool:
     st_scenario = scenario.algorithm in ST_ALGORITHMS
     if check_guarantees is None:
         within_spec = scenario.actual_faults <= scenario.params.f
         check_guarantees = st_scenario and within_spec
+    return st_scenario and bool(check_guarantees)
 
-    guarantees: Optional[GuaranteeReport] = None
-    if check_guarantees and st_scenario:
-        guarantees = verify_guarantees(
-            trace,
-            scenario.params,
-            algorithm=scenario.st_algorithm,
-            expected_round=scenario.rounds,
-        )
 
+def _measure_full(scenario: Scenario, trace: Trace, check: bool) -> ScenarioResult:
     steady = metrics.steady_state_start(trace)
     accuracy: Optional[AccuracySummary] = None
     if trace.end_time - steady > scenario.params.period:
@@ -338,16 +357,115 @@ def run_scenario(scenario: Scenario, check_guarantees: Optional[bool] = None) ->
             t_end=trace.end_time,
         )
 
+    precision = metrics.steady_state_skew(trace)
+    period_stats = metrics.period_stats(trace)
+    acceptance_spread = metrics.max_acceptance_spread(trace)
+    completed_round = trace.min_completed_round()
+
+    guarantees: Optional[GuaranteeReport] = None
+    if check:
+        # Reuse the measurements computed above instead of re-walking the
+        # trace inside verify_guarantees (the long-run rates are independent
+        # of the envelope's rate bounds, so the result-level accuracy summary
+        # supplies exactly the values the guarantee checks compare).
+        adjustments = metrics.adjustment_magnitudes(trace)
+        measured = ExecutionMeasurements(
+            steady_skew=precision,
+            acceptance_spread=acceptance_spread,
+            period_stats=period_stats,
+            max_adjustment=max(adjustments) if adjustments else None,
+            min_completed_round=completed_round,
+            liveness_ok=metrics.liveness(trace, scenario.rounds),
+            long_run_rates=(
+                (accuracy.slowest_long_run_rate, accuracy.fastest_long_run_rate)
+                if accuracy is not None
+                else None
+            ),
+        )
+        guarantees = verify_measurements(
+            measured,
+            scenario.params,
+            algorithm=scenario.st_algorithm,
+            expected_round=scenario.rounds,
+        )
+
     return ScenarioResult(
         scenario=scenario,
         trace=trace,
-        precision=metrics.steady_state_skew(trace),
+        precision=precision,
         precision_overall=metrics.max_skew(trace),
-        period_stats=metrics.period_stats(trace),
-        acceptance_spread=metrics.max_acceptance_spread(trace),
+        period_stats=period_stats,
+        acceptance_spread=acceptance_spread,
         accuracy=accuracy,
-        completed_round=trace.min_completed_round(),
+        completed_round=completed_round,
         total_messages=trace.total_messages,
         messages_per_round=metrics.messages_per_completed_round(trace),
         guarantees=guarantees,
+        trace_level="full",
     )
+
+
+def _measure_streamed(scenario: Scenario, summary: OnlineMetricsSummary, check: bool) -> ScenarioResult:
+    guarantees: Optional[GuaranteeReport] = None
+    if check:
+        guarantees = verify_summary(
+            summary,
+            scenario.params,
+            algorithm=scenario.st_algorithm,
+            expected_round=scenario.rounds,
+        )
+
+    accuracy: Optional[AccuracySummary] = None
+    rates = summary.long_run_rates(scenario.params.period)
+    if rates is not None:
+        accuracy = AccuracySummary(
+            slowest_long_run_rate=rates[0],
+            fastest_long_run_rate=rates[1],
+            # Window-rate extremes need a quadratic pass over retained
+            # breakpoint samples; the streaming path does not keep them.
+            slowest_window_rate=float("nan"),
+            fastest_window_rate=float("nan"),
+            envelope_a=summary.envelope_a,
+            envelope_b=summary.envelope_b,
+            worst_offset_from_real_time=summary.worst_offset_from_real_time,
+        )
+
+    return ScenarioResult(
+        scenario=scenario,
+        trace=None,
+        precision=summary.steady_skew,
+        precision_overall=summary.overall_skew,
+        period_stats=period_stats_from_summary(summary),
+        acceptance_spread=summary.acceptance_spread,
+        accuracy=accuracy,
+        completed_round=summary.completed_round,
+        total_messages=summary.total_messages,
+        messages_per_round=summary.messages_per_round(),
+        guarantees=guarantees,
+        trace_level="metrics",
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    check_guarantees: Optional[bool] = None,
+    trace_level: str = "full",
+) -> ScenarioResult:
+    """Build, run and measure ``scenario``.
+
+    ``check_guarantees`` controls whether the Srikanth-Toueg analytic bounds
+    are evaluated against the execution; by default they are evaluated exactly
+    when the scenario runs an ST algorithm within its resilience bound under a
+    tolerated attack.  ``trace_level="metrics"`` runs the whole pipeline
+    without constructing a trace: the engine streams the scalar measurements
+    (identical values, O(n) memory) and ``result.trace`` is ``None``.
+    """
+    handles = build_cluster(scenario, trace_level=trace_level)
+    sim = handles.sim
+    horizon = scenario.horizon()
+    observed = sim.run_until_round(scenario.rounds, t_max=horizon)
+
+    check = _resolve_check(scenario, check_guarantees)
+    if trace_level == "metrics":
+        return _measure_streamed(scenario, observed, check)
+    return _measure_full(scenario, observed, check)

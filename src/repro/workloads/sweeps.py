@@ -55,6 +55,7 @@ def run_sweep(
     check_guarantees=None,
     callback: Optional[Callable[[ScenarioResult], None]] = None,
     runner=None,
+    trace_level: str = "full",
 ) -> list[ScenarioResult]:
     """Run every scenario and return the results in input order.
 
@@ -63,10 +64,15 @@ def run_sweep(
     :mod:`repro.runner.config`), which may parallelize across worker
     processes and serve repeated grid points from the on-disk result cache.
     ``check_guarantees`` is a single flag for the whole sweep or a sequence
-    with one entry per scenario.
+    with one entry per scenario.  ``trace_level`` selects the observation
+    depth (``"full"`` keeps traces, ``"metrics"`` streams scalars in O(n)
+    memory); sweeps that only read scalar metrics should pass ``"metrics"``
+    so large grids skip trace construction entirely.
     """
     if runner is None:
         from ..runner.config import get_runner
 
         runner = get_runner()
-    return runner.run_sweep(scenarios, check_guarantees=check_guarantees, callback=callback)
+    return runner.run_sweep(
+        scenarios, check_guarantees=check_guarantees, callback=callback, trace_level=trace_level
+    )

@@ -1,0 +1,246 @@
+"""Unit tests for the pluggable instrumentation layer (sim/recorder.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.signatures import digest_cache_info, message_digest, sign
+from repro.experiments.common import benign_scenario, default_params
+from repro.sim.clocks import FixedRateClock
+from repro.sim.engine import Simulation
+from repro.sim.network import FixedDelay
+from repro.sim.process import Process
+from repro.sim.recorder import (
+    FullTraceRecorder,
+    OnlineMetricsRecorder,
+    Recorder,
+    RecorderError,
+)
+from repro.sim.trace import ResyncEvent
+from repro.workloads.scenarios import build_cluster
+
+
+def make_sim(recorder=None, delay=0.005, tdel=0.01, seed=0):
+    return Simulation(tmin=0.0, tdel=tdel, delay_policy=FixedDelay(delay), seed=seed, recorder=recorder)
+
+
+class Pinger(Process):
+    """Sends one broadcast at boot; counts deliveries."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_start(self):
+        self.broadcast(("ping", self.pid))
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+# -- engine regression ---------------------------------------------------------
+
+
+def test_run_until_resets_stale_stop_flag():
+    """A stop condition that fired in one run must not freeze the next run's clock.
+
+    Regression: ``_stopped`` used to survive an early-stopped ``run_until``,
+    so the following ``run_until`` skipped the advance to ``t_end``.
+    """
+    sim = make_sim()
+    sim.add_process(Pinger(0), FixedRateClock())
+    sim.stop_condition = lambda s: True  # stop on the very first event
+    sim.run_until(1.0)
+    assert sim.stopped_early
+    assert sim.now < 1.0
+
+    sim.stop_condition = None
+    trace = sim.run_until(2.0)
+    assert not sim.stopped_early
+    assert sim.now == 2.0
+    assert trace.end_time == 2.0
+
+
+# -- recorder protocol ---------------------------------------------------------
+
+
+class _SpyRecorder(FullTraceRecorder):
+    def __init__(self):
+        super().__init__()
+        self.messages = []
+        self.crashes = []
+
+    def on_message(self, envelope):
+        self.messages.append((envelope.sender, envelope.dest, envelope.payload))
+
+    def on_crash(self, pid, time):
+        self.crashes.append((pid, time))
+        super().on_crash(pid, time)
+
+
+def test_network_and_halt_emit_into_recorder():
+    spy = _SpyRecorder()
+    sim = make_sim(recorder=spy)
+    a = sim.add_process(Pinger(0), FixedRateClock())
+    sim.add_process(Pinger(1), FixedRateClock())
+    sim.run_until(0.1)
+    assert (0, 1, ("ping", 0)) in spy.messages
+    assert (1, 0, ("ping", 1)) in spy.messages
+    assert len(spy.messages) == sim.network.stats.total_messages
+
+    a.halt()
+    assert spy.crashes == [(0, sim.now)]
+    assert a.trace.crashed_at == sim.now
+
+
+def test_default_recorder_is_full_trace():
+    sim = make_sim()
+    assert isinstance(sim.recorder, Recorder)
+    sim.add_process(Pinger(0), FixedRateClock())
+    trace = sim.run_until(0.5)
+    assert sim.trace is trace
+    assert 0 in trace.processes
+
+
+# -- online metrics recorder ----------------------------------------------------
+
+
+def test_metrics_recorder_refuses_trace_access():
+    recorder = OnlineMetricsRecorder()
+    sim = make_sim(recorder=recorder)
+    proc = sim.add_process(Pinger(0), FixedRateClock())
+    with pytest.raises(RecorderError):
+        _ = sim.trace
+    with pytest.raises(RecorderError):
+        _ = proc.trace
+
+
+def test_metrics_recorder_rejects_late_registration():
+    recorder = OnlineMetricsRecorder()
+    clock = FixedRateClock()
+    recorder.register_process(0, clock)
+    recorder.on_resync(ResyncEvent(pid=0, round=1, time=1.0, logical_before=1.0, logical_after=1.0))
+    with pytest.raises(RecorderError):
+        recorder.register_process(1, clock)
+
+
+def test_metrics_recorder_rejects_duplicate_pid():
+    recorder = OnlineMetricsRecorder()
+    recorder.register_process(0, FixedRateClock())
+    with pytest.raises(ValueError):
+        recorder.register_process(0, FixedRateClock())
+
+
+def test_metrics_recorder_single_segment_contract():
+    """Finalize is idempotent at one end time; resumed runs need full traces."""
+    recorder = OnlineMetricsRecorder()
+    sim = make_sim(recorder=recorder)
+    sim.add_process(Pinger(0), FixedRateClock())
+    summary = sim.run_until(1.0)
+    assert sim.run_until(1.0) is summary  # same segment: cached summary
+    with pytest.raises(RecorderError):
+        sim.run_until(2.0)  # a longer resumed segment is not supported
+
+
+def test_metrics_memory_is_independent_of_run_length():
+    """The streaming recorder's state does not grow with rounds simulated."""
+    footprints = {}
+    for rounds in (4, 12):
+        scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=rounds, seed=2)
+        handles = build_cluster(scenario, trace_level="metrics")
+        handles.sim.run_until_round(scenario.rounds, t_max=scenario.horizon())
+        recorder = handles.sim.recorder
+        assert isinstance(recorder, OnlineMetricsRecorder)
+        footprints[rounds] = recorder.retained_state_size()
+    assert footprints[4] == footprints[12]
+
+    # The full trace, by contrast, grows linearly with the number of rounds.
+    sizes = {}
+    for rounds in (4, 12):
+        scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=rounds, seed=2)
+        handles = build_cluster(scenario, trace_level="full")
+        trace = handles.sim.run_until_round(scenario.rounds, t_max=scenario.horizon())
+        sizes[rounds] = sum(len(p.resyncs) + len(p.adjustment_times) for p in trace.processes.values())
+    assert sizes[12] > 2 * sizes[4]
+
+
+def test_liveness_replica_matches_semantics():
+    from repro.sim.recorder import OnlineMetricsSummary
+
+    def summary_with(triples):
+        return OnlineMetricsSummary(
+            end_time=1.0,
+            steady_start=0.0,
+            steady_skew=0.0,
+            overall_skew=0.0,
+            period_min=float("inf"),
+            period_max=0.0,
+            period_count=0,
+            acceptance_spread=0.0,
+            max_adjustment=None,
+            max_backward_adjustment=0.0,
+            completed_round=0,
+            max_round=0,
+            liveness_triples=triples,
+            slowest_long_run_rate=None,
+            fastest_long_run_rate=None,
+            envelope_a=None,
+            envelope_b=None,
+            worst_offset_from_real_time=None,
+            total_messages=0,
+            message_stats={},
+            notes=[],
+        )
+
+    assert not summary_with((None,)).liveness(1)  # never resynchronized
+    assert summary_with(((1, 3, None),)).liveness(3)  # contiguous 1..3
+    assert not summary_with(((1, 3, None),)).liveness(4)  # short of round 4
+    assert not summary_with(((0, 3, 2),)).liveness(3)  # gap at round 2
+    assert summary_with(((0, 3, None),)).liveness(3)  # round 0 counts from 1
+    assert summary_with(((5, 6, None),)).liveness(3)  # late joiner: needed range empty
+
+
+# -- signature digest memoization ----------------------------------------------
+
+
+def test_message_digest_is_memoized_for_frozen_messages(keystore):
+    from repro.core.messages import RoundContent
+
+    message = RoundContent(round=40941)
+    before = digest_cache_info()
+    first = message_digest(message)
+    # Sign + many verifies of the same message: every lookup after the first
+    # canonicalisation is a cache hit.
+    signature = sign(keystore.secret_key(0), message)
+    for _ in range(5):
+        assert keystore.verify(signature, message)
+    assert message_digest(RoundContent(round=40941)) == first  # equality-keyed
+    after = digest_cache_info()
+    # One canonicalisation (the miss); sign, five verifies and the
+    # equal-but-distinct lookup all hit the memo.
+    assert after.misses == before.misses + 1
+    assert after.hits == before.hits + 7
+
+
+def test_message_digest_lists_share_tuple_cache_entries():
+    # Lists and tuples have the same canonical form, so they share a digest
+    # (and a memo entry).
+    assert message_digest(["a", ["b", 1]]) == message_digest(("a", ("b", 1)))
+
+
+def test_message_digest_rejects_unsupported_types_despite_memo():
+    with pytest.raises(TypeError):
+        message_digest({"a": 1})  # unsupported leaf: same error as uncached
+
+
+def test_message_digest_cache_distinguishes_equal_but_distinct_values():
+    """Python equality conflates 1 == 1.0 == True and 0.0 == -0.0; the memo key must not."""
+    assert message_digest((1, 2)) != message_digest((1.0, 2))
+    assert message_digest((1, 2)) != message_digest((True, 2))
+    assert message_digest((0,)) != message_digest((False,))
+    assert message_digest((0.0,)) != message_digest((-0.0,))
+    # And the memoized digests still match the uncached canonical hashes.
+    from repro.crypto.signatures import _compute_digest
+
+    for message in ((1, 2), (1.0, 2), (True, 2), (0.0,), (-0.0,)):
+        assert message_digest(message) == _compute_digest(message)

@@ -1,0 +1,137 @@
+"""Recorder parity: the streaming metrics path equals the full-trace path.
+
+For a seed x scenario grid -- covering both Srikanth-Toueg variants, the
+baselines, benign and Byzantine adversaries (including crash faults),
+start-up, late joiners and the monotonic ablation -- every scalar metric
+reported by ``trace_level="metrics"`` must be float-for-float identical to
+the value computed from the full trace via :mod:`repro.analysis.metrics` /
+:mod:`repro.analysis.envelope`.  Exact equality (``==``, no tolerance) is
+the contract: the online recorder evaluates the very same breakpoints the
+post-hoc analysis walks, so it is not an approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.common import adversarial_scenario, benign_scenario, default_params
+from repro.workloads.scenarios import Scenario, run_scenario
+
+ACCURACY_EXACT_FIELDS = (
+    "slowest_long_run_rate",
+    "fastest_long_run_rate",
+    "envelope_a",
+    "envelope_b",
+    "worst_offset_from_real_time",
+)
+
+
+def _grid() -> list[Scenario]:
+    scenarios: list[Scenario] = []
+    for seed in (0, 11):
+        scenarios.append(
+            adversarial_scenario(default_params(7, authenticated=True), "auth", attack="eager", rounds=6, seed=seed)
+        )
+        scenarios.append(
+            adversarial_scenario(
+                default_params(7, authenticated=False), "echo", attack="skew_max", rounds=6, seed=seed
+            )
+        )
+    scenarios.append(
+        adversarial_scenario(default_params(7, authenticated=True), "auth", attack="crash", rounds=6, seed=3)
+    )
+    scenarios.append(
+        adversarial_scenario(default_params(7, authenticated=False), "echo", attack="crash", rounds=6, seed=4)
+    )
+    # Benign scenarios use "random" (drifting piecewise-linear) clocks, which
+    # exercise the breakpoint walk hardest.
+    scenarios.append(benign_scenario(default_params(5, authenticated=True), "auth", rounds=5, seed=5))
+    scenarios.append(benign_scenario(default_params(7, authenticated=False), "echo", rounds=5, seed=6))
+    # Out-of-spec fault load (no guarantee checking by default).
+    scenarios.append(
+        adversarial_scenario(
+            default_params(5, authenticated=True, f=1), "auth", attack="eager", rounds=5, seed=7, actual_faults=2
+        )
+    )
+    # Start-up from scratch and a late joiner.
+    scenarios.append(
+        Scenario(
+            params=default_params(5, authenticated=True),
+            algorithm="auth",
+            attack="silent",
+            rounds=5,
+            use_startup=True,
+            boot_spread=0.004,
+            clock_mode="extreme",
+            delay_mode="uniform",
+            seed=8,
+        )
+    )
+    scenarios.append(
+        Scenario(
+            params=default_params(5, authenticated=True),
+            algorithm="auth",
+            attack="silent",
+            rounds=6,
+            joiner_count=1,
+            join_time=2.5,
+            clock_mode="extreme",
+            delay_mode="uniform",
+            seed=9,
+        )
+    )
+    # Monotonic ablation (suppressed backward corrections).
+    scenarios.append(
+        adversarial_scenario(
+            default_params(7, authenticated=True), "auth", attack="skew_max", rounds=5, seed=10, monotonic=True
+        )
+    )
+    # Baselines: averaging, naive follow-the-max, and free-running pulses.
+    scenarios.append(benign_scenario(default_params(5, authenticated=False), "lundelius_welch", rounds=4, seed=12))
+    scenarios.append(
+        benign_scenario(default_params(5, authenticated=False), "lamport_melliar_smith", rounds=4, seed=13)
+    )
+    scenarios.append(benign_scenario(default_params(5, authenticated=False), "sync_to_max", rounds=4, seed=14))
+    scenarios.append(benign_scenario(default_params(5, authenticated=False), "free_running", rounds=4, seed=15))
+    return scenarios
+
+
+@pytest.mark.parametrize("scenario", _grid(), ids=lambda s: f"{s.name}-seed{s.seed}")
+def test_streamed_metrics_equal_full_trace(scenario: Scenario) -> None:
+    full = run_scenario(scenario, trace_level="full")
+    fast = run_scenario(scenario, trace_level="metrics")
+
+    assert full.trace is not None and full.trace_level == "full"
+    assert fast.trace is None and fast.trace_level == "metrics"
+
+    # Precision (steady-state and overall worst-case skew): exact.
+    assert fast.precision == full.precision
+    assert fast.precision_overall == full.precision_overall
+
+    # Resynchronization structure: exact.
+    assert fast.period_stats == full.period_stats
+    assert fast.acceptance_spread == full.acceptance_spread
+
+    # Rounds and message complexity: exact.
+    assert fast.completed_round == full.completed_round
+    assert fast.total_messages == full.total_messages
+    assert fast.messages_per_round == full.messages_per_round
+
+    # Accuracy: same presence; exact on every streamable quantity.
+    assert (fast.accuracy is None) == (full.accuracy is None)
+    if full.accuracy is not None:
+        for field in ACCURACY_EXACT_FIELDS:
+            assert getattr(fast.accuracy, field) == getattr(full.accuracy, field), field
+        # Window-rate extremes need retained history: reported as nan.
+        assert math.isnan(fast.accuracy.slowest_window_rate)
+        assert math.isnan(fast.accuracy.fastest_window_rate)
+
+    # Guarantee verdicts: same checks, same measured values, same bounds.
+    assert (fast.guarantees is None) == (full.guarantees is None)
+    if full.guarantees is not None:
+        full_checks = [(c.name, c.measured, c.bound, c.holds, c.direction) for c in full.guarantees.checks]
+        fast_checks = [(c.name, c.measured, c.bound, c.holds, c.direction) for c in fast.guarantees.checks]
+        assert fast_checks == full_checks
+        assert fast.guarantees_hold == full.guarantees_hold
