@@ -49,23 +49,40 @@ def test_metrics_only_scaling_run(benchmark):
 
 
 def test_metrics_memory_constant_in_run_length(benchmark):
+    """The streaming core's state is run-length independent.
+
+    The one deliberate exception is the window-rate sample buffer (exact
+    window extremes need the steady-window breakpoint samples): it grows with
+    the number of *resynchronizations* -- two floats per adjustment, nothing
+    per message -- and vanishes under ``window_rates=False``.  The core
+    bookkeeping that is touched per event stays exactly constant.
+    """
     short_rounds = 3 if QUICK_DEFAULT else 6
     long_rounds = 4 * short_rounds
 
-    def observe(rounds: int) -> int:
+    def observe(rounds: int) -> tuple[int, int]:
         scenario = _scaled_scenario(rounds)
         handles = build_cluster(scenario, trace_level="metrics")
-        handles.sim.run_until_round(scenario.rounds, t_max=scenario.horizon())
+        handles.sim.run_until_round(scenario.rounds, t_max=scenario.horizon(), adaptive=True)
         recorder = handles.sim.recorder
         assert isinstance(recorder, OnlineMetricsRecorder)
-        return recorder.retained_state_size()
+        return recorder.retained_state_size(), recorder.retained_window_samples()
 
-    short_footprint = benchmark.pedantic(observe, args=(short_rounds,), iterations=1, rounds=1)
-    long_footprint = observe(long_rounds)
-    assert long_footprint == short_footprint, (
-        f"streaming recorder state grew with run length: {short_footprint} -> {long_footprint}"
+    short_core, short_win = benchmark.pedantic(observe, args=(short_rounds,), iterations=1, rounds=1)
+    long_core, long_win = observe(long_rounds)
+    assert long_core == short_core, (
+        f"streaming recorder core state grew with run length: {short_core} -> {long_core}"
     )
+    # Window samples scale with resynchronization count only: 4x the rounds
+    # must stay within ~4x the samples (never with the O(n^2)-per-round
+    # message/event volume, which would be two orders of magnitude more).
+    assert long_win <= 4 * short_win + 8 * SCALED_N, (
+        f"window-rate samples grew faster than the resynchronization count: "
+        f"{short_win} ({short_rounds} rounds) -> {long_win} ({long_rounds} rounds)"
+    )
+
     print(
         f"\n[trace-level scaling] retained recorder entries at n={SCALED_N}: "
-        f"{short_footprint} ({short_rounds} rounds) == {long_footprint} ({long_rounds} rounds)"
+        f"core {short_core} ({short_rounds} rounds) == {long_core} ({long_rounds} rounds); "
+        f"window samples {short_win} -> {long_win} (resync-bound)"
     )

@@ -54,30 +54,139 @@ class RateExtremes:
     min_window: float
 
 
+def _pairwise_window_extremes(
+    times: Sequence[float], values: Sequence[float], min_window: float
+) -> Optional[tuple[float, float]]:
+    """Quadratic reference: (slowest, fastest) window rates, or None if no pair fits.
+
+    Kept as the ground truth the hull pass is property-tested against.
+    """
+    slowest = float("inf")
+    fastest = float("-inf")
+    count = len(times)
+    for i in range(count):
+        t1 = times[i]
+        v1 = values[i]
+        for j in range(i + 1, count):
+            width = times[j] - t1
+            if width < min_window or width <= 0:
+                continue
+            rate = (values[j] - v1) / width
+            slowest = min(slowest, rate)
+            fastest = max(fastest, rate)
+    if slowest == float("inf"):
+        return None
+    return (slowest, fastest)
+
+
+def _hull_max_rate(times: Sequence[float], values: Sequence[float], min_window: float) -> Optional[float]:
+    """Maximum average rate over sample pairs at least ``min_window`` apart.
+
+    The classic maximum-average-segment sweep: walk the right endpoint in
+    time order while folding every sample that has fallen at least
+    ``min_window`` behind it into a lower convex hull of candidate left
+    endpoints; the best left endpoint for a given right endpoint is the
+    tangent vertex of that hull (the slope along a lower-convex chain seen
+    from a point on the right is unimodal), found by binary search.  Work is
+    O(k log h) for k samples and hull size h instead of the quadratic pair
+    scan, and the only state beyond the samples is hull-bounded.
+    """
+    count = len(times)
+    best: Optional[float] = None
+    hull_t: list[float] = []
+    hull_v: list[float] = []
+    include = 0  # next sample to become an eligible left endpoint
+    for j in range(count):
+        tj = times[j]
+        vj = values[j]
+        # Eligibility must use the same float expressions as the pair scan
+        # (``width >= min_window`` and ``width > 0`` -- the positive-width
+        # guard matters when min_window <= 0), not algebraic rearrangements.
+        # Widths are nonincreasing in ``include``, so the first ineligible
+        # sample ends the scan for this right endpoint.
+        while include < count:
+            t = times[include]
+            width = tj - t
+            if width < min_window or width <= 0:
+                break
+            v = values[include]
+            include += 1
+            if hull_t and t == hull_t[-1]:
+                if v >= hull_v[-1]:
+                    continue  # the higher of two equal-time points never wins
+                hull_t.pop()
+                hull_v.pop()
+            while len(hull_t) >= 2:
+                # Pop the middle point when it lies on or above the chord.
+                cross = (hull_t[-1] - hull_t[-2]) * (v - hull_v[-2]) - (
+                    hull_v[-1] - hull_v[-2]
+                ) * (t - hull_t[-2])
+                if cross <= 0.0:
+                    hull_t.pop()
+                    hull_v.pop()
+                else:
+                    break
+            hull_t.append(t)
+            hull_v.append(v)
+        if not hull_t:
+            continue
+        lo = 0
+        hi = len(hull_t) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            # slope(mid+1 -> j) >= slope(mid -> j): keep climbing right.
+            left = (vj - hull_v[mid]) * (tj - hull_t[mid + 1])
+            right = (vj - hull_v[mid + 1]) * (tj - hull_t[mid])
+            if left <= right:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Evaluate the binary-search landing and its neighbours so a
+        # rounding-perturbed comparison cannot cost the true optimum.
+        for k in (lo - 1, lo, lo + 1):
+            if 0 <= k < len(hull_t):
+                rate = (vj - hull_v[k]) / (tj - hull_t[k])
+                if best is None or rate > best:
+                    best = rate
+    return best
+
+
+def window_rate_extremes(
+    times: Sequence[float], values: Sequence[float], min_window: float
+) -> Optional[tuple[float, float]]:
+    """Exact (slowest, fastest) average rates over windows >= ``min_window``.
+
+    ``times`` must be nondecreasing (both sides of a jump appear as two
+    samples at the same time).  Returns ``None`` when no pair of samples is
+    at least ``min_window`` apart.  Both observation paths -- the post-hoc
+    :func:`rate_extremes` and the streaming recorder -- call this one
+    function on the same breakpoint samples, so their window-rate extremes
+    are float-for-float identical by construction.
+    """
+    fastest = _hull_max_rate(times, values, min_window)
+    if fastest is None:
+        return None
+    negated = [-v for v in values]
+    slowest = -_hull_max_rate(times, negated, min_window)
+    return (slowest, fastest)
+
+
 def rate_extremes(ptrace: ProcessTrace, t_start: float, t_end: float, min_window: float) -> RateExtremes:
     """Exact extreme window rates of one logical clock.
 
     Because the clock is piecewise linear, the extreme average rates over
     windows of length at least ``min_window`` are attained with both window
-    endpoints at breakpoints (or at the interval ends), so a quadratic pass
-    over the breakpoint samples is exact.
+    endpoints at breakpoints (or at the interval ends), so a pass over the
+    breakpoint samples is exact; :func:`window_rate_extremes` performs it
+    with a convex-hull sweep instead of the quadratic pair scan.
     """
     samples = _clock_samples(ptrace, t_start, t_end)
-    slowest = float("inf")
-    fastest = float("-inf")
-    for i, (t1, v1) in enumerate(samples):
-        for t2, v2 in samples[i + 1:]:
-            width = t2 - t1
-            if width < min_window or width <= 0:
-                continue
-            rate = (v2 - v1) / width
-            slowest = min(slowest, rate)
-            fastest = max(fastest, rate)
-    if slowest == float("inf"):
+    extremes = window_rate_extremes([t for t, _ in samples], [v for _, v in samples], min_window)
+    if extremes is None:
         # Window longer than the run: fall back to the long-run rate.
         rate = long_run_rate(ptrace, t_start, t_end)
-        slowest = fastest = rate
-    return RateExtremes(slowest=slowest, fastest=fastest, min_window=min_window)
+        return RateExtremes(slowest=rate, fastest=rate, min_window=min_window)
+    return RateExtremes(slowest=extremes[0], fastest=extremes[1], min_window=min_window)
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,11 @@ class Table:
             )
         self.rows.append(list(values))
 
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append many rows (e.g. the output of a streamed sweep fold)."""
+        for row in rows:
+            self.add_row(*row)
+
     def add_note(self, note: str) -> None:
         self.notes.append(note)
 

@@ -102,6 +102,8 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
     data: dict[str, Any] = {
         "scenario": scenario_to_dict(result.scenario),
         "trace_level": getattr(result, "trace_level", "full"),
+        "effective_horizon": getattr(result, "effective_horizon", None),
+        "stopped_early": getattr(result, "stopped_early", False),
         "precision": result.precision,
         "precision_overall": result.precision_overall,
         "acceptance_spread": result.acceptance_spread,
@@ -114,7 +116,7 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
     }
     if result.accuracy is not None:
         accuracy = dataclasses.asdict(result.accuracy)
-        # The streaming observation path reports unavailable window-rate
+        # A recorder run without window tracking reports the window-rate
         # extremes as nan; emit null so the document stays valid JSON.
         data["accuracy"] = {
             key: None if isinstance(value, float) and math.isnan(value) else value

@@ -116,8 +116,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         joiner_count=args.joiners,
         join_time=args.join_time,
         monotonic=args.monotonic,
+        grace=args.grace,
         seed=args.seed,
     )
+    if args.adaptive_horizon != "auto":
+        scenario.adaptive_horizon = args.adaptive_horizon == "on"
     result = get_runner().run(scenario, trace_level=args.trace_level)
     if args.json:
         include_trace = args.include_trace and result.trace is not None
@@ -145,12 +148,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for exp_id in ids:
-        experiment = EXPERIMENTS[exp_id]
-        tables = experiment.run(quick=args.quick)
-        print(f"[{exp_id}] {experiment.claim}")
-        print(render_tables(tables))
-        print()
+    if args.stream:
+        from .experiments import common as experiments_common
+
+        def report(done: int, total: int, result) -> None:
+            print(f"  [{done}/{total}] {result.scenario.name}", file=sys.stderr)
+
+        experiments_common.set_progress(report)
+    try:
+        for exp_id in ids:
+            experiment = EXPERIMENTS[exp_id]
+            tables = experiment.run(quick=args.quick)
+            print(f"[{exp_id}] {experiment.claim}")
+            print(render_tables(tables))
+            print()
+    finally:
+        if args.stream:
+            experiments_common.set_progress(None)
     return 0
 
 
@@ -200,6 +214,20 @@ def build_parser() -> argparse.ArgumentParser:
         dest="trace_level",
         help="observation depth: 'full' records the whole trace, 'metrics' streams scalar metrics in O(n) memory",
     )
+    run.add_argument(
+        "--adaptive-horizon",
+        choices=["auto", "on", "off"],
+        default="auto",
+        dest="adaptive_horizon",
+        help="halt as soon as the target round completes instead of polling the round per event "
+        "(auto: adaptive for metrics runs, historical for full traces)",
+    )
+    run.add_argument(
+        "--grace",
+        type=float,
+        default=0.0,
+        help="real time to keep simulating past target-round completion on adaptive runs (default 0)",
+    )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="emit the result as JSON")
     run.add_argument("--include-trace", action="store_true", dest="include_trace",
@@ -209,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E12")
     experiment.add_argument("id", help="experiment id (E1..E12) or 'all'")
     experiment.add_argument("--quick", action="store_true", help="smaller grids (used by the test suite)")
+    experiment.add_argument(
+        "--stream",
+        action="store_true",
+        help="report grid points on stderr as they complete (streamed sweeps only)",
+    )
     _add_runner_arguments(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 

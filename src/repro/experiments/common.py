@@ -10,11 +10,11 @@ documentation are exactly the numbers the harness produces.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.params import SyncParams, params_for
 from ..workloads.scenarios import Scenario, ScenarioResult
-from ..workloads.sweeps import run_sweep
+from ..workloads.sweeps import run_sweep, stream_sweep
 
 #: Default model parameters used across experiments unless a sweep overrides them.
 DEFAULT_RHO = 1e-4
@@ -126,3 +126,50 @@ def run_batch(
     ablation) keep the default full level.
     """
     return run_sweep(scenarios, check_guarantees=check_guarantees, trace_level=trace_level)
+
+
+#: Optional progress hook for streamed experiment sweeps: called as
+#: ``hook(done, total, result)`` after each grid point completes.
+_progress: Optional[Callable[[int, int, ScenarioResult], None]] = None
+
+
+def set_progress(hook: Optional[Callable[[int, int, ScenarioResult], None]]) -> None:
+    """Install (or with ``None`` remove) the streamed-sweep progress hook.
+
+    The CLI's ``experiment --stream`` uses this to report grid points as they
+    complete; it works because the experiments fold their tables through
+    :func:`stream_rows` instead of materializing result lists.
+    """
+    global _progress
+    _progress = hook
+
+
+def stream_rows(
+    scenarios: Sequence[Scenario],
+    row_of: Callable[[int, ScenarioResult], Sequence],
+    check_guarantees=None,
+    trace_level: str = "full",
+) -> list[list]:
+    """Run a sweep and fold each result into its table row as it completes.
+
+    The streaming counterpart of :func:`run_batch` for experiments that only
+    turn results into table rows: ``row_of(index, result)`` maps one result
+    (at its input position ``index``) to the row cells, the result is dropped
+    immediately afterwards, and the rows come back in input order.  The
+    parent process never holds more than a bounded number of
+    :class:`~repro.workloads.scenarios.ScenarioResult` objects, so table
+    generation works at grid sizes where materializing every result would
+    not.
+    """
+    rows: list = [None] * len(scenarios)
+    done = 0
+
+    def fold(index: int, result: ScenarioResult) -> None:
+        nonlocal done
+        done += 1
+        rows[index] = list(row_of(index, result))
+        if _progress is not None:
+            _progress(done, len(scenarios), result)
+
+    stream_sweep(scenarios, fold, check_guarantees=check_guarantees, trace_level=trace_level)
+    return rows

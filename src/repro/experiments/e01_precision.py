@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import AUTH, precision_bound
-from .common import adversarial_scenario, default_params, run_batch, stable_seed
+from .common import adversarial_scenario, default_params, stable_seed, stream_rows
 
 
 def run_experiment(quick: bool = True) -> Table:
@@ -33,14 +33,16 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for n, attack in cases
     ]
-    results = run_batch(scenarios, trace_level="metrics")
+
+    def row(index, result):
+        n, attack = cases[index]
+        bound = precision_bound(result.params, AUTH)
+        return (n, result.params.f, attack, result.precision, bound, result.precision <= bound + 1e-9)
 
     table = Table(
         title="E1: precision of the authenticated algorithm at f = ceil(n/2)-1",
         headers=["n", "f", "attack", "measured skew", "bound Dmax", "within bound"],
     )
-    for (n, attack), result in zip(cases, results):
-        bound = precision_bound(result.params, AUTH)
-        table.add_row(n, result.params.f, attack, result.precision, bound, result.precision <= bound + 1e-9)
+    table.add_rows(stream_rows(scenarios, row, trace_level="metrics"))
     table.add_note("skew measured exactly over all logical-clock breakpoints, steady state")
     return table

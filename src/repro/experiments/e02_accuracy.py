@@ -21,7 +21,7 @@ from __future__ import annotations
 from ..analysis.report import Table
 from ..core.bounds import AUTH, long_run_rate_bounds
 from ..workloads.scenarios import Scenario
-from .common import DEFAULT_RHO, DEFAULT_TDEL, benign_scenario, default_params, run_batch
+from .common import DEFAULT_RHO, DEFAULT_TDEL, benign_scenario, default_params, stream_rows
 
 
 def run_rate_vs_period(quick: bool = True) -> Table:
@@ -37,7 +37,18 @@ def run_rate_vs_period(quick: bool = True) -> Table:
         )
         for period in periods
     ]
-    results = run_batch(scenarios, trace_level="metrics")
+    def row(index, result):
+        params = result.params
+        _, rate_max = long_run_rate_bounds(params, AUTH)
+        measured = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
+        return (
+            periods[index],
+            measured,
+            rate_max,
+            params.max_rate,
+            max(0.0, measured - params.max_rate),
+            rate_max - params.max_rate,
+        )
 
     table = Table(
         title="E2a: logical clock rate vs resynchronization period (auth, n=7, f=3)",
@@ -50,18 +61,7 @@ def run_rate_vs_period(quick: bool = True) -> Table:
             "analytic excess",
         ],
     )
-    for period, result in zip(periods, results):
-        params = result.params
-        _, rate_max = long_run_rate_bounds(params, AUTH)
-        measured = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
-        table.add_row(
-            period,
-            measured,
-            rate_max,
-            params.max_rate,
-            max(0.0, measured - params.max_rate),
-            rate_max - params.max_rate,
-        )
+    table.add_rows(stream_rows(scenarios, row, trace_level="metrics"))
     table.add_note("excess = how far the logical clock rate exceeds the hardware drift bound (1+rho)")
     return table
 
@@ -93,10 +93,12 @@ def run_fault_tolerance_of_accuracy(quick: bool = True) -> Table:
         )
         for algorithm, attack in cases
     ]
-    results = run_batch(scenarios, check_guarantees=False, trace_level="metrics")
-    for (algorithm, attack), result in zip(cases, results):
+    def row(index, result):
+        algorithm, attack = cases[index]
         offset = result.accuracy.worst_offset_from_real_time if result.accuracy else float("nan")
-        table.add_row(algorithm, attack, offset, result.precision)
+        return (algorithm, attack, offset, result.precision)
+
+    table.add_rows(stream_rows(scenarios, row, check_guarantees=False, trace_level="metrics"))
     table.add_note("sync-to-max blindly follows the largest advertised clock; the fault-tolerant algorithms do not")
     return table
 

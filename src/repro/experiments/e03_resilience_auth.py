@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import AUTH, precision_bound
-from .common import adversarial_scenario, default_params, run_batch
+from .common import adversarial_scenario, default_params, stream_rows
 
 
 def run_experiment(quick: bool = True) -> Table:
@@ -35,15 +35,10 @@ def run_experiment(quick: bool = True) -> Table:
             )
         )
         checks.append(False)
-    results = run_batch(scenarios, check_guarantees=checks, trace_level="metrics")
-
-    table = Table(
-        title="E3: authenticated algorithm at and above the resilience threshold",
-        headers=["n", "assumed f", "actual faults", "attack", "measured skew", "bound Dmax", "within bound"],
-    )
-    for scenario, result in zip(scenarios, results):
+    def row(index, result):
+        scenario = scenarios[index]
         bound = precision_bound(scenario.params, AUTH)
-        table.add_row(
+        return (
             scenario.params.n,
             scenario.params.f,
             scenario.actual_faults,
@@ -52,5 +47,11 @@ def run_experiment(quick: bool = True) -> Table:
             bound,
             result.precision <= bound + 1e-9,
         )
+
+    table = Table(
+        title="E3: authenticated algorithm at and above the resilience threshold",
+        headers=["n", "assumed f", "actual faults", "attack", "measured skew", "bound Dmax", "within bound"],
+    )
+    table.add_rows(stream_rows(scenarios, row, check_guarantees=checks, trace_level="metrics"))
     table.add_note("the last row of each pair runs the algorithm out of spec and is expected to violate the bound")
     return table

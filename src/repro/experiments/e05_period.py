@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import beta_max, beta_min
-from .common import adversarial_scenario, default_params, run_batch
+from .common import adversarial_scenario, default_params, stream_rows
 
 
 def run_experiment(quick: bool = True) -> Table:
@@ -28,16 +28,17 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for algorithm, rho in cases
     ]
-    results = run_batch(scenarios, trace_level="metrics")
+    def row(index, result):
+        algorithm, rho = cases[index]
+        lo = beta_min(result.params, result.scenario.st_algorithm)
+        hi = beta_max(result.params, result.scenario.st_algorithm)
+        stats = result.period_stats
+        ok = stats.count > 0 and stats.minimum >= lo - 1e-9 and stats.maximum <= hi + 1e-9
+        return (algorithm, rho, lo, stats.minimum, stats.maximum, hi, ok)
 
     table = Table(
         title="E5: resynchronization intervals vs analytic bounds",
         headers=["algorithm", "rho", "beta_min", "measured min", "measured max", "beta_max", "within bounds"],
     )
-    for (algorithm, rho), result in zip(cases, results):
-        lo = beta_min(result.params, result.scenario.st_algorithm)
-        hi = beta_max(result.params, result.scenario.st_algorithm)
-        stats = result.period_stats
-        ok = stats.count > 0 and stats.minimum >= lo - 1e-9 and stats.maximum <= hi + 1e-9
-        table.add_row(algorithm, rho, lo, stats.minimum, stats.maximum, hi, ok)
+    table.add_rows(stream_rows(scenarios, row, trace_level="metrics"))
     return table

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import messages_per_round_total
-from .common import benign_scenario, default_params, run_batch
+from .common import benign_scenario, default_params, stream_rows
 
 
 def run_experiment(quick: bool = True) -> Table:
@@ -23,15 +23,17 @@ def run_experiment(quick: bool = True) -> Table:
         benign_scenario(default_params(n, authenticated=(algorithm == "auth")), algorithm, rounds=rounds, seed=n)
         for algorithm, n in cases
     ]
-    results = run_batch(scenarios, check_guarantees=False, trace_level="metrics")
+    def row(index, result):
+        algorithm, n = cases[index]
+        scenario = scenarios[index]
+        bound = messages_per_round_total(scenario.params, scenario.st_algorithm)
+        measured = result.messages_per_round
+        return (algorithm, n, scenario.params.f, measured, bound, measured <= bound + 1e-9)
 
     table = Table(
         title="E8: messages per resynchronization round",
         headers=["algorithm", "n", "f", "measured msgs/round", "bound 2*(n-f)*(n-1)", "within bound"],
     )
-    for ((algorithm, n), scenario, result) in zip(cases, scenarios, results):
-        bound = messages_per_round_total(scenario.params, scenario.st_algorithm)
-        measured = result.messages_per_round
-        table.add_row(algorithm, n, scenario.params.f, measured, bound, measured <= bound + 1e-9)
+    table.add_rows(stream_rows(scenarios, row, check_guarantees=False, trace_level="metrics"))
     table.add_note("benign runs (silent faulty processes); adversarial flooding is excluded from the complexity claim")
     return table

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.bounds import AUTH, precision_bound
-from .common import adversarial_scenario, default_params, run_batch
+from .common import adversarial_scenario, default_params, stream_rows
 
 
 def run_tdel_sweep(quick: bool = True) -> Table:
@@ -25,15 +25,17 @@ def run_tdel_sweep(quick: bool = True) -> Table:
         )
         for tdel in tdels
     ]
-    results = run_batch(scenarios, trace_level="metrics")
+
+    def row(index, result):
+        tdel = tdels[index]
+        bound = precision_bound(result.params, AUTH)
+        return (tdel, result.precision, bound, result.precision / tdel)
 
     table = Table(
         title="E9a: precision vs maximum message delay (auth, n=7, rho=1e-4, P=1)",
         headers=["tdel", "measured skew", "bound Dmax", "skew / tdel"],
     )
-    for tdel, result in zip(tdels, results):
-        bound = precision_bound(result.params, AUTH)
-        table.add_row(tdel, result.precision, bound, result.precision / tdel)
+    table.add_rows(stream_rows(scenarios, row, trace_level="metrics"))
     return table
 
 
@@ -56,15 +58,16 @@ def run_drift_sweep(quick: bool = True) -> Table:
         )
         for rho, period in rho_periods
     ]
-    results = run_batch(scenarios, trace_level="metrics")
+    def row(index, result):
+        rho, period = rho_periods[index]
+        bound = precision_bound(result.params, AUTH)
+        return (rho, period, rho * period, result.precision, bound)
 
     table = Table(
         title="E9b: precision vs drift-per-period rho*P (auth, n=7, tdel=0.01)",
         headers=["rho", "period P", "rho*P", "measured skew", "bound Dmax"],
     )
-    for (rho, period), result in zip(rho_periods, results):
-        bound = precision_bound(result.params, AUTH)
-        table.add_row(rho, period, rho * period, result.precision, bound)
+    table.add_rows(stream_rows(scenarios, row, trace_level="metrics"))
     return table
 
 

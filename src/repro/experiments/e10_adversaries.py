@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..faults.strategies import TOLERATED_ATTACKS
-from .common import adversarial_scenario, default_params, run_batch, stable_seed
+from .common import adversarial_scenario, default_params, stable_seed, stream_rows
 
 
 def run_experiment(quick: bool = True) -> Table:
@@ -28,12 +28,13 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for algorithm, attack in cases
     ]
-    results = run_batch(scenarios, trace_level="metrics")
+    def row(index, result):
+        algorithm, attack = cases[index]
+        return (algorithm, attack, result.precision, result.completed_round, result.guarantees_hold)
 
     table = Table(
         title="E10: guarantees under every tolerated Byzantine strategy (n=7, worst-case f)",
         headers=["algorithm", "attack", "measured skew", "completed round", "all guarantees hold"],
     )
-    for (algorithm, attack), result in zip(cases, results):
-        table.add_row(algorithm, attack, result.precision, result.completed_round, result.guarantees_hold)
+    table.add_rows(stream_rows(scenarios, row, trace_level="metrics"))
     return table

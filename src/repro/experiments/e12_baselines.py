@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..analysis.report import Table
 from ..workloads.scenarios import Scenario
-from .common import default_params, run_batch
+from .common import default_params, stream_rows
 
 
 _CASES: list[tuple[str, Optional[str]]] = [
@@ -58,10 +58,12 @@ def run_experiment(quick: bool = True) -> Table:
         )
         for algorithm, attack in _CASES
     ]
-    results = run_batch(scenarios, check_guarantees=False, trace_level="metrics")
-    for (algorithm, attack), result in zip(_CASES, results):
+    def row(index, result):
+        algorithm, attack = _CASES[index]
         offset = result.accuracy.worst_offset_from_real_time if result.accuracy else float("nan")
         rate = result.accuracy.fastest_long_run_rate if result.accuracy else float("nan")
-        table.add_row(algorithm, attack or "none", result.precision, offset, rate, result.messages_per_round)
+        return (algorithm, attack or "none", result.precision, offset, rate, result.messages_per_round)
+
+    table.add_rows(stream_rows(scenarios, row, check_guarantees=False, trace_level="metrics"))
     table.add_note("free_running shows the unsynchronized drift floor; sync_to_max is run under the attack it cannot tolerate")
     return table

@@ -29,12 +29,15 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..analysis.serialize import scenario_to_dict
-from ..workloads.scenarios import Scenario, ScenarioResult
+from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive
 
 #: Bump when the on-disk entry format changes (pickled object layout, key schema).
 #: 2: ScenarioResult gained ``trace_level`` (and an optional trace); keys carry
 #: the trace level.
-SCHEMA_VERSION = 2
+#: 3: ScenarioResult records the effective horizon (``effective_horizon``,
+#: ``stopped_early``); scenarios carry adaptive-horizon fields, keyed by their
+#: *resolved* values so the default and its explicit spelling share entries.
+SCHEMA_VERSION = 3
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the
@@ -84,9 +87,15 @@ def cache_key(
     share one cache entry; the runner re-attaches the requested scenario on
     a hit.  ``trace_level`` is part of the key because it changes what the
     stored result contains (a full trace versus streamed scalars only).
+    The adaptive-horizon fields are keyed by their *resolved* values: the
+    ``None`` default and its per-trace-level resolution share one entry, and
+    ``grace`` only keys adaptive runs (historical runs ignore it).
     """
     description = scenario_to_dict(scenario)
     description.pop("name", None)
+    adaptive = resolve_adaptive(scenario, trace_level)
+    description["adaptive_horizon"] = adaptive
+    description["grace"] = scenario.grace if adaptive else 0.0
     payload = {
         "scenario": description,
         "check_guarantees": bool(check_guarantees),

@@ -60,6 +60,8 @@ def configure(
     if use_cache is None:
         use_cache = True if cache_dir is not None else _env_cache_enabled()
     cache = ResultCache(cache_dir) if use_cache else None
+    if _default_runner is not None:
+        _default_runner.close()
     _default_runner = SweepRunner(jobs=jobs, cache=cache)
     return _default_runner
 
@@ -75,4 +77,6 @@ def get_runner() -> SweepRunner:
 def reset_runner() -> None:
     """Forget the configured default (next :func:`get_runner` re-reads the env)."""
     global _default_runner
+    if _default_runner is not None:
+        _default_runner.close()
     _default_runner = None

@@ -7,17 +7,32 @@ embarrassingly parallel: the runner ships batches of scenarios to worker
 processes and reassembles the results in input order, producing exactly the
 table a serial run would.
 
+Two consumption styles share one execution core:
+
+* :meth:`SweepRunner.run_sweep` materializes the full result list (input
+  order) -- the right tool when the caller post-processes results together.
+* :meth:`SweepRunner.stream_sweep` is the incremental-consumer path: an
+  ``on_result(index, result)`` reducer fires as each grid point completes and
+  the runner retains nothing, so the parent process holds O(1)
+  :class:`~repro.workloads.scenarios.ScenarioResult` objects regardless of
+  sweep size.  Chunks are submitted in a bounded window (a few per worker),
+  so neither pending futures nor completed-but-unconsumed ones can
+  accumulate a sweep's worth of results.
+
 Guarantees:
 
 * Results are always returned in input order, bit-identical between
   ``jobs=1`` and ``jobs=N`` for the same scenarios (each scenario carries its
   own seed and the simulation never reads global RNG state).
-* With ``jobs=1`` the progress ``callback`` fires in input order, exactly
-  like the historical ``run_sweep`` loop; with ``jobs>1`` it fires in
-  completion order (still once per scenario, cache hits included).
+* With ``jobs=1`` the progress ``callback``/``on_result`` fires in input
+  order, exactly like the historical ``run_sweep`` loop; with ``jobs>1`` it
+  fires in completion order (still once per scenario, cache hits included).
 * Batching (``chunk_size``) amortizes per-task pickling and scheduling
   overhead; the default targets a few chunks per worker so stragglers do not
   serialize the tail of the sweep.
+* The worker pool is persistent: it spins up lazily on the first parallel
+  sweep and is reused by every later one (experiment suites run many sweeps
+  back to back), until :meth:`SweepRunner.close`.
 """
 
 from __future__ import annotations
@@ -26,6 +41,7 @@ import dataclasses
 import math
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..workloads.scenarios import ST_ALGORITHMS, TRACE_LEVELS, Scenario, ScenarioResult, run_scenario
@@ -42,6 +58,15 @@ TraceSpec = Union[str, Sequence[str]]
 #: Maximum scenarios per worker task; beyond this, batching stops paying for
 #: itself and only hurts load balance.
 MAX_CHUNK = 32
+
+#: In-flight chunks per worker on the streaming path.  Bounds how many
+#: results can sit in completed-but-unconsumed futures: the parent never
+#: holds more than ``jobs * CHUNK_WINDOW * chunk_size`` results at once.
+CHUNK_WINDOW = 2
+
+#: An ``on_result`` reducer: receives the scenario's input index and its
+#: result, in completion order.
+OnResult = Callable[[int, "ScenarioResult"], None]
 
 
 def resolve_check_guarantees(scenario: Scenario, check_guarantees: Optional[bool]) -> bool:
@@ -121,6 +146,27 @@ class SweepRunner:
         self.jobs = jobs
         self.cache = cache
         self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- worker pool -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool (created lazily, reused across sweeps)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (it respawns on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # -- execution ---------------------------------------------------------
 
@@ -142,13 +188,42 @@ class SweepRunner:
     ) -> list[ScenarioResult]:
         """Run every scenario and return the results in input order."""
         scenarios = list(scenarios)
+        results: list[Optional[ScenarioResult]] = [None] * len(scenarios)
+
+        def collect(index: int, result: ScenarioResult) -> None:
+            results[index] = result
+            if callback is not None:
+                callback(result)
+
+        self.stream_sweep(scenarios, collect, check_guarantees=check_guarantees, trace_level=trace_level)
+        return results  # type: ignore[return-value]
+
+    def stream_sweep(
+        self,
+        scenarios: Iterable[Scenario],
+        on_result: OnResult,
+        check_guarantees: CheckSpec = None,
+        trace_level: TraceSpec = "full",
+    ) -> int:
+        """Run every scenario, folding each result into ``on_result`` as it lands.
+
+        The incremental-consumer path: ``on_result(index, result)`` fires
+        exactly once per scenario -- in input order with ``jobs=1``, in
+        completion order otherwise (``index`` is always the scenario's input
+        position) -- and the runner retains no result itself, so a reducer
+        that folds rows and drops the result keeps parent memory O(1) in the
+        sweep size.  Returns the number of scenarios run.
+        """
+        scenarios = list(scenarios)
         checks = _normalize_checks(scenarios, check_guarantees)
         levels = _normalize_trace_levels(scenarios, trace_level)
         if not scenarios:
-            return []
+            return 0
         if self.jobs <= 1 or len(scenarios) == 1:
-            return self._run_serial(scenarios, checks, levels, callback)
-        return self._run_parallel(scenarios, checks, levels, callback)
+            self._execute_serial(scenarios, checks, levels, on_result)
+        else:
+            self._execute_parallel(scenarios, checks, levels, on_result)
+        return len(scenarios)
 
     def _cached(
         self, scenario: Scenario, check: bool, level: str, salt: str
@@ -163,35 +238,30 @@ class SweepRunner:
             result = dataclasses.replace(result, scenario=scenario)
         return key, result
 
-    def _run_serial(
+    def _execute_serial(
         self,
         scenarios: Sequence[Scenario],
         checks: Sequence[bool],
         levels: Sequence[str],
-        callback: Optional[Callable[[ScenarioResult], None]],
-    ) -> list[ScenarioResult]:
+        emit: OnResult,
+    ) -> None:
         salt = code_salt()
-        results = []
-        for scenario, check, level in zip(scenarios, checks, levels):
+        for index, (scenario, check, level) in enumerate(zip(scenarios, checks, levels)):
             key, result = self._cached(scenario, check, level, salt)
             if result is None:
                 result = run_scenario(scenario, check_guarantees=check, trace_level=level)
                 if key is not None:
                     self.cache.put(key, result)
-            if callback is not None:
-                callback(result)
-            results.append(result)
-        return results
+            emit(index, result)
 
-    def _run_parallel(
+    def _execute_parallel(
         self,
         scenarios: Sequence[Scenario],
         checks: Sequence[bool],
         levels: Sequence[str],
-        callback: Optional[Callable[[ScenarioResult], None]],
-    ) -> list[ScenarioResult]:
+        emit: OnResult,
+    ) -> None:
         salt = code_salt()
-        results: list[Optional[ScenarioResult]] = [None] * len(scenarios)
         keys: list[Optional[str]] = [None] * len(scenarios)
         pending: list[tuple[int, Scenario, bool, str]] = []
         # With the cache on, repeated grid points are computed once: the first
@@ -203,9 +273,7 @@ class SweepRunner:
             key, result = self._cached(scenario, check, level, salt)
             keys[index] = key
             if result is not None:
-                results[index] = result
-                if callback is not None:
-                    callback(result)
+                emit(index, result)
                 continue
             if key is not None:
                 primary = first_for_key.setdefault(key, index)
@@ -214,35 +282,53 @@ class SweepRunner:
                     continue
             pending.append((index, scenario, check, level))
         if not pending:
-            return results  # type: ignore[return-value]
+            return
 
         workers = min(self.jobs, len(pending))
         chunk = self.chunk_size
         if chunk is None:
             # A few chunks per worker balances batching against stragglers.
             chunk = max(1, min(MAX_CHUNK, math.ceil(len(pending) / (workers * 4))))
-        chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
+        chunks = iter([pending[i : i + chunk] for i in range(0, len(pending), chunk)])
+        window = workers * CHUNK_WINDOW
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_run_chunk, piece) for piece in chunks}
+        def consume(future) -> None:
+            for index, result in future.result():
+                key = keys[index]
+                if key is not None:
+                    self.cache.put(key, result)
+                emit(index, result)
+                for dup in duplicates.get(index, ()):
+                    dup_result = result
+                    if scenarios[dup] != result.scenario:
+                        dup_result = dataclasses.replace(result, scenario=scenarios[dup])
+                    emit(dup, dup_result)
+
+        pool = self._ensure_pool()
+        futures = set()
+        try:
+            # Windowed submission: keep a few chunks per worker in flight and
+            # drain completions before submitting more, so at no point does
+            # the parent hold more than O(window * chunk) results.
+            for piece in chunks:
+                futures.add(pool.submit(_run_chunk, piece))
+                if len(futures) >= window:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        consume(future)
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for index, result in future.result():
-                        results[index] = result
-                        key = keys[index]
-                        if key is not None:
-                            self.cache.put(key, result)
-                        if callback is not None:
-                            callback(result)
-                        for dup in duplicates.get(index, ()):
-                            dup_result = result
-                            if scenarios[dup] != result.scenario:
-                                dup_result = dataclasses.replace(result, scenario=scenarios[dup])
-                            results[dup] = dup_result
-                            if callback is not None:
-                                callback(dup_result)
-        return results  # type: ignore[return-value]
+                    consume(future)
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor; drop it so the next
+            # sweep starts a fresh pool instead of failing forever.
+            self.close()
+            raise
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
 
     def __repr__(self) -> str:
         cache_dir = self.cache.directory if self.cache is not None else None

@@ -34,8 +34,11 @@ class Simulation:
         delay_policy: Optional[DelayPolicy] = None,
         seed: int = 0,
         recorder: Optional[Recorder] = None,
+        strict_scheduling: bool = False,
     ) -> None:
         self._now = 0.0
+        #: Raise instead of clamping when an action is scheduled in the past.
+        self.strict_scheduling = strict_scheduling
         self.queue = EventQueue()
         self.rng = random.Random(seed)
         self.recorder: Recorder = recorder if recorder is not None else FullTraceRecorder()
@@ -62,8 +65,21 @@ class Simulation:
     # -- scheduling -----------------------------------------------------------
 
     def schedule_at(self, time: float, action: Callable[..., None], *args) -> Event:
-        """Schedule ``action(*args)`` at absolute real time ``time`` (>= now)."""
+        """Schedule ``action(*args)`` at absolute real time ``time`` (>= now).
+
+        A past ``time`` is clamped to ``now`` -- but never silently: the
+        clamp is annotated through the recorder (``on_note``) so a scheduling
+        bug cannot masquerade as benign event reordering, and with
+        ``strict_scheduling`` it raises instead.
+        """
         if time < self._now:
+            if self.strict_scheduling:
+                raise ValueError(
+                    f"schedule_at: time {time!r} is in the past (now={self._now!r})"
+                )
+            self.recorder.on_note(
+                f"schedule_at: past time {time!r} clamped to now={self._now!r}"
+            )
             time = self._now
         return self.queue.push(time, action, *args)
 
@@ -149,18 +165,79 @@ class Simulation:
             self._now = t_end
         return self.recorder.finalize(self._now, self.network.stats)
 
-    def run_until_round(self, target_round: int, t_max: float):
-        """Run until every honest process accepted ``target_round`` (or ``t_max``)."""
+    def run_until_round(
+        self,
+        target_round: int,
+        t_max: float,
+        grace: float = 0.0,
+        adaptive: bool = False,
+    ):
+        """Run until every honest process accepted ``target_round`` (or ``t_max``).
 
-        def reached(sim: "Simulation") -> bool:
-            return sim.recorder.min_completed_round() >= target_round
+        With ``adaptive=False`` (historical behaviour) the engine polls the
+        recorder's completed round after every event and halts on the event
+        that completes the target round; ``t_max`` is the static real-time
+        budget.  With ``adaptive=True`` the horizon adapts: the recorder
+        timestamps the completing resynchronization itself
+        (:meth:`~repro.sim.recorder.Recorder.set_round_target`), the loop
+        only checks a flag per event, and the run ends at the completion
+        instant plus the ``grace`` window (still capped by ``t_max``).  With
+        ``grace=0`` the adaptive stop is the exact event the historical poll
+        stops on, so both modes observe identical executions; a positive
+        grace keeps simulating ``grace`` units of real time past completion.
+        ``grace`` is ignored in the historical mode.
+        """
+        if not adaptive:
+            def reached(sim: "Simulation") -> bool:
+                return sim.recorder.min_completed_round() >= target_round
 
-        previous = self.stop_condition
-        self.stop_condition = reached
+            previous = self.stop_condition
+            self.stop_condition = reached
+            try:
+                return self.run_until(t_max)
+            finally:
+                self.stop_condition = previous
+
+        if t_max < self._now:
+            raise ValueError("cannot run into the past")
+        if grace < 0:
+            raise ValueError(f"grace must be non-negative, got {grace}")
+        self._stopped = False
+        recorder = self.recorder
+        queue = self.queue
+        recorder.set_round_target(target_round, now=self._now)
         try:
-            return self.run_until(t_max)
+            deadline: Optional[float] = None
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None or next_time > t_max:
+                    break
+                if deadline is None:
+                    # The deadline is resolved *before* stepping so a target
+                    # that was already complete when the run was armed (e.g.
+                    # a resumed segment) cannot let an event past the grace
+                    # window fire first.  round_reached_at is always at or
+                    # before now, so the deadline can never sit in the past.
+                    reached = recorder.round_reached_at
+                    if reached is not None and grace > 0.0:
+                        deadline = reached + grace
+                if deadline is not None and next_time > deadline:
+                    break
+                self.step()
+                if grace == 0.0 and recorder.round_reached_at is not None:
+                    # Halt on the completing event itself, exactly like the
+                    # historical per-event poll would.
+                    self._stopped = True
+                    return recorder.finalize(self._now, self.network.stats)
+            if deadline is not None:
+                end = min(t_max, deadline)
+                self._stopped = end < t_max
+            else:
+                end = t_max
+            self._now = end
+            return recorder.finalize(self._now, self.network.stats)
         finally:
-            self.stop_condition = previous
+            recorder.set_round_target(None, now=self._now)
 
     @property
     def stopped_early(self) -> bool:

@@ -25,11 +25,18 @@ Two implementations ship here:
   owns a :class:`~repro.sim.trace.Trace` and every measurement computed from
   it is byte-identical to the pre-refactor code path.
 * :class:`OnlineMetricsRecorder` streams the worst-case-exact scalar metrics
-  (precision, accuracy envelope, rounds, message counts) in O(n) memory,
-  evaluating logical clocks at exactly the same breakpoints the post-hoc
-  analysis would, but without retaining any history.  Its results are
-  float-for-float identical to the full-trace pipeline for every metric it
-  reports (see ``tests/test_recorder_parity.py``).
+  (precision, accuracy envelope, window-rate extremes, rounds, message
+  counts), evaluating logical clocks at exactly the same breakpoints the
+  post-hoc analysis would.  Apart from an optional per-resynchronization
+  sample buffer for the window-rate extremes, it retains no history.  Its
+  results are float-for-float identical to the full-trace pipeline for every
+  metric it reports (see ``tests/test_recorder_parity.py``).
+
+Recorders also power the engine's adaptive horizon: the engine arms a target
+round via :meth:`Recorder.set_round_target` and both recorders timestamp the
+completing resynchronization in O(1) amortized time, so a run can halt the
+moment the target round completes without polling an O(n) round scan after
+every event.
 
 The recorder seam is where future execution backends (sharded engines,
 compiled fast paths) plug in without touching the analysis layer.
@@ -93,6 +100,39 @@ class Recorder(ABC):
     def finalize(self, end_time: float, network_stats: "NetworkStats"):
         """Close the recording at ``end_time`` and return the result object."""
 
+    # -- round-target tracking (adaptive horizon) -----------------------------
+
+    #: Round the engine is waiting for, or None when no target is armed.
+    _round_target: Optional[int] = None
+    #: Real time at which the target round first completed, or None.
+    _round_reached_at: Optional[float] = None
+
+    @property
+    def round_reached_at(self) -> Optional[float]:
+        """When the armed target round completed (None while it has not)."""
+        return self._round_reached_at
+
+    def set_round_target(self, target: Optional[int], now: float = 0.0) -> None:
+        """Arm (or with ``None`` disarm) completion tracking of ``target``.
+
+        The engine's adaptive-horizon loop arms a target instead of polling
+        :meth:`min_completed_round` after every event; recorders timestamp
+        the completing resynchronization via :meth:`_check_round_target`.
+        """
+        self._round_target = target
+        self._round_reached_at = None
+        if target is not None and self.min_completed_round() >= target:
+            self._round_reached_at = now
+
+    def _check_round_target(self, time: float) -> None:
+        """Record ``time`` as the completion instant if the target is now met."""
+        if (
+            self._round_target is not None
+            and self._round_reached_at is None
+            and self.min_completed_round() >= self._round_target
+        ):
+            self._round_reached_at = time
+
     # -- full-trace access (only meaningful for history-keeping recorders) ----
 
     @property
@@ -118,6 +158,13 @@ class FullTraceRecorder(Recorder):
 
     def __init__(self) -> None:
         self._trace = Trace()
+        # Incrementally maintained copy of Trace.min_completed_round(): the
+        # engine's stop check reads it after every event, and recomputing it
+        # from the resync lists there is the dominant cost of large full-trace
+        # runs.  All engine-driven resyncs flow through on_resync, so the
+        # cache is exact (per-process accepted rounds only ever grow).
+        self._round_floor: dict[int, int] = {}
+        self._completed = 0
 
     @property
     def trace(self) -> Trace:
@@ -128,12 +175,21 @@ class FullTraceRecorder(Recorder):
 
     def register_process(self, pid: int, clock: "HardwareClock", faulty: bool = False) -> None:
         self._trace.add_process(pid, clock, faulty=faulty)
+        if not faulty:
+            self._round_floor[pid] = 0
+            self._completed = 0
 
     def on_adjustment(self, pid: int, time: float, adjustment: float) -> None:
         self._trace.record_adjustment(pid, time, adjustment)
 
     def on_resync(self, event: ResyncEvent) -> None:
         self._trace.record_resync(event)
+        old = self._round_floor.get(event.pid)
+        if old is not None and event.round > old:
+            self._round_floor[event.pid] = event.round
+            if old == self._completed:
+                self._completed = min(self._round_floor.values())
+            self._check_round_target(event.time)
 
     def on_crash(self, pid: int, time: float) -> None:
         self._trace.record_crash(pid, time)
@@ -142,7 +198,7 @@ class FullTraceRecorder(Recorder):
         self._trace.note(text)
 
     def min_completed_round(self) -> int:
-        return self._trace.min_completed_round()
+        return self._completed if self._round_floor else 0
 
     def finalize(self, end_time: float, network_stats: "NetworkStats") -> Trace:
         self._trace.end_time = end_time
@@ -177,6 +233,8 @@ class _ProcState:
         "env_drawdown",
         "env_min_h",
         "env_rise",
+        "win_t",
+        "win_v",
     )
 
     def __init__(self, pid: int, clock: "HardwareClock", faulty: bool) -> None:
@@ -198,6 +256,10 @@ class _ProcState:
         self.env_drawdown = 0.0
         self.env_min_h = float("inf")
         self.env_rise = 0.0
+        # Steady-window breakpoint samples retained for the exact window-rate
+        # pass (empty unless the recorder tracks window rates).
+        self.win_t: list = []
+        self.win_v: list = []
 
 
 @dataclass(frozen=True)
@@ -207,9 +269,12 @@ class OnlineMetricsSummary:
     Field-for-field, each value equals what the full-trace pipeline computes
     (:mod:`repro.analysis.metrics` / :mod:`repro.analysis.envelope`) for the
     same execution; ``tests/test_recorder_parity.py`` asserts exact equality.
-    The window-rate extremes of :class:`~repro.analysis.envelope.AccuracySummary`
-    are the one quantity that inherently needs the retained breakpoint samples
-    (a quadratic pass), so the streaming path reports them as ``nan``.
+    This includes the window-rate extremes: the recorder retains the
+    steady-window breakpoint samples and runs the same hull-bounded
+    maximum-average-segment pass the post-hoc analysis uses
+    (:func:`repro.analysis.envelope.window_rate_extremes`), so they too are
+    float-for-float identical.  They are ``None`` only when the recorder was
+    built with ``window_rates=False`` or the steady interval is empty.
     """
 
     end_time: float
@@ -229,6 +294,8 @@ class OnlineMetricsSummary:
     liveness_triples: tuple
     slowest_long_run_rate: Optional[float]
     fastest_long_run_rate: Optional[float]
+    slowest_window_rate: Optional[float]
+    fastest_window_rate: Optional[float]
     envelope_a: Optional[float]
     envelope_b: Optional[float]
     worst_offset_from_real_time: Optional[float]
@@ -298,17 +365,33 @@ class OnlineMetricsRecorder(Recorder):
     (scenarios pass the model's admissible hardware rates); when omitted the
     envelope constants are reported as ``None``.
 
+    ``window_rates`` controls the one measurement that inherently needs
+    history: the extreme average rates over windows of at least a quarter of
+    the steady interval.  When on (the default), the recorder retains the
+    steady-window breakpoint samples -- two floats per adjustment plus one
+    per hardware-clock rate change, so memory grows with the number of
+    resynchronizations, never with the event count -- and feeds them through
+    the same :func:`~repro.analysis.envelope.window_rate_extremes` hull pass
+    the post-hoc analysis uses.  ``window_rates=False`` restores strictly
+    run-length-independent memory and reports the extremes as ``None``.
+
     The recorder observes one run segment: after :meth:`finalize`, new events
     are rejected (re-finalizing at the same end time returns the cached
     summary).  Multi-segment runs that resume after ``run_until`` need the
     full-trace recorder.
     """
 
-    def __init__(self, rate_low: Optional[float] = None, rate_high: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        rate_low: Optional[float] = None,
+        rate_high: Optional[float] = None,
+        window_rates: bool = True,
+    ) -> None:
         if (rate_low is None) != (rate_high is None):
             raise ValueError("rate_low and rate_high must be given together")
         self.rate_low = rate_low
         self.rate_high = rate_high
+        self.window_rates = window_rates
         self._procs: dict[int, _ProcState] = {}
         self._honest: list[_ProcState] = []
         self._sealed = False
@@ -337,6 +420,9 @@ class OnlineMetricsRecorder(Recorder):
         self._acceptance_spread = 0.0
         self._round_times: dict[int, list] = {}  # round -> [min_t, max_t, count]
         self._crash_ceiling = math.inf  # rounds above this can never complete
+        # Incrementally maintained min over honest processes of the largest
+        # accepted round; read after every event by the engine's stop checks.
+        self._min_completed = 0
         self._notes: list[str] = []
 
     # -- registration --------------------------------------------------------
@@ -392,6 +478,12 @@ class OnlineMetricsRecorder(Recorder):
 
     def _env_sample(self, proc: _ProcState, t: float, value: float) -> None:
         """Feed one breakpoint sample into the per-process envelope recursion."""
+        if self.window_rates:
+            # Retain the steady-window samples for the exact window-rate pass
+            # at finalize -- the same (time, value) stream the post-hoc
+            # analysis enumerates via _clock_samples.
+            proc.win_t.append(t)
+            proc.win_v.append(value)
         offset = abs(value - t)
         if offset > self._worst_offset:
             self._worst_offset = offset
@@ -507,6 +599,7 @@ class OnlineMetricsRecorder(Recorder):
         t = event.time
         self._advance(t)
         round_ = event.round
+        old_floor = proc.max_round if proc.resync_count else 0
         proc.resync_count += 1
         if proc.resync_count == 1:
             proc.min_round = round_
@@ -540,6 +633,12 @@ class OnlineMetricsRecorder(Recorder):
             if backward > self._max_backward:
                 self._max_backward = backward
         proc.prev_resync_time = t
+        if proc.max_round != old_floor and old_floor == self._min_completed:
+            # The advancing process may have been (one of) the laggards
+            # pinning the completed round: recompute the min.  Amortized this
+            # runs once per round, not once per event.
+            self._min_completed = min(p.max_round if p.resync_count else 0 for p in self._honest)
+        self._check_round_target(t)
         self._record_acceptance(round_, t)
 
     def _record_acceptance(self, round_: int, t: float) -> None:
@@ -581,14 +680,7 @@ class OnlineMetricsRecorder(Recorder):
         self._notes.append(text)
 
     def min_completed_round(self) -> int:
-        if not self._honest:
-            return 0
-        worst = None
-        for proc in self._honest:
-            value = proc.max_round if proc.resync_count else 0
-            if worst is None or value < worst:
-                worst = value
-        return worst if worst is not None else 0
+        return self._min_completed
 
     # -- finalization -----------------------------------------------------------
 
@@ -614,10 +706,20 @@ class OnlineMetricsRecorder(Recorder):
             self._steady_skew = self._skew(end_time)
 
         slowest_lr = fastest_lr = envelope_a = envelope_b = worst_offset = None
+        slowest_win = fastest_win = None
         if steady_reached and end_time > self._steady_start:
+            # Deferred import: the analysis package imports this module (for
+            # OnlineMetricsSummary), so the hull pass cannot be a top-level
+            # dependency without creating an import cycle.
+            from ..analysis.envelope import window_rate_extremes
+
             span = end_time - self._steady_start
+            min_window = max(span / 4.0, 1e-9)
             slowest_lr = math.inf
             fastest_lr = -math.inf
+            if self.window_rates:
+                slowest_win = math.inf
+                fastest_win = -math.inf
             envelope_a = 0.0
             envelope_b = 0.0
             for proc in self._honest:
@@ -626,6 +728,14 @@ class OnlineMetricsRecorder(Recorder):
                 rate = (value - proc.value_at_steady) / span
                 slowest_lr = min(slowest_lr, rate)
                 fastest_lr = max(fastest_lr, rate)
+                if self.window_rates:
+                    extremes = window_rate_extremes(proc.win_t, proc.win_v, min_window)
+                    if extremes is None:
+                        # No window fits: the post-hoc pass falls back to the
+                        # long-run rate, which is exactly ``rate``.
+                        extremes = (rate, rate)
+                    slowest_win = min(slowest_win, extremes[0])
+                    fastest_win = max(fastest_win, extremes[1])
                 if self.rate_low is not None:
                     envelope_a = max(envelope_a, proc.env_drawdown)
                     envelope_b = max(envelope_b, proc.env_rise)
@@ -653,6 +763,8 @@ class OnlineMetricsRecorder(Recorder):
             liveness_triples=triples,
             slowest_long_run_rate=slowest_lr,
             fastest_long_run_rate=fastest_lr,
+            slowest_window_rate=slowest_win,
+            fastest_window_rate=fastest_win,
             envelope_a=envelope_a,
             envelope_b=envelope_b,
             worst_offset_from_real_time=worst_offset,
@@ -668,8 +780,12 @@ class OnlineMetricsRecorder(Recorder):
     def retained_state_size(self) -> int:
         """Number of dynamically retained bookkeeping entries.
 
-        Used by tests and benchmarks to demonstrate that memory stays O(n):
-        unlike a full trace, this count does not grow with run length.
+        Used by tests and benchmarks to demonstrate that the streaming core
+        stays O(n): unlike a full trace, this count does not grow with run
+        length.  The optional window-rate sample buffer is accounted
+        separately (:meth:`retained_window_samples`) because it necessarily
+        grows with the number of resynchronizations -- though never with the
+        event count, and not at all under ``window_rates=False``.
         """
         return (
             len(self._procs)
@@ -678,3 +794,13 @@ class OnlineMetricsRecorder(Recorder):
             + len(self._round_times)
             + len(self._notes)
         )
+
+    def retained_window_samples(self) -> int:
+        """Breakpoint samples retained for the exact window-rate pass.
+
+        Zero with ``window_rates=False``; otherwise two samples per
+        adjustment plus one per hardware-clock rate change inside the steady
+        window (proportional to rounds completed, independent of how many
+        messages each round took).
+        """
+        return sum(len(proc.win_t) for proc in self._procs.values())

@@ -11,15 +11,17 @@ from .scenarios import (
     Scenario,
     ScenarioResult,
     build_cluster,
+    resolve_adaptive,
     run_scenario,
 )
-from .sweeps import grid, run_sweep, scenario_sweep
+from .sweeps import grid, run_sweep, scenario_sweep, stream_sweep
 
 __all__ = [
     "Scenario",
     "ScenarioResult",
     "ClusterHandles",
     "build_cluster",
+    "resolve_adaptive",
     "run_scenario",
     "ST_ALGORITHMS",
     "BASELINE_ALGORITHMS",
@@ -30,4 +32,5 @@ __all__ = [
     "grid",
     "scenario_sweep",
     "run_sweep",
+    "stream_sweep",
 ]

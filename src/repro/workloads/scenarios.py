@@ -99,6 +99,14 @@ class Scenario:
     joiner_count: int = 0
     #: Real time at which the joiners come up.
     join_time: float = 0.0
+    #: Adaptive horizon: halt the run as soon as the target round completes
+    #: (plus ``grace``) instead of deciding via the per-event round poll.
+    #: ``None`` resolves per observation depth -- adaptive for metrics-level
+    #: runs, historical for full-trace runs (byte-identical traces).
+    adaptive_horizon: Optional[bool] = None
+    #: Real time to keep simulating past target-round completion (adaptive
+    #: runs only).  0 reproduces the historical stop instant exactly.
+    grace: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -110,6 +118,8 @@ class Scenario:
             raise ValueError(f"unknown delay_mode {self.delay_mode!r}; expected one of {DELAY_MODES}")
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
+        if self.grace < 0:
+            raise ValueError("grace must be non-negative")
         if self.actual_faults is None:
             self.actual_faults = self.params.f
         if self.actual_faults >= self.params.n:
@@ -140,10 +150,27 @@ class Scenario:
         return AUTH if self.algorithm == "auth" else ECHO
 
     def horizon(self) -> float:
-        """Real-time budget: generous upper bound for completing ``rounds`` rounds."""
+        """Real-time budget: generous upper bound for completing ``rounds`` rounds.
+
+        Under the adaptive horizon this is only the liveness cap (a run that
+        completes the target round ends there); historical runs poll the same
+        stop but treat this as the static budget for infeasible executions.
+        """
         per_round = (1.0 + self.params.rho) * self.params.period + 4.0 * self.params.tdel
         startup = self.boot_spread + 10.0 * self.params.tdel + self.params.initial_offset_spread
         return startup + per_round * (self.rounds + 2) + self.join_time
+
+
+def resolve_adaptive(scenario: Scenario, trace_level: str) -> bool:
+    """The effective adaptive-horizon flag for one scenario.
+
+    ``None`` resolves to adaptive for metrics-level observation and to the
+    historical per-event poll for full traces; the result cache keys on the
+    resolved value so the default and its explicit spelling share entries.
+    """
+    if scenario.adaptive_horizon is not None:
+        return scenario.adaptive_horizon
+    return trace_level == "metrics"
 
 
 @dataclass
@@ -163,11 +190,11 @@ class ClusterHandles:
 class ScenarioResult:
     """Measurements of one executed scenario.
 
-    ``trace`` is only populated at ``trace_level="full"``; the scalar metrics
-    are identical between trace levels (the streaming recorder evaluates the
-    same breakpoints the post-hoc analysis walks).  At ``trace_level="metrics"``
-    the accuracy summary reports the window-rate extremes as ``nan`` -- they
-    are the one measurement that requires retained history.
+    ``trace`` is only populated at ``trace_level="full"``; every scalar
+    metric -- including the accuracy summary's window-rate extremes -- is
+    identical between trace levels (the streaming recorder evaluates the
+    same breakpoints the post-hoc analysis walks and runs the same
+    window-rate pass over them).
     """
 
     scenario: Scenario
@@ -185,6 +212,11 @@ class ScenarioResult:
     messages_per_round: float
     guarantees: Optional[GuaranteeReport]
     trace_level: str = "full"
+    #: Real time at which the run actually ended: the adapted horizon when
+    #: the target round completed, the static budget otherwise.
+    effective_horizon: Optional[float] = None
+    #: Whether the run ended before its static budget (round target reached).
+    stopped_early: bool = False
 
     @property
     def params(self) -> SyncParams:
@@ -345,7 +377,7 @@ def _resolve_check(scenario: Scenario, check_guarantees: Optional[bool]) -> bool
     return st_scenario and bool(check_guarantees)
 
 
-def _measure_full(scenario: Scenario, trace: Trace, check: bool) -> ScenarioResult:
+def _measure_full(scenario: Scenario, trace: Trace, check: bool, stopped_early: bool = False) -> ScenarioResult:
     steady = metrics.steady_state_start(trace)
     accuracy: Optional[AccuracySummary] = None
     if trace.end_time - steady > scenario.params.period:
@@ -402,10 +434,14 @@ def _measure_full(scenario: Scenario, trace: Trace, check: bool) -> ScenarioResu
         messages_per_round=metrics.messages_per_completed_round(trace),
         guarantees=guarantees,
         trace_level="full",
+        effective_horizon=trace.end_time,
+        stopped_early=stopped_early,
     )
 
 
-def _measure_streamed(scenario: Scenario, summary: OnlineMetricsSummary, check: bool) -> ScenarioResult:
+def _measure_streamed(
+    scenario: Scenario, summary: OnlineMetricsSummary, check: bool, stopped_early: bool = False
+) -> ScenarioResult:
     guarantees: Optional[GuaranteeReport] = None
     if check:
         guarantees = verify_summary(
@@ -418,13 +454,16 @@ def _measure_streamed(scenario: Scenario, summary: OnlineMetricsSummary, check: 
     accuracy: Optional[AccuracySummary] = None
     rates = summary.long_run_rates(scenario.params.period)
     if rates is not None:
+        # The recorder retains the steady-window breakpoint samples and runs
+        # the same window-rate pass as the post-hoc analysis, so the extremes
+        # stream exactly; nan only appears when the recorder was built
+        # without window tracking.
+        nan = float("nan")
         accuracy = AccuracySummary(
             slowest_long_run_rate=rates[0],
             fastest_long_run_rate=rates[1],
-            # Window-rate extremes need a quadratic pass over retained
-            # breakpoint samples; the streaming path does not keep them.
-            slowest_window_rate=float("nan"),
-            fastest_window_rate=float("nan"),
+            slowest_window_rate=summary.slowest_window_rate if summary.slowest_window_rate is not None else nan,
+            fastest_window_rate=summary.fastest_window_rate if summary.fastest_window_rate is not None else nan,
             envelope_a=summary.envelope_a,
             envelope_b=summary.envelope_b,
             worst_offset_from_real_time=summary.worst_offset_from_real_time,
@@ -443,6 +482,8 @@ def _measure_streamed(scenario: Scenario, summary: OnlineMetricsSummary, check: 
         messages_per_round=summary.messages_per_round(),
         guarantees=guarantees,
         trace_level="metrics",
+        effective_horizon=summary.end_time,
+        stopped_early=stopped_early,
     )
 
 
@@ -459,13 +500,24 @@ def run_scenario(
     tolerated attack.  ``trace_level="metrics"`` runs the whole pipeline
     without constructing a trace: the engine streams the scalar measurements
     (identical values, O(n) memory) and ``result.trace`` is ``None``.
+
+    The horizon adapts per :func:`resolve_adaptive`: metrics-level runs halt
+    the instant the target round completes (plus ``scenario.grace``) without
+    per-event polling, full-trace runs keep the historical poll so traces
+    stay byte-identical.  Either way :attr:`Scenario.horizon` caps runs that
+    never complete the target round.
     """
     handles = build_cluster(scenario, trace_level=trace_level)
     sim = handles.sim
     horizon = scenario.horizon()
-    observed = sim.run_until_round(scenario.rounds, t_max=horizon)
+    observed = sim.run_until_round(
+        scenario.rounds,
+        t_max=horizon,
+        grace=scenario.grace,
+        adaptive=resolve_adaptive(scenario, trace_level),
+    )
 
     check = _resolve_check(scenario, check_guarantees)
     if trace_level == "metrics":
-        return _measure_streamed(scenario, observed, check)
-    return _measure_full(scenario, observed, check)
+        return _measure_streamed(scenario, observed, check, stopped_early=sim.stopped_early)
+    return _measure_full(scenario, observed, check, stopped_early=sim.stopped_early)

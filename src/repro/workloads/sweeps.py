@@ -76,3 +76,28 @@ def run_sweep(
     return runner.run_sweep(
         scenarios, check_guarantees=check_guarantees, callback=callback, trace_level=trace_level
     )
+
+
+def stream_sweep(
+    scenarios: Iterable[Scenario],
+    on_result: Callable[[int, ScenarioResult], None],
+    check_guarantees=None,
+    runner=None,
+    trace_level: str = "full",
+) -> int:
+    """Run every scenario, folding each result into ``on_result`` as it completes.
+
+    The constant-memory counterpart of :func:`run_sweep`: ``on_result(index,
+    result)`` receives each scenario's input position and result exactly once
+    (input order when serial, completion order when parallel) and nothing is
+    retained by the runner, so a reducer that extracts what it needs and
+    drops the result keeps the parent at O(1) results regardless of grid
+    size.  Returns the number of scenarios run.
+    """
+    if runner is None:
+        from ..runner.config import get_runner
+
+        runner = get_runner()
+    return runner.stream_sweep(
+        scenarios, on_result, check_guarantees=check_guarantees, trace_level=trace_level
+    )

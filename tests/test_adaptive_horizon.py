@@ -1,0 +1,200 @@
+"""Adaptive horizon: recorder-driven stops equal the historical event poll.
+
+The engine's adaptive mode halts on the recorder's own round tracking (O(1)
+per event) instead of polling ``min_completed_round`` after every event.
+With ``grace=0`` it must stop on the *same event* the historical poll stops
+on, so every streamed metric -- and every full trace -- is identical between
+the two modes; a positive grace extends the run past completion by exactly
+that much real time.  The grid covers the cases where the round bookkeeping
+is easiest to get wrong: crash faults, start-up from scratch, late joiners,
+drifting (piecewise-linear) clocks, and tie-heavy worst-case delay policies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.serialize import trace_to_dict
+from repro.experiments.common import adversarial_scenario, benign_scenario, default_params
+from repro.workloads.scenarios import Scenario, build_cluster, resolve_adaptive, run_scenario
+
+
+def _grid() -> list[Scenario]:
+    return [
+        # Crash faults: the crash ceiling must not make the stop fire early.
+        adversarial_scenario(default_params(7, authenticated=True), "auth", attack="crash", rounds=6, seed=3),
+        # Start-up from scratch (round 0 + staggered boots).
+        Scenario(
+            params=default_params(5, authenticated=True),
+            algorithm="auth",
+            attack="silent",
+            rounds=5,
+            use_startup=True,
+            boot_spread=0.004,
+            clock_mode="extreme",
+            delay_mode="uniform",
+            seed=8,
+        ),
+        # A late joiner holds the completed round at 0 until it catches up.
+        Scenario(
+            params=default_params(5, authenticated=True),
+            algorithm="auth",
+            attack="silent",
+            rounds=6,
+            joiner_count=1,
+            join_time=2.5,
+            clock_mode="extreme",
+            delay_mode="uniform",
+            seed=9,
+        ),
+        # Drifting piecewise-linear clocks (benign scenarios use "random").
+        benign_scenario(default_params(5, authenticated=True), "auth", rounds=5, seed=5),
+        benign_scenario(default_params(7, authenticated=False), "echo", rounds=5, seed=6),
+        # Worst-case delays produce many same-instant deliveries: the
+        # adaptive stop must break mid-instant exactly like the poll does.
+        dataclasses.replace(
+            adversarial_scenario(
+                default_params(7, authenticated=True), "auth", attack="skew_max", rounds=6, seed=2
+            ),
+            delay_mode="max",
+        ),
+        dataclasses.replace(
+            adversarial_scenario(
+                default_params(7, authenticated=True), "auth", attack="eager", rounds=6, seed=4
+            ),
+            delay_mode="min",
+        ),
+    ]
+
+
+def _result_fields(result):
+    return (
+        result.precision,
+        result.precision_overall,
+        result.period_stats,
+        result.acceptance_spread,
+        result.accuracy,
+        result.completed_round,
+        result.total_messages,
+        result.messages_per_round,
+        result.effective_horizon,
+        result.stopped_early,
+        None
+        if result.guarantees is None
+        else [(c.name, c.measured, c.bound, c.holds, c.direction) for c in result.guarantees.checks],
+    )
+
+
+@pytest.mark.parametrize("scenario", _grid(), ids=lambda s: f"{s.name}-seed{s.seed}")
+def test_adaptive_metrics_run_equals_static(scenario: Scenario) -> None:
+    static = run_scenario(
+        dataclasses.replace(scenario, adaptive_horizon=False), trace_level="metrics"
+    )
+    adaptive = run_scenario(
+        dataclasses.replace(scenario, adaptive_horizon=True), trace_level="metrics"
+    )
+    assert _result_fields(adaptive) == _result_fields(static)
+
+
+@pytest.mark.parametrize("scenario", _grid()[:3], ids=lambda s: f"{s.name}-seed{s.seed}")
+def test_adaptive_full_trace_is_byte_identical(scenario: Scenario) -> None:
+    historical = run_scenario(scenario, trace_level="full")  # default: historical poll
+    adaptive = run_scenario(
+        dataclasses.replace(scenario, adaptive_horizon=True), trace_level="full"
+    )
+    assert trace_to_dict(adaptive.trace) == trace_to_dict(historical.trace)
+
+
+def test_adaptive_summary_equality_at_engine_level() -> None:
+    scenario = adversarial_scenario(
+        default_params(7, authenticated=True), "auth", attack="skew_max", rounds=8, seed=17
+    )
+    summaries = []
+    for adaptive in (False, True):
+        handles = build_cluster(scenario, trace_level="metrics")
+        summary = handles.sim.run_until_round(
+            scenario.rounds, t_max=scenario.horizon(), adaptive=adaptive
+        )
+        assert handles.sim.stopped_early
+        summaries.append(summary)
+    assert summaries[0] == summaries[1]
+
+
+def test_stop_never_fires_before_target_round_under_worst_case_delays() -> None:
+    # Every message takes the full tdel: round completion is as late as the
+    # model allows, and acceptances pile up on identical timestamps.  The
+    # adaptive stop must still wait for the last process of the last round.
+    scenario = dataclasses.replace(
+        adversarial_scenario(
+            default_params(7, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=7,
+            seed=23,
+            adaptive_horizon=True,
+        ),
+        delay_mode="max",
+    )
+    handles = build_cluster(scenario, trace_level="metrics")
+    sim = handles.sim
+    summary = sim.run_until_round(scenario.rounds, t_max=scenario.horizon(), adaptive=True)
+    assert sim.stopped_early
+    assert summary.completed_round >= scenario.rounds
+    # The completing instant cannot precede `rounds` sequential broadcasts.
+    assert summary.end_time >= scenario.rounds * scenario.params.tdel
+
+
+def test_grace_extends_the_adapted_horizon_exactly() -> None:
+    scenario = adversarial_scenario(
+        default_params(5, authenticated=True), "auth", attack="eager", rounds=5, seed=31
+    )
+    tight = run_scenario(dataclasses.replace(scenario, adaptive_horizon=True), trace_level="metrics")
+    graced = run_scenario(
+        dataclasses.replace(scenario, adaptive_horizon=True, grace=0.5), trace_level="metrics"
+    )
+    assert tight.stopped_early and graced.stopped_early
+    assert graced.effective_horizon == tight.effective_horizon + 0.5
+    assert graced.effective_horizon < scenario.horizon()
+    assert graced.completed_round >= tight.completed_round
+
+
+def test_infeasible_run_falls_back_to_the_static_budget() -> None:
+    # A target round the execution never reaches: the adaptive run must use
+    # the full static budget, exactly like the historical poll would.
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=3, seed=41)
+    t_max = scenario.horizon()
+    handles = build_cluster(scenario, trace_level="metrics")
+    summary = handles.sim.run_until_round(10_000, t_max=t_max, adaptive=True)
+    assert not handles.sim.stopped_early
+    assert summary.end_time == t_max
+    assert summary.completed_round < 10_000
+
+
+def test_resolve_adaptive_defaults_per_trace_level() -> None:
+    scenario = benign_scenario(default_params(4, authenticated=True), "auth", rounds=3, seed=1)
+    assert resolve_adaptive(scenario, "metrics") is True
+    assert resolve_adaptive(scenario, "full") is False
+    explicit = dataclasses.replace(scenario, adaptive_horizon=True)
+    assert resolve_adaptive(explicit, "full") is True
+
+
+def test_negative_grace_is_rejected() -> None:
+    with pytest.raises(ValueError, match="grace"):
+        benign_scenario(default_params(4, authenticated=True), "auth", rounds=3, seed=1, grace=-0.1)
+
+
+def test_grace_on_already_completed_target_never_rewinds_time() -> None:
+    # Arming a target that is already complete (a resumed full-trace segment)
+    # must cap the grace window at arm time: no event beyond it may fire, and
+    # simulated time must never move backwards.
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=3, seed=13)
+    handles = build_cluster(scenario, trace_level="full")
+    sim = handles.sim
+    sim.run_until_round(scenario.rounds, t_max=scenario.horizon())
+    first_end = sim.now
+    trace = sim.run_until_round(scenario.rounds, t_max=scenario.horizon(), grace=0.25, adaptive=True)
+    assert sim.now >= first_end
+    assert sim.now == first_end + 0.25
+    assert trace.end_time == sim.now

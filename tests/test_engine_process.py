@@ -124,7 +124,10 @@ def test_run_until_round_stops_early():
         def on_timer(self, key):
             from repro.sim.trace import ResyncEvent
 
-            self.trace.resyncs.append(
+            # Progress must be reported through the recorder seam (as real
+            # algorithms do via record_resync): the engine's round tracking
+            # observes recorder emissions, not direct trace mutation.
+            self.record_resync(
                 ResyncEvent(pid=self.pid, round=1, time=self.sim.now, logical_before=1.0, logical_after=1.0)
             )
 
@@ -257,3 +260,31 @@ def test_unbound_process_raises():
         _ = proc.network
     with pytest.raises(RuntimeError):
         _ = proc.trace
+
+
+# -- past-time scheduling is never silent -----------------------------------------
+
+
+def test_schedule_at_past_time_is_clamped_and_noted():
+    sim = make_sim()
+    fired = []
+    sim.schedule_at(1.0, lambda: sim.schedule_at(0.25, lambda: fired.append(sim.now)))
+    sim.run_until(2.0)
+    # The action still runs (clamped to the scheduling instant)...
+    assert fired == [1.0]
+    # ...but the clamp is on the record, not swallowed.
+    assert any("schedule_at" in note and "clamped" in note for note in sim.trace.notes)
+
+
+def test_schedule_at_past_time_raises_under_strict_scheduling():
+    sim = Simulation(tmin=0.0, tdel=0.01, delay_policy=FixedDelay(0.005), seed=0, strict_scheduling=True)
+    sim.schedule_at(1.0, lambda: sim.schedule_at(0.25, lambda: None))
+    with pytest.raises(ValueError, match="in the past"):
+        sim.run_until(2.0)
+
+
+def test_schedule_at_present_time_is_not_noted():
+    sim = make_sim()
+    sim.schedule_at(1.0, lambda: sim.schedule_at(1.0, lambda: None))
+    sim.run_until(2.0)
+    assert sim.trace.notes == []

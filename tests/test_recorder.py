@@ -184,6 +184,8 @@ def test_liveness_replica_matches_semantics():
             liveness_triples=triples,
             slowest_long_run_rate=None,
             fastest_long_run_rate=None,
+            slowest_window_rate=None,
+            fastest_window_rate=None,
             envelope_a=None,
             envelope_b=None,
             worst_offset_from_real_time=None,

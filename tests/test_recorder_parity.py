@@ -12,7 +12,6 @@ post-hoc analysis walks, so it is not an approximation.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -22,6 +21,8 @@ from repro.workloads.scenarios import Scenario, run_scenario
 ACCURACY_EXACT_FIELDS = (
     "slowest_long_run_rate",
     "fastest_long_run_rate",
+    "slowest_window_rate",
+    "fastest_window_rate",
     "envelope_a",
     "envelope_b",
     "worst_offset_from_real_time",
@@ -119,14 +120,13 @@ def test_streamed_metrics_equal_full_trace(scenario: Scenario) -> None:
     assert fast.total_messages == full.total_messages
     assert fast.messages_per_round == full.messages_per_round
 
-    # Accuracy: same presence; exact on every streamable quantity.
+    # Accuracy: same presence; exact on every quantity, including the
+    # window-rate extremes (the streaming recorder runs the same hull pass
+    # over the same retained breakpoint samples the post-hoc analysis walks).
     assert (fast.accuracy is None) == (full.accuracy is None)
     if full.accuracy is not None:
         for field in ACCURACY_EXACT_FIELDS:
             assert getattr(fast.accuracy, field) == getattr(full.accuracy, field), field
-        # Window-rate extremes need retained history: reported as nan.
-        assert math.isnan(fast.accuracy.slowest_window_rate)
-        assert math.isnan(fast.accuracy.fastest_window_rate)
 
     # Guarantee verdicts: same checks, same measured values, same bounds.
     assert (fast.guarantees is None) == (full.guarantees is None)

@@ -270,3 +270,131 @@ def test_env_defaults(monkeypatch, tmp_path):
     runner = get_runner()
     assert runner.cache is not None
     assert runner.cache.directory == tmp_path / "cachedir"
+
+
+# -- streaming aggregation -------------------------------------------------------------
+
+
+def test_stream_sweep_serial_in_input_order():
+    scenarios = small_grid()
+    seen: list[int] = []
+    rows: list = [None] * len(scenarios)
+
+    def fold(index, result):
+        seen.append(index)
+        rows[index] = (result.scenario.name, result.completed_round)
+
+    count = SweepRunner(jobs=1).stream_sweep(scenarios, fold)
+    assert count == len(scenarios)
+    assert seen == list(range(len(scenarios)))
+    assert all(row is not None for row in rows)
+
+
+def test_stream_sweep_parallel_matches_run_sweep():
+    scenarios = small_grid()
+    reference = SweepRunner(jobs=1).run_sweep(scenarios)
+    collected: list = [None] * len(scenarios)
+
+    with SweepRunner(jobs=2) as runner:
+        runner.stream_sweep(scenarios, lambda i, r: collected.__setitem__(i, r))
+    assert results_fingerprint(collected) == results_fingerprint(reference)
+
+
+def test_stream_sweep_parent_holds_o1_results():
+    """The streaming path never accumulates the sweep's results in the parent.
+
+    Weak references to every emitted result must die as the sweep progresses:
+    with a serial runner and a reducer that drops results after folding, at
+    most a constant number can be alive at any emission.
+    """
+    import gc
+    import weakref
+
+    scenarios = small_grid() + [replace(s, seed=s.seed + 1, name="") for s in small_grid()]
+    alive: list[weakref.ref] = []
+    high_water = 0
+
+    def fold(index, result):
+        nonlocal high_water
+        alive.append(weakref.ref(result))
+        del result
+        gc.collect()
+        high_water = max(high_water, sum(1 for ref in alive if ref() is not None))
+
+    SweepRunner(jobs=1).stream_sweep(scenarios, fold)
+    gc.collect()
+    assert high_water <= 2, f"parent retained {high_water} results during a streamed sweep"
+    assert sum(1 for ref in alive if ref() is not None) == 0
+
+
+def test_stream_sweep_serves_cache_hits_and_duplicates(tmp_path):
+    scenario = small_grid()[0]
+    scenarios = [scenario, replace(scenario, name="twin"), scenario]
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=2, cache=cache)
+    seen: list[int] = []
+    runner.stream_sweep(scenarios, lambda i, r: seen.append(i))
+    assert sorted(seen) == [0, 1, 2]
+    assert cache.stats.stores == 1
+
+    warm: list[int] = []
+    SweepRunner(jobs=1, cache=cache).stream_sweep(scenarios, lambda i, r: warm.append(i))
+    assert warm == [0, 1, 2]
+    assert cache.stats.hits >= 3
+
+
+def test_persistent_pool_reused_across_sweeps():
+    runner = SweepRunner(jobs=2)
+    try:
+        runner.run_sweep(small_grid()[:2])
+        pool = runner._pool
+        assert pool is not None
+        runner.run_sweep(small_grid()[2:])
+        assert runner._pool is pool  # same executor, no respawn
+    finally:
+        runner.close()
+    assert runner._pool is None
+
+
+# -- cache schema v3: adaptive horizon -------------------------------------------------
+
+
+def test_cache_key_resolves_adaptive_horizon_default():
+    scenario = small_grid()[0]
+    explicit = replace(scenario, adaptive_horizon=True)
+    historical = replace(scenario, adaptive_horizon=False)
+    # The None default resolves per trace level and shares the entry with
+    # its explicit spelling.
+    assert cache_key(scenario, True, trace_level="metrics") == cache_key(
+        explicit, True, trace_level="metrics"
+    )
+    assert cache_key(scenario, True, trace_level="full") == cache_key(
+        historical, True, trace_level="full"
+    )
+    assert cache_key(explicit, True, trace_level="metrics") != cache_key(
+        historical, True, trace_level="metrics"
+    )
+
+
+def test_cache_key_ignores_grace_on_historical_runs():
+    scenario = small_grid()[0]
+    graced = replace(scenario, grace=2.5)
+    # Historical (full-trace) runs ignore grace entirely: one entry.
+    assert cache_key(scenario, True, trace_level="full") == cache_key(graced, True, trace_level="full")
+    # Adaptive runs simulate through the grace window: distinct entries.
+    assert cache_key(scenario, True, trace_level="metrics") != cache_key(
+        graced, True, trace_level="metrics"
+    )
+
+
+def test_effective_horizon_round_trips_through_cache(tmp_path):
+    scenario = small_grid()[0]
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    cold = runner.run(scenario, trace_level="metrics")
+    warm = runner.run(scenario, trace_level="metrics")
+    assert cache.stats.hits == 1
+    assert cold.stopped_early
+    assert cold.effective_horizon is not None
+    assert warm.effective_horizon == cold.effective_horizon
+    assert warm.stopped_early == cold.stopped_early
