@@ -1,0 +1,13 @@
+"""Benchmark E13: shard plans never change replicated worst-case statistics."""
+
+from conftest import run_and_print
+
+
+def test_e13_shards(benchmark):
+    invariance, scaling = run_and_print(benchmark, "E13")
+    assert all(invariance.column("== 1 shard")), "sharded values must equal the unsharded fold"
+    shard_counts = invariance.column("shards")
+    assert shard_counts == sorted(shard_counts)
+    skews = scaling.column("worst skew")
+    assert skews == sorted(skews), "worst-case skew must be monotone in the replication superset"
+    assert all(verdict == "hold" for verdict in scaling.column("guarantees"))

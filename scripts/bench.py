@@ -1,22 +1,24 @@
-"""Write BENCH_PR3.json: the tracked perf baseline of the observation stack.
+"""Write BENCH_PR4.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-2 script) times a fixed
+The canonical benchmark (successor of the PR-3 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
-plus every reproduction experiment end to end.  CI's perf-smoke job runs it
-with ``--quick --fail-if-adaptive-slower`` and uploads the JSON as an
+plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
+the sharded backend) and every reproduction experiment end to end.  CI's
+perf-smoke job runs it with ``--quick --gate`` and uploads the JSON as an
 artifact, so the bench trajectory is versioned alongside the code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR3.json]
-                            [--repeats N] [--fail-if-adaptive-slower]
+    python scripts/bench.py [--quick] [--output BENCH_PR4.json]
+                            [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
 measured runs), so they measure simulation + observation, not cache reads.
-Each grid cell reports the best of ``--repeats`` runs; the parity block
-asserts the acceptance contract -- adaptive metrics values, including the
-window-rate extremes, are float-for-float equal to the full-trace pipeline.
+Each grid cell reports the best of ``--repeats`` runs; the parity blocks
+assert the acceptance contracts -- adaptive metrics values (including the
+window-rate extremes) are float-for-float equal to the full-trace pipeline,
+and sharded runs are float-for-float equal to the unsharded fold.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import platform
 import sys
 import time
@@ -32,6 +35,7 @@ from pathlib import Path
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import adversarial_scenario, default_params
 from repro.runner.config import configure as configure_runner
+from repro.runner.core import SweepRunner
 from repro.workloads.scenarios import _measure_streamed, _resolve_check, build_cluster, run_scenario
 
 #: Adaptive-vs-baseline tolerance for the CI gate.  The adaptive and static
@@ -41,6 +45,14 @@ from repro.workloads.scenarios import _measure_streamed, _resolve_check, build_c
 #: only to the largest grid cell (most signal) and allows this much noise.
 #: Value parity, by contrast, is deterministic and gated on every cell.
 GATE_TOLERANCE = 1.25
+
+#: The shard-scaling contract: 4 shards of the largest replicated cell must
+#: beat the unsharded fold by this factor.  Only gated when the runner has at
+#: least :data:`SHARD_GATE_MIN_CORES` cores (a 1-core box cannot speed up by
+#: adding processes), and softened by :data:`GATE_TOLERANCE` against shared
+#: CI runner noise; value parity is gated unconditionally.
+SHARD_SPEEDUP_TARGET = 1.5
+SHARD_GATE_MIN_CORES = 4
 
 
 def time_experiments(quick: bool) -> dict:
@@ -158,6 +170,78 @@ def time_horizon_grid(quick: bool, repeats: int) -> dict:
     return {"rounds": rounds, "repeats": repeats, "grid": grid}
 
 
+def time_shard_grid(quick: bool, repeats: int) -> dict:
+    """Sharded vs unsharded wall clock and value parity on the largest cell.
+
+    The cell is the horizon grid's largest system replicated 8 times; shard
+    plans 1 (the unsharded in-process fold), 2 and 4 run the same
+    replications through the sharded backend's worker pool.  Pools are
+    persistent across the ``repeats`` (best-of excludes spawn cost), mirroring
+    how experiment suites reuse one pool across many sweeps.
+    """
+    n = 28 if quick else 42
+    rounds = 5 if quick else 12
+    replications = 8
+    base = adversarial_scenario(
+        default_params(n, authenticated=True),
+        "auth",
+        attack="skew_max",
+        rounds=rounds,
+        seed=100 + n,
+    )
+    grid = {}
+    results = {}
+    for shards in (1, 2, 4):
+        scenario = dataclasses.replace(base, replications=replications, shards=shards, name="")
+        if shards == 1:
+            wall, result = _best_of(repeats, lambda s=scenario: run_scenario(s, trace_level="metrics"))
+        else:
+            with SweepRunner(jobs=shards) as runner:
+                wall, result = _best_of(
+                    repeats, lambda s=scenario: runner.run(s, trace_level="metrics")
+                )
+        results[shards] = result
+        grid[f"shards={shards}"] = {
+            "wall_time_s": round(wall, 4),
+            "shard_count": result.shard_count,
+            "precision": result.precision,
+            "completed_round": result.completed_round,
+            "effective_horizon": result.effective_horizon,
+            "total_messages": result.total_messages,
+        }
+    reference = results[1]
+    for shards, result in results.items():
+        ref_acc, acc = reference.accuracy, result.accuracy
+        grid[f"shards={shards}"]["parity"] = {
+            "values_exact": (
+                result.precision == reference.precision
+                and result.precision_overall == reference.precision_overall
+                and result.acceptance_spread == reference.acceptance_spread
+                and result.completed_round == reference.completed_round
+                and result.total_messages == reference.total_messages
+                and result.effective_horizon == reference.effective_horizon
+            ),
+            "window_rates_exact": (
+                ref_acc is not None
+                and acc is not None
+                and acc.slowest_window_rate == ref_acc.slowest_window_rate
+                and acc.fastest_window_rate == ref_acc.fastest_window_rate
+            ),
+        }
+    unsharded_wall = grid["shards=1"]["wall_time_s"]
+    for shards in (2, 4):
+        wall = max(grid[f"shards={shards}"]["wall_time_s"], 1e-9)
+        grid[f"shards={shards}"]["speedup_vs_unsharded"] = round(unsharded_wall / wall, 3)
+    return {
+        "n": n,
+        "rounds": rounds,
+        "replications": replications,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+    }
+
+
 def check_gate(horizon_grid: dict) -> list[str]:
     """Adaptive-horizon metrics runs must be at least as fast as static ones."""
     failures = []
@@ -180,17 +264,44 @@ def check_gate(horizon_grid: dict) -> list[str]:
     return failures
 
 
+def check_shard_gate(shard_grid: dict) -> list[str]:
+    """Sharded runs must equal the unsharded fold; 4 shards must be faster.
+
+    Value parity is gated unconditionally (it is deterministic).  The
+    speedup gate only applies on runners with enough cores for sharding to
+    pay, and allows the usual noise tolerance.
+    """
+    failures = []
+    for label, entry in shard_grid["grid"].items():
+        for name, ok in entry["parity"].items():
+            if not ok:
+                failures.append(f"{label}: parity check {name} failed")
+    cores = shard_grid.get("cpu_count") or 1
+    if cores >= SHARD_GATE_MIN_CORES:
+        speedup = shard_grid["grid"]["shards=4"]["speedup_vs_unsharded"]
+        required = SHARD_SPEEDUP_TARGET / GATE_TOLERANCE
+        if speedup < required:
+            failures.append(
+                f"shards=4: speedup x{speedup} below x{required:.2f} "
+                f"(target x{SHARD_SPEEDUP_TARGET}, tolerance x{GATE_TOLERANCE}, {cores} cores)"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR3.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR4.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
+        "--gate",
         "--fail-if-adaptive-slower",
         action="store_true",
         dest="gate",
-        help="exit non-zero unless adaptive-horizon metrics runs are at least as fast "
-        "as static-horizon runs (and value parity holds) on every grid cell",
+        help="exit non-zero unless adaptive-horizon metrics runs are at least as fast as "
+        "static-horizon runs, sharded runs are value-identical to the unsharded fold "
+        "(and, on multi-core runners, at least 1.5x faster at 4 shards), and every "
+        "value-parity check is float-exact",
     )
     args = parser.parse_args()
 
@@ -198,13 +309,15 @@ def main() -> int:
     configure_runner(jobs=1, use_cache=False)
 
     horizon_grid = time_horizon_grid(args.quick, args.repeats)
+    shard_grid = time_shard_grid(args.quick, args.repeats)
     summary = {
-        "schema": "bench/3",
+        "schema": "bench/4",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "experiments": time_experiments(args.quick),
         "horizon_grid": horizon_grid,
+        "shard_grid": shard_grid,
     }
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -219,14 +332,24 @@ def main() -> int:
             f"(x{entry['speedup_pr2_over_adaptive']} vs PR-2 poll), "
             f"parity {all(entry['parity'].values())}"
         )
+    for label, entry in shard_grid["grid"].items():
+        speedup = entry.get("speedup_vs_unsharded")
+        print(
+            f"  {label}: {entry['wall_time_s']}s"
+            + (f" (x{speedup} vs unsharded)" if speedup is not None else " (reference)")
+            + f", parity {all(entry['parity'].values())}"
+        )
 
     if args.gate:
-        failures = check_gate(horizon_grid)
+        failures = check_gate(horizon_grid) + check_shard_gate(shard_grid)
         if failures:
             for failure in failures:
                 print(f"PERF GATE: {failure}", file=sys.stderr)
             return 1
-        print("perf gate: adaptive >= static on every grid cell, parity exact")
+        print(
+            "perf gate: adaptive >= static on the largest cell, sharded == unsharded "
+            "float-exact, shard speedup within contract"
+        )
     return 0
 
 

@@ -57,10 +57,11 @@ from .sim import (
     Trace,
     drifting_clock,
 )
-from .runner import ResultCache, SweepRunner
+from .runner import ResultCache, ShardedRunner, SweepRunner
+from .sim.recorder import OnlineMetricsSummary, merge_summaries
 from .workloads import Scenario, ScenarioResult, build_cluster, run_scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -90,7 +91,10 @@ __all__ = [
     "sign",
     # sweep execution
     "SweepRunner",
+    "ShardedRunner",
     "ResultCache",
+    "OnlineMetricsSummary",
+    "merge_summaries",
     # scenarios and analysis
     "Scenario",
     "ScenarioResult",

@@ -171,6 +171,41 @@ def window_rate_extremes(
     return (slowest, fastest)
 
 
+def combined_window_extremes(
+    samples: Sequence[tuple], t_start: float, t_end: float
+) -> Optional[tuple[float, float]]:
+    """Extreme window rates over a collection of per-process retained samples.
+
+    ``samples`` holds one ``(times, values, long_run_rate)`` triple per
+    process; the minimum window is a quarter of ``[t_start, t_end]`` -- the
+    same availability rule :func:`accuracy_summary` applies -- and a process
+    whose samples admit no window of that width contributes its long-run rate
+    (the fallback :func:`rate_extremes` uses).  Both the streaming recorder's
+    ``finalize`` and the shard-merge algebra
+    (:meth:`repro.sim.recorder.OnlineMetricsSummary.merge`) fold through this
+    one function, so a merged summary's window rates are float-for-float what
+    a single recorder observing every process over the combined interval
+    would report.  Returns ``None`` when the interval is empty or no process
+    contributed samples.
+    """
+    if t_end <= t_start or not samples:
+        return None
+    min_window = max((t_end - t_start) / 4.0, 1e-9)
+    slowest = float("inf")
+    fastest = float("-inf")
+    for times, values, rate in samples:
+        extremes = window_rate_extremes(times, values, min_window)
+        if extremes is None:
+            extremes = (rate, rate)
+        if extremes[0] < slowest:
+            slowest = extremes[0]
+        if extremes[1] > fastest:
+            fastest = extremes[1]
+    if slowest == float("inf"):
+        return None
+    return (slowest, fastest)
+
+
 def rate_extremes(ptrace: ProcessTrace, t_start: float, t_end: float, min_window: float) -> RateExtremes:
     """Exact extreme window rates of one logical clock.
 

@@ -104,6 +104,10 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
         "trace_level": getattr(result, "trace_level", "full"),
         "effective_horizon": getattr(result, "effective_horizon", None),
         "stopped_early": getattr(result, "stopped_early", False),
+        "shard_count": getattr(result, "shard_count", 1),
+        "shard_horizons": (
+            list(result.shard_horizons) if getattr(result, "shard_horizons", None) is not None else None
+        ),
         "precision": result.precision,
         "precision_overall": result.precision_overall,
         "acceptance_spread": result.acceptance_spread,

@@ -3,8 +3,9 @@
 The CLI exposes the library's main entry points without writing any Python:
 
 * ``repro bounds``       -- print the analytic guarantees for a parameterisation,
-* ``repro run``          -- run one scenario and print the measured guarantees,
-* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E12,
+* ``repro run``          -- run one scenario (optionally many sharded
+  replications of it) and print the measured guarantees,
+* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E13,
 * ``repro list-attacks`` -- list the registered Byzantine strategies,
 * ``repro list-experiments`` -- list the reproduced experiments.
 
@@ -32,6 +33,13 @@ def _nonnegative_int(raw: str) -> int:
     value = int(raw)
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
     return value
 
 
@@ -117,16 +125,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         join_time=args.join_time,
         monotonic=args.monotonic,
         grace=args.grace,
+        abort_unreachable=args.abort_unreachable,
+        replications=args.replications,
+        shards=args.shards,
         seed=args.seed,
     )
     if args.adaptive_horizon != "auto":
         scenario.adaptive_horizon = args.adaptive_horizon == "on"
-    result = get_runner().run(scenario, trace_level=args.trace_level)
+    trace_level = args.trace_level
+    if args.replications > 1 and trace_level == "full":
+        # Replicated runs merge streamed summaries; full traces do not merge.
+        trace_level = "metrics"
+        print("note: --replications forces --trace-level metrics", file=sys.stderr)
+    result = get_runner().run(scenario, trace_level=trace_level)
     if args.json:
         include_trace = args.include_trace and result.trace is not None
         print(result_to_json(result, include_trace=include_trace))
         return 0 if result.guarantees_hold else 1
     table = Table(title=f"Scenario {scenario.name}", headers=["quantity", "value"])
+    if scenario.replications > 1:
+        table.add_row("replications", scenario.replications)
+        table.add_row("shard tasks", result.shard_count)
+        table.add_row("effective horizon (max, s)", result.effective_horizon)
     table.add_row("completed round", result.completed_round)
     table.add_row("precision (worst skew, s)", result.precision)
     table.add_row("acceptance spread (s)", result.acceptance_spread)
@@ -228,14 +248,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="real time to keep simulating past target-round completion on adaptive runs (default 0)",
     )
+    run.add_argument(
+        "--abort-unreachable",
+        action="store_true",
+        dest="abort_unreachable",
+        help="end the run the moment the target round becomes unreachable (an honest crash "
+        "capped the completable rounds) instead of burning the full budget; changes the "
+        "measured end time of infeasible runs only",
+    )
+    run.add_argument(
+        "--replications",
+        type=_positive_int,
+        default=1,
+        help="independent replications of the scenario (seeds seed..seed+R-1); the result is "
+        "the exact merge of the per-replication summaries (worst case over runs)",
+    )
+    run.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="shard tasks the replications split into across the worker pool "
+        "(default: one per core, REPRO_SHARDS overrides; never changes measured values)",
+    )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="emit the result as JSON")
     run.add_argument("--include-trace", action="store_true", dest="include_trace",
                      help="include the full trace in the JSON output")
     run.set_defaults(func=_cmd_run)
 
-    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E12")
-    experiment.add_argument("id", help="experiment id (E1..E12) or 'all'")
+    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E13")
+    experiment.add_argument("id", help="experiment id (E1..E13) or 'all'")
     experiment.add_argument("--quick", action="store_true", help="smaller grids (used by the test suite)")
     experiment.add_argument(
         "--stream",

@@ -25,6 +25,7 @@ from . import (
     e10_adversaries,
     e11_ablation,
     e12_baselines,
+    e13_shards,
 )
 
 Runner = Callable[[bool], Union[Table, list[Table]]]
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, Experiment] = {
     "E10": Experiment("E10", "Robustness against every tolerated Byzantine strategy", e10_adversaries.run_experiment),
     "E11": Experiment("E11", "Ablations: adjustment constant alpha, monotonic variant", e11_ablation.run_experiment),
     "E12": Experiment("E12", "Head-to-head comparison with baseline synchronizers", e12_baselines.run_experiment),
+    "E13": Experiment("E13", "Shard-plan invariance of replicated worst-case statistics", e13_shards.run_experiment),
 }
 
 

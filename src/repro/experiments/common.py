@@ -10,6 +10,7 @@ documentation are exactly the numbers the harness produces.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import replace as dataclasses_replace
 from typing import Callable, Optional, Sequence
 
 from ..core.params import SyncParams, params_for
@@ -86,6 +87,18 @@ def benign_scenario(
     )
 
 
+def replicated(scenario: Scenario, replications: int, shards: Optional[int] = None) -> Scenario:
+    """``scenario`` with ``replications`` independent runs (seeds ``seed``..).
+
+    The result of a replicated scenario is the exact merge of the
+    per-replication summaries -- worst-case statistics over all runs of one
+    configuration -- and its execution shards across the worker pool along
+    the resolved shard plan (``shards=None``: one shard per core).  Requires
+    ``trace_level="metrics"``.
+    """
+    return dataclasses_replace(scenario, replications=replications, shards=shards, name="")
+
+
 def stable_seed(*parts, modulus: int = 1_000_000) -> int:
     """A deterministic seed derived from ``parts``.
 
@@ -98,13 +111,33 @@ def stable_seed(*parts, modulus: int = 1_000_000) -> int:
     return int.from_bytes(digest[:8], "big") % modulus
 
 
+#: Optional passive observer: called with every ScenarioResult an experiment
+#: obtains through this module (streamed or batched, cache hits included).
+#: The report generator uses it to persist per-table provenance -- effective
+#: horizons, shard counts, early stops -- without touching the experiments.
+_observer: Optional[Callable[[ScenarioResult], None]] = None
+
+
+def set_observer(hook: Optional[Callable[[ScenarioResult], None]]) -> None:
+    """Install (or with ``None`` remove) the passive result observer."""
+    global _observer
+    _observer = hook
+
+
+def _observe(result: ScenarioResult) -> None:
+    if _observer is not None:
+        _observer(result)
+
+
 def run(
     scenario: Scenario,
     check_guarantees: Optional[bool] = None,
     trace_level: str = "full",
 ) -> ScenarioResult:
     """Run one scenario through the shared sweep runner (cache included)."""
-    return run_sweep([scenario], check_guarantees=check_guarantees, trace_level=trace_level)[0]
+    result = run_sweep([scenario], check_guarantees=check_guarantees, trace_level=trace_level)[0]
+    _observe(result)
+    return result
 
 
 def run_batch(
@@ -125,7 +158,9 @@ def run_batch(
     experiments that post-process history (E6 start-up, E7 join, E11
     ablation) keep the default full level.
     """
-    return run_sweep(scenarios, check_guarantees=check_guarantees, trace_level=trace_level)
+    return run_sweep(
+        scenarios, check_guarantees=check_guarantees, callback=_observe, trace_level=trace_level
+    )
 
 
 #: Optional progress hook for streamed experiment sweeps: called as
@@ -168,6 +203,7 @@ def stream_rows(
         nonlocal done
         done += 1
         rows[index] = list(row_of(index, result))
+        _observe(result)
         if _progress is not None:
             _progress(done, len(scenarios), result)
 

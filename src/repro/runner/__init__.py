@@ -12,19 +12,27 @@ of worker processes without changing the results.  This subsystem provides:
   stable hash of the scenario description, the resolved ``check_guarantees``
   flag and a code-version salt, so repeated sweeps and report regeneration
   skip already-computed grid points,
+* :mod:`~repro.runner.sharded` -- the sharded execution backend: replicated
+  scenarios split along a deterministic shard plan into worker tasks that
+  share the sweep pool, and the per-shard summaries fold through the exact
+  merge algebra of :class:`repro.sim.recorder.OnlineMetricsSummary`, so
+  sharding never changes a measured value,
 * :mod:`~repro.runner.config` -- the process-wide default runner that
   :func:`repro.workloads.sweeps.run_sweep`, the experiment modules, the CLI
   and the report generator all share (configured via ``--jobs``/``--no-cache``
-  or the ``REPRO_JOBS``/``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment
-  variables).
+  or the ``REPRO_JOBS``/``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_SHARDS``
+  environment variables).
 """
 
 from .cache import CacheStats, ResultCache, cache_key, code_salt, default_cache_dir
 from .config import configure, get_runner, reset_runner
 from .core import SweepRunner, resolve_check_guarantees
+from .sharded import ShardedRunner, ShardFold
 
 __all__ = [
     "SweepRunner",
+    "ShardedRunner",
+    "ShardFold",
     "ResultCache",
     "CacheStats",
     "cache_key",

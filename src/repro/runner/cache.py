@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..analysis.serialize import scenario_to_dict
-from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive
+from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, resolve_shards
 
 #: Bump when the on-disk entry format changes (pickled object layout, key schema).
 #: 2: ScenarioResult gained ``trace_level`` (and an optional trace); keys carry
@@ -37,7 +37,13 @@ from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive
 #: 3: ScenarioResult records the effective horizon (``effective_horizon``,
 #: ``stopped_early``); scenarios carry adaptive-horizon fields, keyed by their
 #: *resolved* values so the default and its explicit spelling share entries.
-SCHEMA_VERSION = 3
+#: 4: scenarios carry the replication axis (``replications``, ``shards``,
+#: ``abort_unreachable``) and results carry shard provenance (``shard_count``,
+#: ``shard_horizons``).  Keys carry the *resolved* shard plan: the measured
+#: values are shard-invariant, but the stored provenance is not, so the
+#: ``None``-auto default and an explicit equal shard count share one entry
+#: while different plans get their own.
+SCHEMA_VERSION = 4
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the
@@ -89,13 +95,18 @@ def cache_key(
     stored result contains (a full trace versus streamed scalars only).
     The adaptive-horizon fields are keyed by their *resolved* values: the
     ``None`` default and its per-trace-level resolution share one entry, and
-    ``grace`` only keys adaptive runs (historical runs ignore it).
+    ``grace`` only keys adaptive runs (historical runs ignore it).  The shard
+    plan is likewise keyed *resolved* (``shards=None`` and an explicit equal
+    count share one entry); it is part of the key because the stored result's
+    provenance (``shard_count``, ``shard_horizons``) records it, even though
+    the measured values are shard-invariant by construction.
     """
     description = scenario_to_dict(scenario)
     description.pop("name", None)
     adaptive = resolve_adaptive(scenario, trace_level)
     description["adaptive_horizon"] = adaptive
     description["grace"] = scenario.grace if adaptive else 0.0
+    description["shards"] = resolve_shards(scenario)
     payload = {
         "scenario": description,
         "check_guarantees": bool(check_guarantees),

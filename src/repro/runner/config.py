@@ -13,6 +13,12 @@ Environment defaults (used until :func:`configure` is called):
 * ``REPRO_CACHE`` -- set to ``0``/``false``/``no``/``off`` to disable the
   result cache (default: enabled),
 * ``REPRO_CACHE_DIR`` -- cache location (default ``~/.cache/repro-sweeps``).
+
+The sharded backend's auto shard plan (``Scenario.shards=None``) resolves to
+one shard per core; ``REPRO_SHARDS`` overrides that resolution (see
+:func:`repro.workloads.scenarios.auto_shard_count`).  It is read per sweep,
+not captured here, because the shard plan is part of each scenario's cache
+key.
 """
 
 from __future__ import annotations

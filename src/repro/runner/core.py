@@ -33,6 +33,13 @@ Guarantees:
 * The worker pool is persistent: it spins up lazily on the first parallel
   sweep and is reused by every later one (experiment suites run many sweeps
   back to back), until :meth:`SweepRunner.close`.
+* Replicated scenarios shard transparently: a grid point with
+  ``Scenario.replications > 1`` is split along its resolved shard plan
+  (:mod:`repro.runner.sharded`) into shard tasks that share the same pool and
+  submission window as the plain grid work, and the per-shard summaries fold
+  back into one result before ``on_result`` fires -- float-for-float
+  identical to the serial fold, so grid parallelism and shard parallelism
+  compose without a second pool or any value drift.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..workloads.scenarios import ST_ALGORITHMS, TRACE_LEVELS, Scenario, ScenarioResult, run_scenario
 from .cache import ResultCache, cache_key, code_salt
+from .sharded import ShardFold, expand_shards, run_shard_chunk, shard_plan_for
 
 #: ``check_guarantees`` as accepted by :meth:`SweepRunner.run_sweep`: one flag
 #: for the whole sweep, or one per scenario.
@@ -217,9 +225,18 @@ class SweepRunner:
         scenarios = list(scenarios)
         checks = _normalize_checks(scenarios, check_guarantees)
         levels = _normalize_trace_levels(scenarios, trace_level)
+        for scenario, level in zip(scenarios, levels):
+            if scenario.replications > 1 and level != "metrics":
+                raise ValueError(
+                    f"scenario {scenario.name!r} has replications={scenario.replications}, "
+                    f"which requires trace_level='metrics' (full traces do not merge)"
+                )
         if not scenarios:
             return 0
-        if self.jobs <= 1 or len(scenarios) == 1:
+        # A lone scenario still goes to the pool when its shard plan splits:
+        # one replicated configuration can saturate every worker by itself.
+        single_unsplit = len(scenarios) == 1 and shard_plan_for(scenarios[0], levels[0]) is None
+        if self.jobs <= 1 or single_unsplit:
             self._execute_serial(scenarios, checks, levels, on_result)
         else:
             self._execute_parallel(scenarios, checks, levels, on_result)
@@ -264,6 +281,8 @@ class SweepRunner:
         salt = code_salt()
         keys: list[Optional[str]] = [None] * len(scenarios)
         pending: list[tuple[int, Scenario, bool, str]] = []
+        shard_tasks: list = []
+        folder = ShardFold()
         # With the cache on, repeated grid points are computed once: the first
         # occurrence runs, the rest share its result (as a serial cached run
         # would, where later repeats hit the just-stored entry).
@@ -280,46 +299,80 @@ class SweepRunner:
                 if primary != index:
                     duplicates.setdefault(primary, []).append(index)
                     continue
-            pending.append((index, scenario, check, level))
-        if not pending:
+            plan = shard_plan_for(scenario, level)
+            if plan is not None:
+                # Replicated scenario: split into shard tasks that share the
+                # pool (and the submission window) with the plain grid work;
+                # the folder re-assembles them into one result.
+                folder.expect(index, scenario, len(plan), check)
+                shard_tasks.extend(expand_shards(index, scenario, plan))
+            else:
+                pending.append((index, scenario, check, level))
+        if not pending and not shard_tasks:
             return
 
-        workers = min(self.jobs, len(pending))
-        chunk = self.chunk_size
-        if chunk is None:
-            # A few chunks per worker balances batching against stragglers.
-            chunk = max(1, min(MAX_CHUNK, math.ceil(len(pending) / (workers * 4))))
-        chunks = iter([pending[i : i + chunk] for i in range(0, len(pending), chunk)])
-        window = workers * CHUNK_WINDOW
+        def finish(index: int, result: ScenarioResult) -> None:
+            key = keys[index]
+            if key is not None:
+                self.cache.put(key, result)
+            emit(index, result)
+            for dup in duplicates.get(index, ()):
+                dup_result = result
+                if scenarios[dup] != result.scenario:
+                    dup_result = dataclasses.replace(result, scenario=scenarios[dup])
+                emit(dup, dup_result)
 
-        def consume(future) -> None:
+        def consume_chunk(future) -> None:
             for index, result in future.result():
-                key = keys[index]
-                if key is not None:
-                    self.cache.put(key, result)
-                emit(index, result)
-                for dup in duplicates.get(index, ()):
-                    dup_result = result
-                    if scenarios[dup] != result.scenario:
-                        dup_result = dataclasses.replace(result, scenario=scenarios[dup])
-                    emit(dup, dup_result)
+                finish(index, result)
+
+        def consume_shards(future) -> None:
+            for index, outcome in future.result():
+                result = folder.add(index, outcome)
+                if result is not None:
+                    finish(index, result)
+
+        # Submission units: plain scenarios batched into chunks, shard tasks
+        # submitted individually (each is already a block of whole runs).
+        # Interleaved by scenario index so streaming consumers see results in
+        # roughly input order.
+        chunk = self.chunk_size
+        if chunk is None and pending:
+            # A few chunks per worker balances batching against stragglers.
+            per_worker = math.ceil(len(pending) / (min(self.jobs, len(pending)) * 4))
+            chunk = max(1, min(MAX_CHUNK, per_worker))
+        units: list[tuple] = []
+        if pending:
+            for i in range(0, len(pending), chunk):
+                piece = pending[i : i + chunk]
+                units.append((piece[0][0], _run_chunk, piece, consume_chunk))
+        for task in shard_tasks:
+            units.append((task[0], run_shard_chunk, [task], consume_shards))
+        units.sort(key=lambda unit: unit[0])
+
+        workers = min(self.jobs, len(units))
+        window = workers * CHUNK_WINDOW
 
         pool = self._ensure_pool()
         futures = set()
+        consumers: dict = {}
         try:
-            # Windowed submission: keep a few chunks per worker in flight and
+            # Windowed submission: keep a few units per worker in flight and
             # drain completions before submitting more, so at no point does
-            # the parent hold more than O(window * chunk) results.
-            for piece in chunks:
-                futures.add(pool.submit(_run_chunk, piece))
+            # the parent hold more than O(window * chunk) results (or shard
+            # summaries) beyond the partially-folded scenarios in flight.
+            for _, fn, payload, consume in units:
+                future = pool.submit(fn, payload)
+                futures.add(future)
+                consumers[future] = consume
                 if len(futures) >= window:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        consume(future)
+                        consumers.pop(future)(future)
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    consume(future)
+                    consumers.pop(future)(future)
         except BrokenProcessPool:
             # A dead worker poisons the whole executor; drop it so the next
             # sweep starts a fresh pool instead of failing forever.

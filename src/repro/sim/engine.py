@@ -171,6 +171,7 @@ class Simulation:
         t_max: float,
         grace: float = 0.0,
         adaptive: bool = False,
+        abort_unreachable: bool = False,
     ):
         """Run until every honest process accepted ``target_round`` (or ``t_max``).
 
@@ -186,10 +187,31 @@ class Simulation:
         stops on, so both modes observe identical executions; a positive
         grace keeps simulating ``grace`` units of real time past completion.
         ``grace`` is ignored in the historical mode.
+
+        ``abort_unreachable`` (opt-in) ends the run the moment the recorder's
+        crash ceiling proves the target round can never complete -- an honest
+        crash capped the completable rounds below it -- instead of burning
+        the remaining budget.  It never changes a feasible run (the abort
+        only fires when the target cannot complete), but it does change the
+        measured end time of infeasible ones, which is why it is off by
+        default.
         """
         if not adaptive:
-            def reached(sim: "Simulation") -> bool:
-                return sim.recorder.min_completed_round() >= target_round
+            if abort_unreachable:
+                def reached(sim: "Simulation") -> bool:
+                    recorder = sim.recorder
+                    if recorder.min_completed_round() >= target_round:
+                        return True
+                    if recorder.crash_ceiling < target_round:
+                        recorder.on_note(
+                            f"abort: round {target_round} unreachable "
+                            f"(crash ceiling {recorder.crash_ceiling})"
+                        )
+                        return True
+                    return False
+            else:
+                def reached(sim: "Simulation") -> bool:
+                    return sim.recorder.min_completed_round() >= target_round
 
             previous = self.stop_condition
             self.stop_condition = reached
@@ -227,6 +249,15 @@ class Simulation:
                 if grace == 0.0 and recorder.round_reached_at is not None:
                     # Halt on the completing event itself, exactly like the
                     # historical per-event poll would.
+                    self._stopped = True
+                    return recorder.finalize(self._now, self.network.stats)
+                if abort_unreachable and recorder.round_target_unreachable:
+                    # Every path to the target crashed: finishing the budget
+                    # cannot change the verdict, so stop at the fatal event.
+                    recorder.on_note(
+                        f"abort: round {target_round} unreachable "
+                        f"(crash ceiling {recorder.crash_ceiling})"
+                    )
                     self._stopped = True
                     return recorder.finalize(self._now, self.network.stats)
             if deadline is not None:

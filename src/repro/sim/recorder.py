@@ -38,8 +38,17 @@ completing resynchronization in O(1) amortized time, so a run can halt the
 moment the target round completes without polling an O(n) round scan after
 every event.
 
-The recorder seam is where future execution backends (sharded engines,
-compiled fast paths) plug in without touching the analysis layer.
+The recorder seam is where execution backends beyond the single in-process
+engine plug in without touching the analysis layer: the sharded backend
+(:mod:`repro.runner.sharded`) runs independent replications in worker
+processes, each under its own ``OnlineMetricsRecorder(mergeable=True)``, and
+folds the resulting :class:`OnlineMetricsSummary` objects through the
+associative :meth:`OnlineMetricsSummary.merge` / :func:`merge_summaries`
+algebra -- max-combining worst-case skews and envelope constants,
+min-combining the completed round, summing message counts, concatenating the
+per-process liveness triples, and re-running the exact window-rate hull pass
+over the union of retained breakpoint samples -- so a sharded run is
+float-for-float identical to the same replications folded serially.
 """
 
 from __future__ import annotations
@@ -106,6 +115,30 @@ class Recorder(ABC):
     _round_target: Optional[int] = None
     #: Real time at which the target round first completed, or None.
     _round_reached_at: Optional[float] = None
+    #: Largest round every honest process can still complete: once an honest
+    #: process crashes, no round above its progress is ever completed by all.
+    _crash_ceiling: float = math.inf
+
+    @property
+    def crash_ceiling(self) -> float:
+        """Largest round still completable by every honest process (inf if all alive)."""
+        return self._crash_ceiling
+
+    @property
+    def round_target_unreachable(self) -> bool:
+        """Whether the armed target round can no longer complete.
+
+        True exactly when a target is armed, has not completed, and an honest
+        crash capped the completable rounds below it.  The engine's opt-in
+        early abort (``run_until_round(abort_unreachable=True)``) reads this
+        after every event to stop infeasible runs without burning the full
+        static budget.
+        """
+        return (
+            self._round_target is not None
+            and self._round_reached_at is None
+            and self._crash_ceiling < self._round_target
+        )
 
     @property
     def round_reached_at(self) -> Optional[float]:
@@ -165,6 +198,7 @@ class FullTraceRecorder(Recorder):
         # cache is exact (per-process accepted rounds only ever grow).
         self._round_floor: dict[int, int] = {}
         self._completed = 0
+        self._crash_ceiling = math.inf
 
     @property
     def trace(self) -> Trace:
@@ -193,6 +227,11 @@ class FullTraceRecorder(Recorder):
 
     def on_crash(self, pid: int, time: float) -> None:
         self._trace.record_crash(pid, time)
+        floor = self._round_floor.get(pid)
+        if floor is not None and floor < self._crash_ceiling:
+            # A crashed honest process never accepts again, so rounds above
+            # its progress can never be completed by every honest process.
+            self._crash_ceiling = floor
 
     def on_note(self, text: str) -> None:
         self._trace.note(text)
@@ -275,6 +314,14 @@ class OnlineMetricsSummary:
     (:func:`repro.analysis.envelope.window_rate_extremes`), so they too are
     float-for-float identical.  They are ``None`` only when the recorder was
     built with ``window_rates=False`` or the steady interval is empty.
+
+    Summaries form a merge algebra (see :meth:`merge` /
+    :func:`merge_summaries`): summaries of *independent* executions -- the
+    replications of one configuration, or disjoint process groups under one
+    fault strategy -- fold into the summary a single observer of the combined
+    system would report, which is what lets the sharded backend
+    (:mod:`repro.runner.sharded`) split the replication axis across worker
+    processes without changing any measured value.
     """
 
     end_time: float
@@ -302,6 +349,12 @@ class OnlineMetricsSummary:
     total_messages: int
     message_stats: dict
     notes: list
+    #: One ``(times, values, long_run_rate)`` triple per honest process --
+    #: the steady-window breakpoint samples the window-rate hull pass ran
+    #: over, retained so :meth:`merge` can re-run that pass over the union.
+    #: ``None`` unless the recorder was built with ``mergeable=True``; the
+    #: sharded runner strips it from final results to keep them lean.
+    window_samples: Optional[tuple] = None
 
     def liveness(self, expected_round: int) -> bool:
         """Exact replica of :func:`repro.analysis.metrics.liveness`.
@@ -337,6 +390,122 @@ class OnlineMetricsSummary:
         if self.end_time - self.steady_start > period and self.slowest_long_run_rate is not None:
             return (self.slowest_long_run_rate, self.fastest_long_run_rate)
         return None
+
+    def merge(self, other: "OnlineMetricsSummary") -> "OnlineMetricsSummary":
+        """Fold two summaries of independent executions into one.
+
+        See :func:`merge_summaries` for the semantics; ``a.merge(b)`` is
+        ``merge_summaries([a, b])``.
+        """
+        return merge_summaries([self, other])
+
+    def compact(self) -> "OnlineMetricsSummary":
+        """This summary without the retained merge samples (identical metrics)."""
+        if self.window_samples is None:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(self, window_samples=None)
+
+
+def _opt_min(values) -> Optional[float]:
+    present = [v for v in values if v is not None]
+    return min(present) if present else None
+
+
+def _opt_max(values) -> Optional[float]:
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
+
+
+def merge_summaries(summaries) -> OnlineMetricsSummary:
+    """Fold summaries of independent executions into one combined summary.
+
+    The inputs must observe *disjoint* process populations -- independent
+    replications of one configuration, or non-interacting process groups
+    under the same fault strategy.  The result is the summary one observer of
+    the union system would report:
+
+    * worst-case quantities (skews, acceptance spread, adjustment magnitudes,
+      envelope constants, real-time offset) max-combine,
+    * the globally completed round min-combines (every process of every group
+      must accept it), ``max_round`` max-combines,
+    * resynchronization-period extremes min/max-combine and their interval
+      counts, message counts and per-type message stats sum,
+    * per-process liveness triples, notes and retained window samples
+      concatenate in input order,
+    * the steady interval is the union system's: it starts when the *last*
+      group became steady and ends at the *latest* end time, and the
+      long-run-rate extremes min/max-combine,
+    * the window-rate extremes are re-derived by running the exact hull pass
+      (:func:`repro.analysis.envelope.combined_window_extremes`) over the
+      union of every group's retained breakpoint samples with the combined
+      steady interval's quarter-width minimum window -- not by combining the
+      per-group extremes, whose minimum windows differ.
+
+    Every combining operation is exact (float min/max, integer sums, ordered
+    concatenation) and the window-rate pass is re-derived from raw samples at
+    every fold, so the fold is associative and -- up to the order of the
+    concatenated sequences -- commutative: any shard grouping of the same
+    replications produces float-for-float the same summary.  When some input
+    lacks retained samples (``mergeable=False``), the window-rate extremes
+    fall back to min/max-combining the reported per-summary values and the
+    merged summary cannot re-derive them on later folds.
+    """
+    summaries = list(summaries)
+    if not summaries:
+        raise ValueError("merge_summaries needs at least one summary")
+    if len(summaries) == 1:
+        return summaries[0]
+
+    end_time = max(s.end_time for s in summaries)
+    steady_start = max(s.steady_start for s in summaries)
+
+    if all(s.window_samples is not None for s in summaries):
+        window_samples: Optional[tuple] = tuple(
+            entry for s in summaries for entry in s.window_samples
+        )
+        # Deferred import, mirroring finalize(): analysis imports this module.
+        from ..analysis.envelope import combined_window_extremes
+
+        extremes = combined_window_extremes(window_samples, steady_start, end_time)
+        slowest_win, fastest_win = extremes if extremes is not None else (None, None)
+    else:
+        window_samples = None
+        slowest_win = _opt_min(s.slowest_window_rate for s in summaries)
+        fastest_win = _opt_max(s.fastest_window_rate for s in summaries)
+
+    message_stats: dict = {}
+    for s in summaries:
+        for kind, count in s.message_stats.items():
+            message_stats[kind] = message_stats.get(kind, 0) + count
+
+    return OnlineMetricsSummary(
+        end_time=end_time,
+        steady_start=steady_start,
+        steady_skew=max(s.steady_skew for s in summaries),
+        overall_skew=max(s.overall_skew for s in summaries),
+        period_min=min(s.period_min for s in summaries),
+        period_max=max(s.period_max for s in summaries),
+        period_count=sum(s.period_count for s in summaries),
+        acceptance_spread=max(s.acceptance_spread for s in summaries),
+        max_adjustment=_opt_max(s.max_adjustment for s in summaries),
+        max_backward_adjustment=max(s.max_backward_adjustment for s in summaries),
+        completed_round=min(s.completed_round for s in summaries),
+        max_round=max(s.max_round for s in summaries),
+        liveness_triples=tuple(t for s in summaries for t in s.liveness_triples),
+        slowest_long_run_rate=_opt_min(s.slowest_long_run_rate for s in summaries),
+        fastest_long_run_rate=_opt_max(s.fastest_long_run_rate for s in summaries),
+        slowest_window_rate=slowest_win,
+        fastest_window_rate=fastest_win,
+        envelope_a=_opt_max(s.envelope_a for s in summaries),
+        envelope_b=_opt_max(s.envelope_b for s in summaries),
+        worst_offset_from_real_time=_opt_max(s.worst_offset_from_real_time for s in summaries),
+        total_messages=sum(s.total_messages for s in summaries),
+        message_stats=message_stats,
+        notes=[note for s in summaries for note in s.notes],
+        window_samples=window_samples,
+    )
 
 
 class OnlineMetricsRecorder(Recorder):
@@ -375,6 +544,13 @@ class OnlineMetricsRecorder(Recorder):
     the post-hoc analysis uses.  ``window_rates=False`` restores strictly
     run-length-independent memory and reports the extremes as ``None``.
 
+    ``mergeable`` makes the finalized summary carry its retained per-process
+    window samples (:attr:`OnlineMetricsSummary.window_samples`), which is
+    what the shard-merge algebra needs to re-run the window-rate hull pass
+    over a union of executions; it requires ``window_rates=True``.  The
+    sharded backend runs every replication under a mergeable recorder and
+    strips the samples from the final folded summary.
+
     The recorder observes one run segment: after :meth:`finalize`, new events
     are rejected (re-finalizing at the same end time returns the cached
     summary).  Multi-segment runs that resume after ``run_until`` need the
@@ -386,12 +562,16 @@ class OnlineMetricsRecorder(Recorder):
         rate_low: Optional[float] = None,
         rate_high: Optional[float] = None,
         window_rates: bool = True,
+        mergeable: bool = False,
     ) -> None:
         if (rate_low is None) != (rate_high is None):
             raise ValueError("rate_low and rate_high must be given together")
+        if mergeable and not window_rates:
+            raise ValueError("mergeable summaries require window_rates=True")
         self.rate_low = rate_low
         self.rate_high = rate_high
         self.window_rates = window_rates
+        self.mergeable = mergeable
         self._procs: dict[int, _ProcState] = {}
         self._honest: list[_ProcState] = []
         self._sealed = False
@@ -707,21 +887,19 @@ class OnlineMetricsRecorder(Recorder):
 
         slowest_lr = fastest_lr = envelope_a = envelope_b = worst_offset = None
         slowest_win = fastest_win = None
+        window_samples: Optional[tuple] = () if self.mergeable else None
         if steady_reached and end_time > self._steady_start:
             # Deferred import: the analysis package imports this module (for
             # OnlineMetricsSummary), so the hull pass cannot be a top-level
             # dependency without creating an import cycle.
-            from ..analysis.envelope import window_rate_extremes
+            from ..analysis.envelope import combined_window_extremes
 
             span = end_time - self._steady_start
-            min_window = max(span / 4.0, 1e-9)
             slowest_lr = math.inf
             fastest_lr = -math.inf
-            if self.window_rates:
-                slowest_win = math.inf
-                fastest_win = -math.inf
             envelope_a = 0.0
             envelope_b = 0.0
+            entries = []
             for proc in self._honest:
                 value = proc.clock.read(end_time) + proc.adj
                 self._env_sample(proc, end_time, value)
@@ -729,16 +907,24 @@ class OnlineMetricsRecorder(Recorder):
                 slowest_lr = min(slowest_lr, rate)
                 fastest_lr = max(fastest_lr, rate)
                 if self.window_rates:
-                    extremes = window_rate_extremes(proc.win_t, proc.win_v, min_window)
-                    if extremes is None:
-                        # No window fits: the post-hoc pass falls back to the
-                        # long-run rate, which is exactly ``rate``.
-                        extremes = (rate, rate)
-                    slowest_win = min(slowest_win, extremes[0])
-                    fastest_win = max(fastest_win, extremes[1])
+                    # The hull pass falls back to the long-run rate for a
+                    # process whose samples admit no quarter-span window,
+                    # exactly like the post-hoc analysis.  Only mergeable
+                    # summaries retain the samples, so only they pay for
+                    # immutable copies.
+                    if self.mergeable:
+                        entries.append((tuple(proc.win_t), tuple(proc.win_v), rate))
+                    else:
+                        entries.append((proc.win_t, proc.win_v, rate))
                 if self.rate_low is not None:
                     envelope_a = max(envelope_a, proc.env_drawdown)
                     envelope_b = max(envelope_b, proc.env_rise)
+            if self.window_rates:
+                extremes = combined_window_extremes(entries, self._steady_start, end_time)
+                if extremes is not None:
+                    slowest_win, fastest_win = extremes
+                if self.mergeable:
+                    window_samples = tuple(entries)
             if self.rate_low is None:
                 envelope_a = envelope_b = None
             worst_offset = self._worst_offset
@@ -771,6 +957,7 @@ class OnlineMetricsRecorder(Recorder):
             total_messages=network_stats.total_messages,
             message_stats=dict(network_stats.messages_by_type),
             notes=list(self._notes),
+            window_samples=window_samples,
         )
         self._finalized = (end_time, summary)
         return summary

@@ -12,8 +12,9 @@ tests, examples and the benchmark harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import os
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import Optional, Sequence
 
 from ..analysis import metrics
 from ..analysis.envelope import AccuracySummary, accuracy_summary
@@ -41,7 +42,12 @@ from ..faults.behaviors import AdversaryContext, SilentFaulty
 from ..faults.strategies import make_faulty_processes
 from ..sim.clocks import FixedRateClock, HardwareClock, drifting_clock, spread_offsets
 from ..sim.engine import Simulation
-from ..sim.recorder import OnlineMetricsRecorder, OnlineMetricsSummary, Recorder
+from ..sim.recorder import (
+    OnlineMetricsRecorder,
+    OnlineMetricsSummary,
+    Recorder,
+    merge_summaries,
+)
 from ..sim.network import (
     DelayPolicy,
     FixedDelay,
@@ -107,6 +113,23 @@ class Scenario:
     #: Real time to keep simulating past target-round completion (adaptive
     #: runs only).  0 reproduces the historical stop instant exactly.
     grace: float = 0.0
+    #: Opt-in early abort: end a run the moment the target round becomes
+    #: unreachable (an honest crash capped the completable rounds below it)
+    #: instead of burning the full budget.  Off by default because it changes
+    #: the measured end time of infeasible runs.
+    abort_unreachable: bool = False
+    #: Independent replications of this configuration (seeds ``seed`` ..
+    #: ``seed + replications - 1``).  The scenario's result is the exact
+    #: merge of the per-replication summaries -- worst-case statistics over
+    #: all runs, the per-configuration quantities the paper's claims bound.
+    #: Requires ``trace_level="metrics"`` when above 1.
+    replications: int = 1
+    #: Shard tasks the replications are split into (each shard runs its block
+    #: of replications and folds them locally).  ``None`` resolves to one
+    #: shard per core (``REPRO_SHARDS`` overrides), capped by
+    #: ``replications``; sharding never changes measured values, only where
+    #: the replications execute.
+    shards: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -120,6 +143,10 @@ class Scenario:
             raise ValueError("rounds must be positive")
         if self.grace < 0:
             raise ValueError("grace must be non-negative")
+        if self.replications < 1:
+            raise ValueError("replications must be at least 1")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 (or None for auto)")
         if self.actual_faults is None:
             self.actual_faults = self.params.f
         if self.actual_faults >= self.params.n:
@@ -173,6 +200,69 @@ def resolve_adaptive(scenario: Scenario, trace_level: str) -> bool:
     return trace_level == "metrics"
 
 
+def auto_shard_count() -> int:
+    """The shard count ``Scenario.shards=None`` resolves to (before capping).
+
+    ``REPRO_SHARDS`` overrides (a non-positive value falls back to auto);
+    otherwise one shard per CPU core.
+    """
+    raw = os.environ.get("REPRO_SHARDS", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_SHARDS must be an integer, got {raw!r}") from None
+        if value > 0:
+            return value
+    return os.cpu_count() or 1
+
+
+def resolve_shards(scenario: Scenario) -> int:
+    """The effective shard count for one scenario.
+
+    ``None`` resolves to one shard per core (``REPRO_SHARDS`` overrides);
+    the result is always capped by ``replications`` (a shard needs at least
+    one replication) and an unreplicated scenario is never sharded.  The
+    result cache keys on this resolved value because the stored result's
+    provenance (``shard_count``, ``shard_horizons``) depends on it -- the
+    measured metrics themselves do not.
+    """
+    if scenario.replications <= 1:
+        return 1
+    shards = scenario.shards if scenario.shards is not None else auto_shard_count()
+    return max(1, min(shards, scenario.replications))
+
+
+def plan_shards(scenario: Scenario) -> list[tuple[int, ...]]:
+    """Deterministic shard plan: contiguous, balanced blocks of replication indices.
+
+    The plan depends only on ``(replications, resolved shard count)``, so the
+    serial reference path and the parallel sharded backend fold exactly the
+    same blocks in exactly the same order.
+    """
+    count = resolve_shards(scenario)
+    reps = scenario.replications
+    base, extra = divmod(reps, count)
+    blocks: list[tuple[int, ...]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        blocks.append(tuple(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def replicate(scenario: Scenario, index: int) -> Scenario:
+    """Replication ``index`` of ``scenario``: a single-run copy with seed ``seed + index``."""
+    if index < 0 or index >= scenario.replications:
+        raise ValueError(f"replication index {index} out of range for {scenario.replications} replications")
+    if scenario.replications == 1:
+        return scenario
+    return dataclasses_replace(
+        scenario, replications=1, shards=None, seed=scenario.seed + index, name=""
+    )
+
+
 @dataclass
 class ClusterHandles:
     """Everything :func:`build_cluster` created, for tests that need the internals."""
@@ -213,10 +303,17 @@ class ScenarioResult:
     guarantees: Optional[GuaranteeReport]
     trace_level: str = "full"
     #: Real time at which the run actually ended: the adapted horizon when
-    #: the target round completed, the static budget otherwise.
+    #: the target round completed, the static budget otherwise.  For a
+    #: replicated scenario this is the latest end time over all replications.
     effective_horizon: Optional[float] = None
     #: Whether the run ended before its static budget (round target reached).
+    #: For a replicated scenario: whether every replication stopped early.
     stopped_early: bool = False
+    #: Shard tasks the replications actually executed in (1 for plain runs).
+    shard_count: int = 1
+    #: Per-shard effective horizon (latest end time inside each shard), in
+    #: shard order; ``None`` for unreplicated runs.
+    shard_horizons: Optional[tuple] = None
 
     @property
     def params(self) -> SyncParams:
@@ -294,28 +391,34 @@ def _make_faulty_processes(scenario: Scenario, context: AdversaryContext, keysto
     raise ValueError(f"attack {attack!r} is not applicable to baseline algorithm {scenario.algorithm!r}")
 
 
-def _make_recorder(scenario: Scenario, trace_level: str) -> Optional[Recorder]:
+def _make_recorder(scenario: Scenario, trace_level: str, mergeable: bool = False) -> Optional[Recorder]:
     if trace_level not in TRACE_LEVELS:
         raise ValueError(f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}")
     if trace_level == "full":
+        if mergeable:
+            raise ValueError("mergeable summaries require trace_level='metrics'")
         return None  # the engine's default FullTraceRecorder
     params = scenario.params
-    return OnlineMetricsRecorder(rate_low=params.min_rate, rate_high=params.max_rate)
+    return OnlineMetricsRecorder(
+        rate_low=params.min_rate, rate_high=params.max_rate, mergeable=mergeable
+    )
 
 
-def build_cluster(scenario: Scenario, trace_level: str = "full") -> ClusterHandles:
+def build_cluster(scenario: Scenario, trace_level: str = "full", mergeable: bool = False) -> ClusterHandles:
     """Assemble a ready-to-run simulation for ``scenario``.
 
     ``trace_level`` selects the recorder the engine emits into: ``"full"``
     keeps the complete execution trace, ``"metrics"`` streams scalar metrics
-    in O(n) memory (no history retained).
+    in O(n) memory (no history retained).  ``mergeable`` (metrics level only)
+    makes the finalized summary carry the retained window samples the
+    shard-merge algebra folds over.
     """
     params = scenario.params
     sim = Simulation(
         tmin=params.tmin,
         tdel=params.tdel,
         seed=scenario.seed,
-        recorder=_make_recorder(scenario, trace_level),
+        recorder=_make_recorder(scenario, trace_level, mergeable=mergeable),
     )
 
     keystore: Optional[KeyStore] = None
@@ -487,6 +590,79 @@ def _measure_streamed(
     )
 
 
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard task's folded observation of its block of replications."""
+
+    shard_index: int
+    #: Global replication indices this shard ran, in execution order.
+    replication_indices: tuple
+    #: Mergeable fold of the per-replication summaries (carries the retained
+    #: window samples so later folds stay exact).
+    summary: OnlineMetricsSummary
+    #: Whether every replication in the block ended before its static budget.
+    stopped_early: bool
+
+
+def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequence[int]) -> ShardOutcome:
+    """Run one shard's block of replications serially and fold their summaries.
+
+    This is the worker-side unit of the sharded backend (and the building
+    block of the serial reference path): each replication runs at metrics
+    level under a mergeable recorder, and the block folds through
+    :func:`~repro.sim.recorder.merge_summaries` in replication order.
+    """
+    summaries: list[OnlineMetricsSummary] = []
+    stopped = True
+    for index in replication_indices:
+        rep = replicate(scenario, index)
+        handles = build_cluster(rep, trace_level="metrics", mergeable=True)
+        sim = handles.sim
+        summaries.append(
+            sim.run_until_round(
+                rep.rounds,
+                t_max=rep.horizon(),
+                grace=rep.grace,
+                adaptive=resolve_adaptive(rep, "metrics"),
+                abort_unreachable=rep.abort_unreachable,
+            )
+        )
+        stopped = stopped and sim.stopped_early
+    return ShardOutcome(
+        shard_index=shard_index,
+        replication_indices=tuple(replication_indices),
+        summary=merge_summaries(summaries),
+        stopped_early=stopped,
+    )
+
+
+def measure_sharded(
+    scenario: Scenario, outcomes: Sequence[ShardOutcome], check_guarantees: Optional[bool] = None
+) -> ScenarioResult:
+    """Fold shard outcomes (in shard order) into the scenario's final result.
+
+    The shard summaries merge through the same exact algebra the shards used
+    internally, so any grouping of the same replications -- one shard, one
+    per replication, or anything between -- produces float-for-float the
+    same measurements; only the provenance (``shard_count``,
+    ``shard_horizons``) records how the work was split.
+    """
+    outcomes = sorted(outcomes, key=lambda outcome: outcome.shard_index)
+    merged = merge_summaries([outcome.summary for outcome in outcomes])
+    check = _resolve_check(scenario, check_guarantees)
+    result = _measure_streamed(
+        scenario,
+        merged.compact(),  # drop the retained samples: results stay lean
+        check,
+        stopped_early=all(outcome.stopped_early for outcome in outcomes),
+    )
+    return dataclasses_replace(
+        result,
+        shard_count=len(outcomes),
+        shard_horizons=tuple(outcome.summary.end_time for outcome in outcomes),
+    )
+
+
 def run_scenario(
     scenario: Scenario,
     check_guarantees: Optional[bool] = None,
@@ -505,8 +681,27 @@ def run_scenario(
     the instant the target round completes (plus ``scenario.grace``) without
     per-event polling, full-trace runs keep the historical poll so traces
     stay byte-identical.  Either way :attr:`Scenario.horizon` caps runs that
-    never complete the target round.
+    never complete the target round (``scenario.abort_unreachable`` opts into
+    ending provably infeasible runs at the fatal crash instead).
+
+    A replicated scenario (``replications > 1``, metrics level only) runs
+    every replication here, in process, folded through the exact shard-merge
+    algebra along the resolved shard plan -- the serial reference the
+    parallel sharded backend (:mod:`repro.runner.sharded`) is
+    float-for-float identical to.
     """
+    if scenario.replications > 1:
+        if trace_level != "metrics":
+            raise ValueError(
+                f"replications require trace_level='metrics' (full traces do not merge); "
+                f"got {trace_level!r} with replications={scenario.replications}"
+            )
+        outcomes = [
+            run_shard(scenario, shard_index, block)
+            for shard_index, block in enumerate(plan_shards(scenario))
+        ]
+        return measure_sharded(scenario, outcomes, check_guarantees)
+
     handles = build_cluster(scenario, trace_level=trace_level)
     sim = handles.sim
     horizon = scenario.horizon()
@@ -515,6 +710,7 @@ def run_scenario(
         t_max=horizon,
         grace=scenario.grace,
         adaptive=resolve_adaptive(scenario, trace_level),
+        abort_unreachable=scenario.abort_unreachable,
     )
 
     check = _resolve_check(scenario, check_guarantees)

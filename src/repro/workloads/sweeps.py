@@ -67,7 +67,10 @@ def run_sweep(
     with one entry per scenario.  ``trace_level`` selects the observation
     depth (``"full"`` keeps traces, ``"metrics"`` streams scalars in O(n)
     memory); sweeps that only read scalar metrics should pass ``"metrics"``
-    so large grids skip trace construction entirely.
+    so large grids skip trace construction entirely.  Replicated grid points
+    (``Scenario.replications > 1``, metrics level) shard transparently
+    across the same worker pool; their results are the exact merge of the
+    per-replication summaries.
     """
     if runner is None:
         from ..runner.config import get_runner

@@ -198,3 +198,71 @@ def test_grace_on_already_completed_target_never_rewinds_time() -> None:
     assert sim.now >= first_end
     assert sim.now == first_end + 0.25
     assert trace.end_time == sim.now
+
+
+# -- opt-in early abort of provably infeasible runs --------------------------
+
+
+def _crashing_cluster(trace_level: str, crash_at: float = 1.5):
+    """A feasible scenario whose honest process 0 halts at ``crash_at``."""
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=50, seed=19)
+    handles = build_cluster(scenario, trace_level=trace_level)
+    handles.sim.schedule_at(crash_at, handles.honest[0].halt)
+    return scenario, handles
+
+
+@pytest.mark.parametrize("adaptive", [False, True], ids=["historical", "adaptive"])
+@pytest.mark.parametrize("trace_level", ["metrics", "full"])
+def test_abort_unreachable_stops_at_the_fatal_crash(trace_level: str, adaptive: bool) -> None:
+    crash_at = 1.5
+    scenario, handles = _crashing_cluster(trace_level, crash_at)
+    t_max = scenario.horizon()
+    observed = handles.sim.run_until_round(
+        scenario.rounds, t_max=t_max, adaptive=adaptive, abort_unreachable=True
+    )
+    # The crash caps the completable rounds below the target; the run must
+    # end on the crash event itself, not at the static budget.
+    assert handles.sim.stopped_early
+    assert observed.end_time == crash_at
+    assert handles.sim.recorder.crash_ceiling < scenario.rounds
+    notes = observed.notes
+    assert any("unreachable" in note for note in notes)
+
+
+@pytest.mark.parametrize("trace_level", ["metrics", "full"])
+def test_abort_unreachable_is_off_by_default(trace_level: str) -> None:
+    scenario, handles = _crashing_cluster(trace_level)
+    t_max = scenario.horizon()
+    observed = handles.sim.run_until_round(scenario.rounds, t_max=t_max, adaptive=True)
+    # Without the opt-in, the infeasible run burns the full static budget --
+    # the historical behaviour the measured end times of failed runs rely on.
+    assert not handles.sim.stopped_early
+    assert observed.end_time == t_max
+
+
+def test_abort_unreachable_never_changes_a_feasible_run() -> None:
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=5, seed=19)
+    plain = run_scenario(scenario, trace_level="metrics")
+    flagged = run_scenario(
+        dataclasses.replace(scenario, abort_unreachable=True), trace_level="metrics"
+    )
+    assert _result_fields(flagged) == _result_fields(plain)
+
+
+def test_abort_unreachable_threads_through_run_scenario() -> None:
+    # Crash faults below the resilience bound leave the run feasible, so the
+    # scenario-level flag must not change anything for the stock attacks; the
+    # engine-level tests above cover the aborting path.  Here we check the
+    # flag survives replication (each replicate keeps it).
+    scenario = dataclasses.replace(
+        benign_scenario(default_params(5, authenticated=True), "auth", rounds=4, seed=7),
+        abort_unreachable=True,
+        replications=2,
+        shards=2,
+        name="",
+    )
+    result = run_scenario(scenario, trace_level="metrics")
+    reference = run_scenario(
+        dataclasses.replace(scenario, abort_unreachable=False, name=""), trace_level="metrics"
+    )
+    assert _result_fields(result) == _result_fields(reference)

@@ -398,3 +398,60 @@ def test_effective_horizon_round_trips_through_cache(tmp_path):
     assert cold.effective_horizon is not None
     assert warm.effective_horizon == cold.effective_horizon
     assert warm.stopped_early == cold.stopped_early
+
+
+# -- schema v4: the replication/shard axis ----------------------------------------------
+
+
+def test_cache_key_resolves_shard_plan(monkeypatch):
+    base = replace(small_grid()[0], replications=4)
+    # The None-auto default resolves (here via REPRO_SHARDS) and shares the
+    # entry with its explicit spelling; different plans get their own.
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    auto = replace(base, shards=None)
+    assert cache_key(auto, True, trace_level="metrics") == cache_key(
+        replace(base, shards=2), True, trace_level="metrics"
+    )
+    assert cache_key(auto, True, trace_level="metrics") != cache_key(
+        replace(base, shards=4), True, trace_level="metrics"
+    )
+    # An unreplicated scenario always resolves to one shard: shards=None and
+    # any explicit count share the entry.
+    single = replace(small_grid()[0], replications=1)
+    assert cache_key(single, True, trace_level="metrics") == cache_key(
+        replace(single, shards=3), True, trace_level="metrics"
+    )
+
+
+def test_cache_key_distinguishes_replications_and_abort():
+    scenario = small_grid()[0]
+    assert cache_key(scenario, True, trace_level="metrics") != cache_key(
+        replace(scenario, replications=2, shards=1), True, trace_level="metrics"
+    )
+    assert cache_key(scenario, True, trace_level="metrics") != cache_key(
+        replace(scenario, abort_unreachable=True), True, trace_level="metrics"
+    )
+
+
+def test_sharded_result_round_trips_through_cache(tmp_path):
+    scenario = replace(small_grid()[0], replications=3, shards=2)
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    cold = runner.run(scenario, trace_level="metrics")
+    warm = runner.run(scenario, trace_level="metrics")
+    assert cache.stats.stores == 1 and cache.stats.hits == 1
+    assert cold.shard_count == 2
+    assert warm.shard_count == cold.shard_count
+    assert warm.shard_horizons == cold.shard_horizons
+    assert warm.precision == cold.precision
+    # The lean contract: cached sharded results carry no merge samples.
+    assert result_to_json(warm) == result_to_json(cold)
+
+
+def test_sharded_sweep_parallel_identical_to_serial():
+    replicated = [replace(scenario, replications=2, shards=2, name="") for scenario in small_grid()[:2]]
+    scenarios = replicated + small_grid()[2:]
+    serial = SweepRunner(jobs=1).run_sweep(scenarios, trace_level="metrics")
+    with SweepRunner(jobs=2) as runner:
+        parallel = runner.run_sweep(scenarios, trace_level="metrics")
+    assert results_fingerprint(serial) == results_fingerprint(parallel)
