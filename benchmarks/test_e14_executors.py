@@ -1,0 +1,12 @@
+"""Benchmark E14: executor backends never change results, even across crashes."""
+
+from conftest import run_and_print
+
+
+def test_e14_executors(benchmark):
+    invariance, recovery = run_and_print(benchmark, "E14")
+    assert all(invariance.column("== serial")), "every backend must match the serial results float-for-float"
+    backends = invariance.column("backend")
+    assert "subprocess x2" in backends and "pool x2" in backends
+    assert all(recovery.column("completed")), "the sweep must complete despite the killed worker"
+    assert all(recovery.column("== serial")), "crash recovery must not change any measured value"

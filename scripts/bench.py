@@ -1,16 +1,18 @@
-"""Write BENCH_PR4.json: the tracked perf baseline of the execution stack.
+"""Write BENCH_PR5.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-3 script) times a fixed
+The canonical benchmark (successor of the PR-4 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
 plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
-the sharded backend) and every reproduction experiment end to end.  CI's
-perf-smoke job runs it with ``--quick --gate`` and uploads the JSON as an
-artifact, so the bench trajectory is versioned alongside the code.
+the sharded backend), a backend-scaling grid (the same replicated cell on the
+``pool`` and ``subprocess`` executor backends at 1/2/4 workers) and every
+reproduction experiment end to end.  CI's perf-smoke job runs it with
+``--quick --gate`` and uploads the JSON as an artifact, so the bench
+trajectory is versioned alongside the code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR4.json]
+    python scripts/bench.py [--quick] [--output BENCH_PR5.json]
                             [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
@@ -18,7 +20,9 @@ measured runs), so they measure simulation + observation, not cache reads.
 Each grid cell reports the best of ``--repeats`` runs; the parity blocks
 assert the acceptance contracts -- adaptive metrics values (including the
 window-rate extremes) are float-for-float equal to the full-trace pipeline,
-and sharded runs are float-for-float equal to the unsharded fold.
+sharded runs are float-for-float equal to the unsharded fold, and the
+subprocess wire backend is float-for-float equal to the pool backend (and to
+the serial path) at every worker count.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS
-from repro.experiments.common import adversarial_scenario, default_params
+from repro.experiments.common import adversarial_scenario, default_params, results_exactly_equal
 from repro.runner.config import configure as configure_runner
 from repro.runner.core import SweepRunner
 from repro.workloads.scenarios import _measure_streamed, _resolve_check, build_cluster, run_scenario
@@ -242,6 +246,81 @@ def time_shard_grid(quick: bool, repeats: int) -> dict:
     }
 
 
+def _result_cell(wall: float, result) -> dict:
+    return {
+        "wall_time_s": round(wall, 4),
+        "shard_count": result.shard_count,
+        "precision": result.precision,
+        "completed_round": result.completed_round,
+        "effective_horizon": result.effective_horizon,
+        "total_messages": result.total_messages,
+    }
+
+
+def time_executor_grid(quick: bool, repeats: int) -> dict:
+    """Backend scaling: pool vs subprocess at 1/2/4 workers, value parity gated.
+
+    The cell is the shard grid's replicated largest system; each backend runs
+    it with the shard plan pinned to its worker count, so the same work
+    distributes across however many workers the backend has.  The subprocess
+    rows exercise the full remote wire protocol (framing, heartbeats,
+    fault-tolerant scheduling) on localhost; the contract is that every
+    backend row is float-for-float identical to the serial fold -- wall
+    clock is reported, not gated, because the wire adds real (bounded)
+    overhead that CI runners measure too noisily.
+    """
+    n = 28 if quick else 42
+    rounds = 5 if quick else 12
+    replications = 8
+    base = adversarial_scenario(
+        default_params(n, authenticated=True),
+        "auth",
+        attack="skew_max",
+        rounds=rounds,
+        seed=100 + n,
+    )
+    serial = run_scenario(
+        dataclasses.replace(base, replications=replications, shards=1, name=""), trace_level="metrics"
+    )
+    grid: dict = {}
+    results: dict = {}
+    for backend in ("pool", "subprocess"):
+        for workers in (1, 2, 4):
+            scenario = dataclasses.replace(base, replications=replications, shards=workers, name="")
+            with SweepRunner(jobs=workers, cache=None, executor=backend) as runner:
+                wall, result = _best_of(repeats, lambda s=scenario, r=runner: r.run(s, trace_level="metrics"))
+            label = f"{backend}-w{workers}"
+            results[label] = result
+            grid[label] = _result_cell(wall, result)
+            grid[label]["parity"] = {"values_exact_vs_serial": results_exactly_equal(result, serial)}
+    for workers in (1, 2, 4):
+        grid[f"subprocess-w{workers}"]["parity"]["values_exact_vs_pool"] = results_exactly_equal(
+            results[f"subprocess-w{workers}"], results[f"pool-w{workers}"]
+        )
+        pool_wall = max(grid[f"pool-w{workers}"]["wall_time_s"], 1e-9)
+        grid[f"subprocess-w{workers}"]["overhead_vs_pool"] = round(
+            grid[f"subprocess-w{workers}"]["wall_time_s"] / pool_wall, 3
+        )
+    return {
+        "n": n,
+        "rounds": rounds,
+        "replications": replications,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+    }
+
+
+def check_executor_gate(executor_grid: dict) -> list[str]:
+    """Backend value parity is deterministic and gated unconditionally."""
+    failures = []
+    for label, entry in executor_grid["grid"].items():
+        for name, ok in entry["parity"].items():
+            if not ok:
+                failures.append(f"{label}: parity check {name} failed")
+    return failures
+
+
 def check_gate(horizon_grid: dict) -> list[str]:
     """Adaptive-horizon metrics runs must be at least as fast as static ones."""
     failures = []
@@ -291,7 +370,7 @@ def check_shard_gate(shard_grid: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR4.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR5.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
         "--gate",
@@ -300,8 +379,9 @@ def main() -> int:
         dest="gate",
         help="exit non-zero unless adaptive-horizon metrics runs are at least as fast as "
         "static-horizon runs, sharded runs are value-identical to the unsharded fold "
-        "(and, on multi-core runners, at least 1.5x faster at 4 shards), and every "
-        "value-parity check is float-exact",
+        "(and, on multi-core runners, at least 1.5x faster at 4 shards), the subprocess "
+        "executor backend is value-identical to the pool backend and the serial path at "
+        "every worker count, and every value-parity check is float-exact",
     )
     args = parser.parse_args()
 
@@ -310,14 +390,16 @@ def main() -> int:
 
     horizon_grid = time_horizon_grid(args.quick, args.repeats)
     shard_grid = time_shard_grid(args.quick, args.repeats)
+    executor_grid = time_executor_grid(args.quick, args.repeats)
     summary = {
-        "schema": "bench/4",
+        "schema": "bench/5",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "experiments": time_experiments(args.quick),
         "horizon_grid": horizon_grid,
         "shard_grid": shard_grid,
+        "executor_grid": executor_grid,
     }
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -339,16 +421,24 @@ def main() -> int:
             + (f" (x{speedup} vs unsharded)" if speedup is not None else " (reference)")
             + f", parity {all(entry['parity'].values())}"
         )
+    for label, entry in executor_grid["grid"].items():
+        overhead = entry.get("overhead_vs_pool")
+        print(
+            f"  {label}: {entry['wall_time_s']}s"
+            + (f" (x{overhead} vs pool)" if overhead is not None else "")
+            + f", parity {all(entry['parity'].values())}"
+        )
 
     if args.gate:
-        failures = check_gate(horizon_grid) + check_shard_gate(shard_grid)
+        failures = check_gate(horizon_grid) + check_shard_gate(shard_grid) + check_executor_gate(executor_grid)
         if failures:
             for failure in failures:
                 print(f"PERF GATE: {failure}", file=sys.stderr)
             return 1
         print(
             "perf gate: adaptive >= static on the largest cell, sharded == unsharded "
-            "float-exact, shard speedup within contract"
+            "float-exact, shard speedup within contract, subprocess == pool == serial "
+            "float-exact at every worker count"
         )
     return 0
 

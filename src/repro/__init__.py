@@ -57,11 +57,19 @@ from .sim import (
     Trace,
     drifting_clock,
 )
-from .runner import ResultCache, ShardedRunner, SweepRunner
+from .runner import (
+    Executor,
+    LocalPoolExecutor,
+    ResultCache,
+    ShardedRunner,
+    SSHExecutor,
+    SubprocessWorkerExecutor,
+    SweepRunner,
+)
 from .sim.recorder import OnlineMetricsSummary, merge_summaries
 from .workloads import Scenario, ScenarioResult, build_cluster, run_scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -92,6 +100,10 @@ __all__ = [
     # sweep execution
     "SweepRunner",
     "ShardedRunner",
+    "Executor",
+    "LocalPoolExecutor",
+    "SubprocessWorkerExecutor",
+    "SSHExecutor",
     "ResultCache",
     "OnlineMetricsSummary",
     "merge_summaries",

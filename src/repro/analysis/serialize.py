@@ -108,6 +108,11 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
         "shard_horizons": (
             list(result.shard_horizons) if getattr(result, "shard_horizons", None) is not None else None
         ),
+        "message_samples": (
+            [list(sample) for sample in result.message_samples]
+            if getattr(result, "message_samples", None) is not None
+            else None
+        ),
         "precision": result.precision,
         "precision_overall": result.precision_overall,
         "acceptance_spread": result.acceptance_spread,

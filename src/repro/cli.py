@@ -5,7 +5,7 @@ The CLI exposes the library's main entry points without writing any Python:
 * ``repro bounds``       -- print the analytic guarantees for a parameterisation,
 * ``repro run``          -- run one scenario (optionally many sharded
   replications of it) and print the measured guarantees,
-* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E13,
+* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E14,
 * ``repro list-attacks`` -- list the registered Byzantine strategies,
 * ``repro list-experiments`` -- list the reproduced experiments.
 
@@ -51,6 +51,21 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for scenario sweeps (0 = one per CPU; default: REPRO_JOBS or 1)",
     )
     parser.add_argument(
+        "--executor",
+        choices=["pool", "subprocess", "ssh"],
+        default=None,
+        help="execution backend: 'pool' (in-process multiprocessing, default), 'subprocess' "
+        "(local protocol workers with fault-tolerant scheduling), 'ssh' (protocol workers "
+        "on REPRO_SSH_HOSTS); default: REPRO_EXECUTOR or pool -- results are identical "
+        "across backends",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker count for the chosen executor backend (overrides --jobs)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         dest="no_cache",
@@ -69,6 +84,8 @@ def _configure_runner(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
+        executor=args.executor,
+        workers=args.workers,
     )
 
 
@@ -128,6 +145,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         abort_unreachable=args.abort_unreachable,
         replications=args.replications,
         shards=args.shards,
+        sample_messages=args.sample_messages,
         seed=args.seed,
     )
     if args.adaptive_horizon != "auto":
@@ -137,6 +155,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Replicated runs merge streamed summaries; full traces do not merge.
         trace_level = "metrics"
         print("note: --replications forces --trace-level metrics", file=sys.stderr)
+    if args.sample_messages is not None and trace_level == "full":
+        # Full traces keep every message already; sampling is a metrics feature.
+        trace_level = "metrics"
+        print("note: --sample-messages forces --trace-level metrics", file=sys.stderr)
     result = get_runner().run(scenario, trace_level=trace_level)
     if args.json:
         include_trace = args.include_trace and result.trace is not None
@@ -147,6 +169,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row("replications", scenario.replications)
         table.add_row("shard tasks", result.shard_count)
         table.add_row("effective horizon (max, s)", result.effective_horizon)
+    if result.message_samples is not None:
+        table.add_row("message samples retained", len(result.message_samples))
     table.add_row("completed round", result.completed_round)
     table.add_row("precision (worst skew, s)", result.precision)
     table.add_row("acceptance spread (s)", result.acceptance_spread)
@@ -270,14 +294,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard tasks the replications split into across the worker pool "
         "(default: one per core, REPRO_SHARDS overrides; never changes measured values)",
     )
+    run.add_argument(
+        "--sample-messages",
+        type=_positive_int,
+        default=None,
+        dest="sample_messages",
+        help="retain every K-th network message as a lightweight sample in the result "
+        "(message-level provenance; forces --trace-level metrics)",
+    )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="emit the result as JSON")
     run.add_argument("--include-trace", action="store_true", dest="include_trace",
                      help="include the full trace in the JSON output")
     run.set_defaults(func=_cmd_run)
 
-    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E13")
-    experiment.add_argument("id", help="experiment id (E1..E13) or 'all'")
+    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E14")
+    experiment.add_argument("id", help="experiment id (E1..E14) or 'all'")
     experiment.add_argument("--quick", action="store_true", help="smaller grids (used by the test suite)")
     experiment.add_argument(
         "--stream",

@@ -26,6 +26,7 @@ from . import (
     e11_ablation,
     e12_baselines,
     e13_shards,
+    e14_executors,
 )
 
 Runner = Callable[[bool], Union[Table, list[Table]]]
@@ -59,6 +60,7 @@ EXPERIMENTS: dict[str, Experiment] = {
     "E11": Experiment("E11", "Ablations: adjustment constant alpha, monotonic variant", e11_ablation.run_experiment),
     "E12": Experiment("E12", "Head-to-head comparison with baseline synchronizers", e12_baselines.run_experiment),
     "E13": Experiment("E13", "Shard-plan invariance of replicated worst-case statistics", e13_shards.run_experiment),
+    "E14": Experiment("E14", "Executor-backend invariance and worker-crash recovery", e14_executors.run_experiment),
 }
 
 

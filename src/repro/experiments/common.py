@@ -99,6 +99,30 @@ def replicated(scenario: Scenario, replications: int, shards: Optional[int] = No
     return dataclasses_replace(scenario, replications=replications, shards=shards, name="")
 
 
+#: :class:`~repro.workloads.scenarios.ScenarioResult` fields that must be
+#: identical wherever and however a scenario executes -- serial, pooled,
+#: sharded, or on a remote executor backend.  The accuracy summary compares
+#: as a whole dataclass (window-rate extremes included); execution
+#: provenance (``shard_count``, ``shard_horizons``) is deliberately absent.
+#: Every parity gate (E13, E14, ``scripts/bench.py``) compares this one
+#: list, so a newly added measured field is either covered everywhere or
+#: visibly missing here.
+MEASURED_RESULT_FIELDS = (
+    "precision",
+    "precision_overall",
+    "acceptance_spread",
+    "completed_round",
+    "total_messages",
+    "effective_horizon",
+    "accuracy",
+)
+
+
+def results_exactly_equal(result: ScenarioResult, reference: ScenarioResult) -> bool:
+    """Float-exact equality of every measured field (provenance excluded)."""
+    return all(getattr(result, field) == getattr(reference, field) for field in MEASURED_RESULT_FIELDS)
+
+
 def stable_seed(*parts, modulus: int = 1_000_000) -> int:
     """A deterministic seed derived from ``parts``.
 

@@ -20,7 +20,7 @@ replications grow, which no single seeded run measures.
 from __future__ import annotations
 
 from ..analysis.report import Table
-from .common import adversarial_scenario, default_params, replicated, run
+from .common import adversarial_scenario, default_params, replicated, results_exactly_equal, run
 
 
 def run_shard_invariance(quick: bool = True) -> Table:
@@ -53,15 +53,7 @@ def run_shard_invariance(quick: bool = True) -> Table:
         ],
     )
     for shards, result in zip(shard_plans, results):
-        exact = (
-            result.precision == reference.precision
-            and result.precision_overall == reference.precision_overall
-            and result.acceptance_spread == reference.acceptance_spread
-            and result.completed_round == reference.completed_round
-            and result.total_messages == reference.total_messages
-            and result.effective_horizon == reference.effective_horizon
-            and result.accuracy == reference.accuracy
-        )
+        exact = results_exactly_equal(result, reference)
         table.add_row(
             result.shard_count,
             result.precision,

@@ -43,13 +43,18 @@ from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, re
 #: values are shard-invariant, but the stored provenance is not, so the
 #: ``None``-auto default and an explicit equal shard count share one entry
 #: while different plans get their own.
-SCHEMA_VERSION = 4
+#: 5: scenarios carry the sampling message trace (``sample_messages``) and
+#: results carry the retained ``message_samples``.  The executor backend is
+#: deliberately NOT part of the key: results are invariant to where they
+#: were computed, so a warm cache serves every backend.
+SCHEMA_VERSION = 5
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the
-#: cache).
+#: cache).  ``worker.py`` is the remote-executor entry loop: like the runner
+#: package it decides where scenarios run, never what they compute.
 _SALT_EXCLUDED_PARTS = ("runner", "experiments")
-_SALT_EXCLUDED_FILES = ("cli.py", "__main__.py")
+_SALT_EXCLUDED_FILES = ("cli.py", "__main__.py", "worker.py")
 
 _code_salt: Optional[str] = None
 

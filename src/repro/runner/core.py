@@ -30,9 +30,16 @@ Guarantees:
 * Batching (``chunk_size``) amortizes per-task pickling and scheduling
   overhead; the default targets a few chunks per worker so stragglers do not
   serialize the tail of the sweep.
-* The worker pool is persistent: it spins up lazily on the first parallel
-  sweep and is reused by every later one (experiment suites run many sweeps
-  back to back), until :meth:`SweepRunner.close`.
+* The execution backend is persistent: it spins up lazily on the first
+  parallel sweep and is reused by every later one (experiment suites run many
+  sweeps back to back), until :meth:`SweepRunner.close`.
+* *Where* chunks run is pluggable (:mod:`repro.runner.exec`): the default
+  ``pool`` backend is the historical in-process multiprocessing pool, while
+  ``subprocess`` and ``ssh`` run the same chunk tasks on protocol workers
+  behind a fault-tolerant scheduler (heartbeats, bounded retries of chunks
+  lost to worker crashes, work stealing).  Scenarios are pure functions of
+  their declarative description, so backend choice -- and even a mid-sweep
+  worker crash with retry -- never changes a result float.
 * Replicated scenarios shard transparently: a grid point with
   ``Scenario.replications > 1`` is split along its resolved shard plan
   (:mod:`repro.runner.sharded`) into shard tasks that share the same pool and
@@ -47,12 +54,20 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, Union
 
-from ..workloads.scenarios import ST_ALGORITHMS, TRACE_LEVELS, Scenario, ScenarioResult, run_scenario
+from ..workloads.scenarios import (
+    ST_ALGORITHMS,
+    TRACE_LEVELS,
+    Scenario,
+    ScenarioResult,
+    resolve_shards,
+    run_scenario,
+)
 from .cache import ResultCache, cache_key, code_salt
+from .exec import EXECUTOR_SPECS, Executor, ExecutorFailure, ExecutorSpec, LocalPoolExecutor, make_executor
 from .sharded import ShardFold, expand_shards, run_shard_chunk, shard_plan_for
 
 #: ``check_guarantees`` as accepted by :meth:`SweepRunner.run_sweep`: one flag
@@ -137,6 +152,14 @@ class SweepRunner:
     chunk_size:
         Scenarios per worker task; ``None`` picks a size that gives every
         worker several chunks (bounded by :data:`MAX_CHUNK`).
+    executor:
+        The execution backend chunks run on: ``None``/``"pool"`` (the
+        historical in-process pool), ``"subprocess"`` (local protocol
+        workers with fault-tolerant scheduling), ``"ssh"`` (protocol workers
+        on ``REPRO_SSH_HOSTS``), or a ready
+        :class:`~repro.runner.exec.base.Executor` instance.  Spawned
+        backends size themselves from ``jobs``; results are identical
+        across backends by construction.
     """
 
     def __init__(
@@ -144,6 +167,7 @@ class SweepRunner:
         jobs: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
+        executor: ExecutorSpec = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
@@ -154,21 +178,59 @@ class SweepRunner:
         self.jobs = jobs
         self.cache = cache
         self.chunk_size = chunk_size
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.executor_spec = executor
+        if isinstance(executor, Executor):
+            self._executor: Optional[Executor] = executor
+        else:
+            if executor is not None and executor not in EXECUTOR_SPECS:
+                raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_SPECS}")
+            self._executor = None
 
-    # -- worker pool -------------------------------------------------------
+    # -- execution backend -------------------------------------------------
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The persistent worker pool (created lazily, reused across sweeps)."""
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
+    @property
+    def distributed(self) -> bool:
+        """Whether chunks run through a remote wire protocol.
+
+        Distributed backends route even single-worker and single-scenario
+        traffic through the executor (exercising the wire format is the
+        point); the local pool keeps the historical serial short-circuits.
+        """
+        if isinstance(self.executor_spec, Executor):
+            return not isinstance(self.executor_spec, LocalPoolExecutor)
+        return self.executor_spec not in (None, "pool")
+
+    @property
+    def worker_capacity(self) -> int:
+        """The parallelism the configured backend offers.
+
+        ``jobs`` for spec-named backends (they size themselves from it); the
+        executor's own worker count when an instance was passed -- so
+        ``SweepRunner(executor=LocalPoolExecutor(4))`` parallelizes even
+        though ``jobs`` kept its default.
+        """
+        if isinstance(self.executor_spec, Executor):
+            return self.executor_spec.worker_count
+        return self.jobs
+
+    def _ensure_executor(self) -> Executor:
+        """The persistent execution backend (created lazily, reused across sweeps)."""
+        if self._executor is None:
+            self._executor = make_executor(self.executor_spec, workers=self.jobs)
+        return self._executor
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (it respawns on next use)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the execution backend, reaping any worker processes.
+
+        The backend respawns lazily on next use; an executor *instance*
+        passed to the constructor is closed too (its own ``close`` is
+        documented to allow respawn), so runner lifecycle == worker
+        lifecycle either way.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            if not isinstance(self.executor_spec, Executor):
+                self._executor = None
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -235,8 +297,10 @@ class SweepRunner:
             return 0
         # A lone scenario still goes to the pool when its shard plan splits:
         # one replicated configuration can saturate every worker by itself.
+        # Distributed backends never take the serial shortcut -- routing the
+        # work through the wire protocol is what they are for.
         single_unsplit = len(scenarios) == 1 and shard_plan_for(scenarios[0], levels[0]) is None
-        if self.jobs <= 1 or single_unsplit:
+        if (self.worker_capacity <= 1 or single_unsplit) and not self.distributed:
             self._execute_serial(scenarios, checks, levels, on_result)
         else:
             self._execute_parallel(scenarios, checks, levels, on_result)
@@ -307,11 +371,20 @@ class SweepRunner:
                 folder.expect(index, scenario, len(plan), check)
                 shard_tasks.extend(expand_shards(index, scenario, plan))
             else:
+                if scenario.replications > 1 and scenario.shards is None:
+                    # The plan resolved to one shard *here*; pin it so a
+                    # remote worker with a different core count (or
+                    # REPRO_SHARDS) cannot re-resolve the provenance.
+                    scenario = dataclasses.replace(scenario, shards=resolve_shards(scenario))
                 pending.append((index, scenario, check, level))
         if not pending and not shard_tasks:
             return
 
         def finish(index: int, result: ScenarioResult) -> None:
+            if result.scenario != scenarios[index]:
+                # Hand back exactly the scenario the caller submitted (the
+                # shipped copy may carry a pinned shard plan).
+                result = dataclasses.replace(result, scenario=scenarios[index])
             key = keys[index]
             if key is not None:
                 self.cache.put(key, result)
@@ -332,6 +405,8 @@ class SweepRunner:
                 if result is not None:
                     finish(index, result)
 
+        executor = self._ensure_executor()
+
         # Submission units: plain scenarios batched into chunks, shard tasks
         # submitted individually (each is already a block of whole runs).
         # Interleaved by scenario index so streaming consumers see results in
@@ -339,7 +414,8 @@ class SweepRunner:
         chunk = self.chunk_size
         if chunk is None and pending:
             # A few chunks per worker balances batching against stragglers.
-            per_worker = math.ceil(len(pending) / (min(self.jobs, len(pending)) * 4))
+            capacity = max(1, executor.worker_count)
+            per_worker = math.ceil(len(pending) / (min(capacity, len(pending)) * 4))
             chunk = max(1, min(MAX_CHUNK, per_worker))
         units: list[tuple] = []
         if pending:
@@ -350,10 +426,9 @@ class SweepRunner:
             units.append((task[0], run_shard_chunk, [task], consume_shards))
         units.sort(key=lambda unit: unit[0])
 
-        workers = min(self.jobs, len(units))
+        workers = max(1, min(executor.worker_count, len(units)))
         window = workers * CHUNK_WINDOW
 
-        pool = self._ensure_pool()
         futures = set()
         consumers: dict = {}
         try:
@@ -362,7 +437,7 @@ class SweepRunner:
             # the parent hold more than O(window * chunk) results (or shard
             # summaries) beyond the partially-folded scenarios in flight.
             for _, fn, payload, consume in units:
-                future = pool.submit(fn, payload)
+                future = executor.submit(fn, payload)
                 futures.add(future)
                 consumers[future] = consume
                 if len(futures) >= window:
@@ -373,9 +448,12 @@ class SweepRunner:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     consumers.pop(future)(future)
-        except BrokenProcessPool:
-            # A dead worker poisons the whole executor; drop it so the next
-            # sweep starts a fresh pool instead of failing forever.
+        except (BrokenProcessPool, ExecutorFailure):
+            # A dead pool worker poisons the whole local executor, and an
+            # ExecutorFailure means the protocol backend exhausted its
+            # retries (workers lost beyond recovery); either way, drop the
+            # backend so the next sweep starts fresh instead of failing
+            # forever.
             self.close()
             raise
         except BaseException:
@@ -385,4 +463,8 @@ class SweepRunner:
 
     def __repr__(self) -> str:
         cache_dir = self.cache.directory if self.cache is not None else None
-        return f"SweepRunner(jobs={self.jobs}, cache={str(cache_dir)!r}, chunk_size={self.chunk_size})"
+        spec = self.executor_spec if self.executor_spec is not None else "pool"
+        return (
+            f"SweepRunner(jobs={self.jobs}, cache={str(cache_dir)!r}, "
+            f"chunk_size={self.chunk_size}, executor={spec!r})"
+        )

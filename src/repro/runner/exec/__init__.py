@@ -1,0 +1,57 @@
+"""Pluggable executor backends for the sweep runner.
+
+The execution seam (:class:`~repro.runner.exec.base.Executor`) abstracts
+"something that runs picklable task functions and returns futures".  Three
+backends ship:
+
+========================  ====================================================
+``pool`` (default)        :class:`~repro.runner.exec.local.LocalPoolExecutor`
+                          -- the historical persistent in-process
+                          multiprocessing pool, zero behavior change.
+``subprocess``            :class:`~repro.runner.exec.remote.
+                          SubprocessWorkerExecutor` -- N long-lived worker
+                          subprocesses speaking the length-prefixed pickle
+                          protocol over stdio, scheduled fault-tolerantly
+                          (heartbeats, bounded retries with worker
+                          exclusion, work stealing).
+``ssh``                   :class:`~repro.runner.exec.remote.SSHExecutor` --
+                          the same protocol over ``ssh host python -m
+                          repro.worker``; configured via ``REPRO_SSH_HOSTS``.
+========================  ====================================================
+
+Because every task in this system is a pure function of its payload, backend
+choice can never change a measured value -- only where and how reliably the
+work runs.  ``tests/test_executors.py`` and experiment E14 assert that
+invariance float-for-float, including across injected worker crashes.
+"""
+
+from .base import (
+    EXECUTOR_SPECS,
+    Executor,
+    ExecutorError,
+    ExecutorFailure,
+    ExecutorSpec,
+    RemoteTaskError,
+    make_executor,
+)
+from .local import LocalPoolExecutor
+from .protocol import ProtocolError, read_frame, write_frame
+from .remote import ProtocolExecutor, SSHConfigError, SSHExecutor, SubprocessWorkerExecutor
+
+__all__ = [
+    "EXECUTOR_SPECS",
+    "Executor",
+    "ExecutorSpec",
+    "ExecutorError",
+    "ExecutorFailure",
+    "RemoteTaskError",
+    "make_executor",
+    "LocalPoolExecutor",
+    "ProtocolExecutor",
+    "SubprocessWorkerExecutor",
+    "SSHExecutor",
+    "SSHConfigError",
+    "ProtocolError",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,103 @@
+"""Picklable fault-injection tasks for exercising executor fault tolerance.
+
+The fault-injection suite (``tests/test_executors.py``) and experiment E14
+need task functions that misbehave in controlled ways *inside a worker
+process* -- crash it, wedge it, stall it -- and task functions must be
+importable by qualified name on the worker side, so they live here rather
+than in the test modules.  Coordination uses sentinel files: a path the
+parent chooses is an atomic cross-process latch (``O_CREAT | O_EXCL``), which
+keeps "fail exactly once, then succeed on retry" deterministic without any
+shared state beyond the filesystem.
+
+None of these functions are used by the production execution paths.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def echo_task(payload):
+    """Return the payload unchanged (the executor smoke-test task)."""
+    return payload
+
+
+def square_task(payload):
+    """Return ``payload ** 2`` (distinguishes results from payloads)."""
+    return payload**2
+
+
+def sleep_task(payload):
+    """Sleep ``payload`` seconds, then return it."""
+    time.sleep(payload)
+    return payload
+
+
+def raise_task(payload):
+    """Raise ``ValueError(payload)`` -- a deterministic *task* failure (the
+    worker survives; the error must propagate without retry)."""
+    raise ValueError(payload)
+
+
+def unpicklable_result_task(payload):
+    """Return a closure -- a result that cannot be shipped home.  The worker
+    must report a serialization error, not die."""
+    return lambda: payload  # pragma: no cover - never called, never pickled
+
+
+def exit_task(payload):
+    """Kill the worker process immediately (crashes on *every* attempt)."""
+    os._exit(int(payload) if payload else 1)
+
+
+def _acquire_latch(path: str) -> bool:
+    """Atomically create ``path``; True for exactly one caller across processes."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.write(fd, str(os.getpid()).encode())
+    os.close(fd)
+    return True
+
+
+def crash_once_task(payload):
+    """Kill the worker on the first execution (latch file), succeed on retry."""
+    if _acquire_latch(str(payload)):
+        os._exit(1)
+    return "recovered"
+
+
+def hang_once_task(payload):
+    """First execution: write the worker pid to ``payload`` and hang until
+    killed.  Retry: return ``"recovered"``.  Lets a test kill a worker that
+    is *provably mid-task* and assert the chunk completes elsewhere."""
+    if _acquire_latch(str(payload)):
+        while True:
+            time.sleep(0.05)
+    return "recovered"
+
+
+def freeze_once_task(payload):
+    """First execution: SIGSTOP the worker (alive but silent -- heartbeats
+    stop, pipes stay open), so only the heartbeat deadline can detect it.
+    Retry: return ``"recovered"``."""
+    if _acquire_latch(str(payload)):
+        os.kill(os.getpid(), signal.SIGSTOP)
+        # Unreachable unless the process is resumed instead of killed.
+        time.sleep(3600)
+    return "recovered"
+
+
+def hang_until_file_task(payload):
+    """Block until the file named by ``payload`` exists, then return it.
+
+    A controllable straggler: the parent decides when the task may finish,
+    which makes work-stealing scenarios deterministic.
+    """
+    path = str(payload)
+    while not os.path.exists(path):
+        time.sleep(0.02)
+    return path

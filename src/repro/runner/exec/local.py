@@ -1,0 +1,51 @@
+"""The local backend: today's persistent multiprocessing pool behind the seam.
+
+This is the default executor and a strict behavior-preserving wrapper: the
+sweep runner used to own a lazily-spawned persistent
+:class:`~concurrent.futures.ProcessPoolExecutor`; now the pool lives here and
+the runner only sees the :class:`~repro.runner.exec.base.Executor` surface.
+Scheduling, chunk batching, windowed submission and
+:class:`~concurrent.futures.process.BrokenProcessPool` propagation are all
+exactly what they were.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Optional
+
+from .base import Executor
+
+
+class LocalPoolExecutor(Executor):
+    """Run tasks on a lazily-spawned, persistent local process pool."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def worker_count(self) -> int:
+        return self.workers
+
+    def submit(self, fn: Callable, payload) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool.submit(fn, payload)
+
+    def worker_pids(self) -> list[int]:
+        if self._pool is None:
+            return []
+        # ProcessPoolExecutor spawns lazily too; _processes is its live map.
+        return sorted(self._pool._processes or ())  # noqa: SLF001
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return f"LocalPoolExecutor(workers={self.workers}, {state})"

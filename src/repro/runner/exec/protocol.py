@@ -1,0 +1,94 @@
+"""The wire format: length-prefixed pickle frames over a byte stream.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+pickle.  Frames are tuples whose first element is a tag string; the protocol
+between a parent and one worker is deliberately small:
+
+parent -> worker::
+
+    ("task", task_id, fn, payload)   run fn(payload), answer with the task_id
+    ("shutdown",)                    drain and exit cleanly
+
+worker -> parent::
+
+    ("hello", pid)                   handshake: the worker's own pid
+    ("heartbeat",)                   periodic liveness beacon while alive
+    ("result", task_id, value)       fn returned value
+    ("error", task_id, exc, info)    fn raised: the pickled exception when it
+                                     pickles, else None plus (type, message,
+                                     traceback-text) for a RemoteTaskError
+
+Task functions are shipped by reference (pickle serializes a module-level
+function as its qualified name), so the worker side only needs the ``repro``
+package importable -- the payloads themselves carry all data.  The format is
+transport-agnostic: the subprocess backend runs it over stdio pipes and the
+SSH backend over an ``ssh`` channel, unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import BinaryIO, Optional
+
+#: Frame header: payload length as an unsigned 4-byte big-endian integer.
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames above this size (a corrupted header would otherwise try to
+#: allocate gigabytes).  Chunk payloads are scenario lists and summary
+#: objects -- kilobytes, not gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing (truncation, oversized frame)."""
+
+
+def encode_frame(frame: tuple) -> bytes:
+    """Serialize ``frame`` into one length-prefixed record.
+
+    All-or-nothing: any failure (unpicklable content, oversized frame) raises
+    before a single byte exists, so callers can separate "this frame cannot
+    be shipped" (the sender's problem) from "the stream is broken" (the
+    peer's problem) by encoding first and writing second.
+    """
+    data = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(data)) + data
+
+
+def write_frame(stream: BinaryIO, frame: tuple) -> None:
+    """Serialize ``frame`` and write it as one length-prefixed record."""
+    stream.write(encode_frame(frame))
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        piece = stream.read(remaining)
+        if not piece:
+            if chunks:
+                got = count - remaining
+                raise ProtocolError(f"stream truncated mid-frame ({got} of {count} bytes)")
+            return None
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> Optional[tuple]:
+    """Read one frame; ``None`` on a clean EOF (peer closed between frames)."""
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame header announces {length} bytes (limit {MAX_FRAME_BYTES}); stream corrupt?")
+    body = _read_exact(stream, length)
+    if body is None:
+        raise ProtocolError(f"stream truncated: frame header promised {length} bytes, got EOF")
+    return pickle.loads(body)

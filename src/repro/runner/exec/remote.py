@@ -1,0 +1,540 @@
+"""Remote protocol executors: worker processes + a fault-tolerant scheduler.
+
+Both backends here run the length-prefixed pickle protocol of
+:mod:`repro.runner.exec.protocol` against long-lived ``repro.worker``
+processes; they differ only in how a worker is spawned
+(:class:`SubprocessWorkerExecutor`: ``python -m repro.worker`` on this
+machine, :class:`SSHExecutor`: the same through ``ssh host ...``).  The
+shared scheduler in :class:`ProtocolExecutor` provides the fault tolerance
+the local pool never needed:
+
+* **liveness detection** -- a per-worker reader thread sees the pipe EOF the
+  instant a worker dies, and a monitor thread enforces a heartbeat deadline
+  (workers beat from a daemon thread, so a *wedged* worker -- alive but
+  silent -- is detected and killed, not just a dead one);
+* **bounded retries with worker exclusion** -- a chunk that was in flight on
+  a lost worker is requeued on the surviving workers, never on one that
+  already failed it (each task carries its own excluded-worker set), and
+  after ``max_attempts`` losses (or when no eligible worker survives) its
+  future fails with a clear :class:`~repro.runner.exec.base.ExecutorFailure`;
+* **work-stealing rebalancing** -- tasks are assigned to the least-loaded
+  eligible worker's queue at submission, and a worker that drains its queue
+  steals the newest eligible task from the longest backlog, so an uneven
+  drain (stragglers, retries piling onto survivors) self-balances.
+
+Tasks that *raise* on a live worker are not retried: every task in this
+system is a deterministic pure function of its payload, so a task error
+would simply repeat -- it propagates to the future exactly as the local
+pool would propagate it.  Only worker *loss* triggers retry, and because
+tasks are pure, a retried chunk returns float-for-float what the first
+attempt would have.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shlex
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from .base import Executor, ExecutorError, ExecutorFailure, RemoteTaskError
+from .protocol import encode_frame, read_frame, write_frame
+
+#: Default seconds between worker heartbeat frames.
+HEARTBEAT_INTERVAL = 1.0
+#: Default multiple of the heartbeat interval after which a silent worker is
+#: declared wedged and killed.  Generous: heartbeats come from a dedicated
+#: worker thread, so even a busy worker beats on schedule.
+HEARTBEAT_TIMEOUT_FACTOR = 30.0
+#: Default bound on how many workers one task may be lost on before its
+#: future fails.
+MAX_ATTEMPTS = 3
+#: Minimum silence tolerated from a worker that has not completed its
+#: handshake yet: interpreter start-up and package import must not trip a
+#: tight heartbeat deadline on a loaded machine.
+SPAWN_DEADLINE = 30.0
+
+
+class _Task:
+    """One submitted unit: a picklable call plus its retry bookkeeping."""
+
+    __slots__ = ("task_id", "fn", "payload", "future", "attempts", "excluded", "started")
+
+    def __init__(self, task_id: int, fn: Callable, payload) -> None:
+        self.task_id = task_id
+        self.fn = fn
+        self.payload = payload
+        self.future: Future = Future()
+        #: Workers this task was lost on (never rescheduled there).
+        self.excluded: set[int] = set()
+        #: Workers this task was dispatched to and lost with.
+        self.attempts = 0
+        #: Whether the future already transitioned to RUNNING (first
+        #: dispatch); a retry redispatch must not transition it again.
+        self.started = False
+
+    @property
+    def label(self) -> str:
+        name = getattr(self.fn, "__name__", str(self.fn))
+        return f"#{self.task_id} ({name})"
+
+
+class _Worker:
+    """Parent-side handle of one protocol worker process."""
+
+    __slots__ = ("index", "proc", "reader", "write_lock", "alive", "current", "queue", "last_seen", "remote_pid")
+
+    def __init__(self, index: int, proc: subprocess.Popen) -> None:
+        self.index = index
+        self.proc = proc
+        self.reader: Optional[threading.Thread] = None
+        self.write_lock = threading.Lock()
+        self.alive = True
+        self.current: Optional[_Task] = None
+        self.queue: deque[_Task] = deque()
+        self.last_seen = time.monotonic()
+        self.remote_pid: Optional[int] = None
+
+    def load(self) -> int:
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+
+class ProtocolExecutor(Executor):
+    """Shared scheduler over spawn-command-defined protocol workers.
+
+    Workers spawn lazily on the first submit and persist across sweeps;
+    :meth:`close` reaps every process (shutdown frame, then escalating to
+    kill) and resets the executor so the next submit respawns -- the same
+    lifecycle the local pool backend has.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        max_attempts: int = MAX_ATTEMPTS,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        heartbeat_timeout: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.heartbeat_interval = heartbeat_interval
+        if heartbeat_timeout is None and heartbeat_interval > 0:
+            heartbeat_timeout = HEARTBEAT_TIMEOUT_FACTOR * heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        self._workers: list[_Worker] = []
+        self._started = False
+        self._task_ids = itertools.count()
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._stats = {"tasks": 0, "retries": 0, "workers_lost": 0, "steals": 0}
+
+    # -- spawning ----------------------------------------------------------
+
+    def _spawn_command(self, index: int) -> list[str]:
+        raise NotImplementedError
+
+    def _spawn_env(self) -> Optional[dict]:
+        return None
+
+    def _spawn_worker(self, index: int) -> _Worker:
+        proc = subprocess.Popen(
+            self._spawn_command(index),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # workers log to the parent's stderr
+            env=self._spawn_env(),
+        )
+        worker = _Worker(index, proc)
+        worker.reader = threading.Thread(
+            target=self._read_loop, args=(worker,), name=f"repro-exec-reader-{index}", daemon=True
+        )
+        worker.reader.start()
+        return worker
+
+    def _ensure_started_locked(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._monitor_stop = threading.Event()
+        self._workers = [self._spawn_worker(index) for index in range(self.workers)]
+        if self.heartbeat_timeout is not None and self.heartbeat_interval > 0:
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_loop, args=(self._monitor_stop,), name="repro-exec-monitor", daemon=True
+            )
+            self._monitor_thread.start()
+
+    # -- submission and scheduling -----------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        return self.workers
+
+    def submit(self, fn: Callable, payload) -> Future:
+        task = _Task(next(self._task_ids), fn, payload)
+        with self._lock:
+            self._ensure_started_locked()
+            self._stats["tasks"] += 1
+            if not self._eligible_locked(task):
+                self._fail_locked(
+                    task,
+                    f"cannot run task {task.label}: no live workers "
+                    f"({self._stats['workers_lost']} lost); close() resets the backend",
+                )
+                return task.future
+            self._enqueue_locked(task)
+            assignments = self._dispatch_locked()
+        self._send_assignments(assignments)
+        return task.future
+
+    def _eligible_locked(self, task: _Task) -> list[_Worker]:
+        return [w for w in self._workers if w.alive and w.index not in task.excluded]
+
+    def _enqueue_locked(self, task: _Task) -> None:
+        target = min(self._eligible_locked(task), key=lambda w: (w.load(), w.index))
+        target.queue.append(task)
+
+    def _steal_locked(self, thief: _Worker) -> Optional[_Task]:
+        for victim in sorted(self._workers, key=lambda w: len(w.queue), reverse=True):
+            if victim is thief or not victim.alive or not victim.queue:
+                continue
+            # Steal the newest eligible backlog entry (classic work stealing:
+            # the victim keeps the work it is about to reach).
+            for task in reversed(victim.queue):
+                if thief.index not in task.excluded:
+                    victim.queue.remove(task)
+                    self._stats["steals"] += 1
+                    return task
+        return None
+
+    def _dispatch_locked(self) -> list[tuple[_Worker, _Task]]:
+        """Pair idle workers with runnable tasks; caller sends outside the lock."""
+        assignments: list[tuple[_Worker, _Task]] = []
+        for worker in self._workers:
+            while worker.alive and worker.current is None:
+                task = worker.queue.popleft() if worker.queue else self._steal_locked(worker)
+                if task is None:
+                    break
+                if not task.started:
+                    if not task.future.set_running_or_notify_cancel():
+                        continue  # cancelled while queued; try the next task
+                    task.started = True
+                worker.current = task
+                assignments.append((worker, task))
+        return assignments
+
+    def _send_assignments(self, assignments: Sequence[tuple[_Worker, _Task]]) -> None:
+        for worker, task in assignments:
+            try:
+                frame = encode_frame(("task", task.task_id, task.fn, task.payload))
+            except Exception as exc:
+                # The *task* cannot be shipped (unpicklable payload, frame
+                # over the size limit) -- that is the submitter's error, not
+                # the worker's: surface it on the future, free the worker and
+                # keep dispatching.  Matches the local pool, which fails the
+                # future on a pickling error without killing anything.
+                with self._lock:
+                    if worker.current is task:
+                        worker.current = None
+                    redispatch = self._dispatch_locked()
+                try:
+                    task.future.set_exception(exc)
+                except InvalidStateError:
+                    pass
+                self._send_assignments(redispatch)
+                continue
+            try:
+                with worker.write_lock:
+                    worker.proc.stdin.write(frame)
+                    worker.proc.stdin.flush()
+            except Exception:
+                # The pipe died under us; the loss handling requeues the task
+                # and accounts the lost worker.
+                self._lose_worker(worker, "write to worker failed")
+
+    # -- completion and loss ------------------------------------------------
+
+    @staticmethod
+    def _complete(task: _Task, frame: tuple) -> None:
+        try:
+            if frame[0] == "result":
+                task.future.set_result(frame[2])
+            else:
+                exc = frame[2]
+                if exc is None:
+                    name, message, trace = frame[3]
+                    exc = RemoteTaskError(f"task {task.label} raised {name}: {message}\n{trace}")
+                task.future.set_exception(exc)
+        except InvalidStateError:
+            pass  # cancelled in flight; nobody is waiting for this result
+
+    def _fail_locked(self, task: _Task, message: str) -> None:
+        try:
+            task.future.set_exception(ExecutorFailure(message))
+        except InvalidStateError:
+            pass
+
+    def _read_loop(self, worker: _Worker) -> None:
+        stream = worker.proc.stdout
+        reason = "worker process exited"
+        while True:
+            try:
+                frame = read_frame(stream)
+            except Exception as exc:
+                # Corrupt or truncated stream (e.g. something polluted the
+                # remote stdout): keep the diagnostic -- 'exited' and 'stream
+                # desynced' need very different fixes on a real deployment.
+                reason = f"worker stream failed: {type(exc).__name__}: {exc}"
+                frame = None
+            if frame is None:
+                break
+            tag = frame[0]
+            with self._lock:
+                worker.last_seen = time.monotonic()
+                if tag == "hello":
+                    worker.remote_pid = frame[1]
+                task = None
+                assignments: list = []
+                if tag in ("result", "error"):
+                    task = worker.current
+                    if task is not None and task.task_id == frame[1]:
+                        worker.current = None
+                        assignments = self._dispatch_locked()
+                    else:
+                        task = None  # stale frame for a task this worker no longer owns
+            if task is not None:
+                self._complete(task, frame)
+            if assignments:
+                self._send_assignments(assignments)
+        self._lose_worker(worker, reason)
+
+    def _lose_worker(self, worker: _Worker, reason: str) -> None:
+        failures: list[tuple[_Task, str]] = []
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self._stats["workers_lost"] += 1
+            in_flight = worker.current
+            worker.current = None
+            orphans = list(worker.queue)
+            worker.queue.clear()
+            if in_flight is not None:
+                in_flight.attempts += 1
+                in_flight.excluded.add(worker.index)
+                if in_flight.attempts >= self.max_attempts:
+                    failures.append(
+                        (
+                            in_flight,
+                            f"task {in_flight.label} was lost with {in_flight.attempts} worker(s) "
+                            f"(last: worker {worker.index}, {reason}); "
+                            f"retry budget of {self.max_attempts} attempts exhausted",
+                        )
+                    )
+                elif not self._eligible_locked(in_flight):
+                    failures.append(
+                        (
+                            in_flight,
+                            f"task {in_flight.label} was in flight on worker {worker.index} ({reason}) "
+                            f"and no surviving worker can take it "
+                            f"({self._stats['workers_lost']} of {self.workers} workers lost)",
+                        )
+                    )
+                else:
+                    self._stats["retries"] += 1
+                    self._enqueue_locked(in_flight)
+            for task in orphans:
+                if self._eligible_locked(task):
+                    self._enqueue_locked(task)
+                else:
+                    failures.append(
+                        (
+                            task,
+                            f"no surviving worker can run queued task {task.label} "
+                            f"after worker {worker.index} died ({reason})",
+                        )
+                    )
+            assignments = self._dispatch_locked()
+        for task, message in failures:
+            with self._lock:
+                self._fail_locked(task, message)
+        self._send_assignments(assignments)
+        try:
+            worker.proc.kill()
+        except OSError:
+            pass
+        worker.proc.wait()
+
+    def _monitor_loop(self, stop: threading.Event) -> None:
+        period = max(0.05, (self.heartbeat_timeout or 1.0) / 4.0)
+        # Workers that have not completed their handshake are still paying
+        # interpreter start-up; only the post-hello silence deadline is tight.
+        spawn_deadline = max(self.heartbeat_timeout, SPAWN_DEADLINE)
+        while not stop.wait(period):
+            now = time.monotonic()
+            with self._lock:
+                stale = [
+                    w
+                    for w in self._workers
+                    if w.alive
+                    and now - w.last_seen > (self.heartbeat_timeout if w.remote_pid is not None else spawn_deadline)
+                ]
+            for worker in stale:
+                # Kill the wedged process; its reader thread sees EOF and the
+                # normal loss path (retry, exclusion, accounting) takes over.
+                try:
+                    worker.proc.kill()
+                except OSError:
+                    pass
+
+    # -- lifecycle and introspection ----------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            workers = self._workers
+            self._workers = []
+            self._started = False
+            monitor = self._monitor_thread
+            self._monitor_thread = None
+            self._monitor_stop.set()
+            leftovers: list[_Task] = []
+            for worker in workers:
+                worker.alive = False
+                if worker.current is not None:
+                    leftovers.append(worker.current)
+                    worker.current = None
+                leftovers.extend(worker.queue)
+                worker.queue.clear()
+            for task in leftovers:
+                self._fail_locked(task, f"executor closed with task {task.label} outstanding")
+        for worker in workers:
+            if worker.proc.poll() is None:
+                try:
+                    with worker.write_lock:
+                        write_frame(worker.proc.stdin, ("shutdown",))
+                except Exception:
+                    pass
+            try:
+                worker.proc.stdin.close()
+            except OSError:
+                pass
+        for worker in workers:
+            try:
+                worker.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                worker.proc.wait()
+        for worker in workers:
+            if worker.reader is not None:
+                worker.reader.join(timeout=5)
+        if monitor is not None:
+            monitor.join(timeout=5)
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [w.proc.pid for w in self._workers if w.alive]
+
+    def busy_worker_pids(self) -> list[int]:
+        """PIDs of live workers currently running a task (crash-injection hook)."""
+        with self._lock:
+            return [w.proc.pid for w in self._workers if w.alive and w.current is not None]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return dict(self._stats)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            alive = sum(1 for w in self._workers if w.alive)
+        return f"{type(self).__name__}(workers={self.workers}, alive={alive}, stats={self.stats()})"
+
+
+def _package_search_path() -> str:
+    """The directory that makes ``import repro`` work in a spawned worker."""
+    return str(Path(__file__).resolve().parents[3])
+
+
+class SubprocessWorkerExecutor(ProtocolExecutor):
+    """N long-lived local worker subprocesses speaking the stdio protocol.
+
+    The full remote wire format -- framing, heartbeats, retry scheduling --
+    exercised entirely on localhost, so distribution bugs surface in CI
+    rather than on a cluster.  Workers inherit the parent's environment plus
+    a ``PYTHONPATH`` entry for this package, and run tasks one at a time.
+    """
+
+    def _spawn_command(self, index: int) -> list[str]:
+        return [sys.executable, "-m", "repro.worker", "--heartbeat", str(self.heartbeat_interval)]
+
+    def _spawn_env(self) -> dict:
+        env = dict(os.environ)
+        search = _package_search_path()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = search + (os.pathsep + existing if existing else "")
+        return env
+
+
+class SSHConfigError(ExecutorError):
+    """The SSH backend was requested without any configured hosts."""
+
+
+class SSHExecutor(ProtocolExecutor):
+    """Protocol workers spawned as ``ssh host python -m repro.worker``.
+
+    Hosts come from the constructor or the ``REPRO_SSH_HOSTS`` environment
+    variable (comma-separated; repeat a host for more than one worker on
+    it).  ``workers`` controls how many of the configured hosts are used:
+    the list is cycled when more workers than hosts are requested and
+    truncated when fewer (the runner passes its ``jobs``, so ``--executor
+    ssh --workers 4`` uses four host entries).  ``REPRO_SSH_PYTHON`` selects
+    the remote interpreter (default ``python3``) and
+    ``REPRO_SSH_PYTHONPATH``, when set, is exported on the remote side so a
+    checkout-only deployment works without installation.
+    The ``repro`` package (same version) must be importable on every host;
+    because the wire format is identical to the subprocess backend, anything
+    proven on localhost holds across machines.
+
+    CI has no hosts configured, so requesting this backend there raises
+    :class:`SSHConfigError` -- tests skip on that signal.
+    """
+
+    def __init__(
+        self,
+        hosts: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+        python: Optional[str] = None,
+        **kwargs,
+    ) -> None:
+        if hosts is None:
+            raw = os.environ.get("REPRO_SSH_HOSTS", "")
+            hosts = [h.strip() for h in raw.split(",") if h.strip()]
+        hosts = list(hosts)
+        if not hosts:
+            raise SSHConfigError(
+                "the ssh executor needs hosts: pass hosts=[...] or set REPRO_SSH_HOSTS=host1,host2"
+            )
+        if workers is not None:
+            # One worker per host entry: cycle the list for extra capacity,
+            # truncate it when fewer workers than hosts were asked for.
+            hosts = [hosts[i % len(hosts)] for i in range(workers)]
+        self.hosts = hosts
+        self.python = python or os.environ.get("REPRO_SSH_PYTHON", "python3")
+        super().__init__(len(hosts), **kwargs)
+
+    def _spawn_command(self, index: int) -> list[str]:
+        remote = f"{shlex.quote(self.python)} -m repro.worker --heartbeat {self.heartbeat_interval}"
+        remote_path = os.environ.get("REPRO_SSH_PYTHONPATH")
+        if remote_path:
+            remote = f"env PYTHONPATH={shlex.quote(remote_path)} {remote}"
+        return ["ssh", "-o", "BatchMode=yes", self.hosts[index], remote]

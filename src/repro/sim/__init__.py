@@ -33,6 +33,7 @@ from .network import (
 from .process import Process, Timer
 from .recorder import (
     FullTraceRecorder,
+    MessageSample,
     OnlineMetricsRecorder,
     OnlineMetricsSummary,
     Recorder,
@@ -66,6 +67,7 @@ __all__ = [
     "Recorder",
     "RecorderError",
     "FullTraceRecorder",
+    "MessageSample",
     "OnlineMetricsRecorder",
     "OnlineMetricsSummary",
     "Simulation",

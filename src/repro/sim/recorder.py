@@ -57,7 +57,7 @@ import heapq
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 from .trace import ProcessTrace, ResyncEvent, Trace
 
@@ -68,6 +68,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class RecorderError(RuntimeError):
     """Raised when a recorder cannot serve a request (e.g. no trace kept)."""
+
+
+class MessageSample(NamedTuple):
+    """A lightweight summary of one network message, as sampled by
+    :class:`OnlineMetricsRecorder(sample_messages=K)`.
+
+    Everything a message-level trace needs for provenance and wire-format
+    debugging -- who sent what kind of message to whom, when, and with what
+    delay -- without retaining the payload itself, so a sample stays a few
+    dozen bytes regardless of message size.
+    """
+
+    msg_id: int
+    sender: int
+    dest: int
+    #: The payload's class name (``"ResyncMessage"``, ...), not the payload.
+    kind: str
+    send_time: float
+    deliver_time: float
 
 
 class Recorder(ABC):
@@ -355,6 +374,11 @@ class OnlineMetricsSummary:
     #: ``None`` unless the recorder was built with ``mergeable=True``; the
     #: sharded runner strips it from final results to keep them lean.
     window_samples: Optional[tuple] = None
+    #: Every K-th message's :class:`MessageSample`, in send order; ``None``
+    #: unless the recorder was built with ``sample_messages=K``.  Merging
+    #: concatenates in input order, so a distributed run ships a bounded
+    #: message-level trace home alongside its scalar metrics.
+    message_samples: Optional[tuple] = None
 
     def liveness(self, expected_round: int) -> bool:
         """Exact replica of :func:`repro.analysis.metrics.liveness`.
@@ -432,8 +456,8 @@ def merge_summaries(summaries) -> OnlineMetricsSummary:
       must accept it), ``max_round`` max-combines,
     * resynchronization-period extremes min/max-combine and their interval
       counts, message counts and per-type message stats sum,
-    * per-process liveness triples, notes and retained window samples
-      concatenate in input order,
+    * per-process liveness triples, notes, retained window samples and
+      sampled message summaries concatenate in input order,
     * the steady interval is the union system's: it starts when the *last*
       group became steady and ends at the *latest* end time, and the
       long-run-rate extremes min/max-combine,
@@ -480,6 +504,13 @@ def merge_summaries(summaries) -> OnlineMetricsSummary:
         for kind, count in s.message_stats.items():
             message_stats[kind] = message_stats.get(kind, 0) + count
 
+    if all(s.message_samples is None for s in summaries):
+        message_samples: Optional[tuple] = None
+    else:
+        message_samples = tuple(
+            sample for s in summaries if s.message_samples is not None for sample in s.message_samples
+        )
+
     return OnlineMetricsSummary(
         end_time=end_time,
         steady_start=steady_start,
@@ -505,6 +536,7 @@ def merge_summaries(summaries) -> OnlineMetricsSummary:
         message_stats=message_stats,
         notes=[note for s in summaries for note in s.notes],
         window_samples=window_samples,
+        message_samples=message_samples,
     )
 
 
@@ -551,6 +583,15 @@ class OnlineMetricsRecorder(Recorder):
     sharded backend runs every replication under a mergeable recorder and
     strips the samples from the final folded summary.
 
+    ``sample_messages=K`` turns on the sampling message trace: every K-th
+    network message is retained as a :class:`MessageSample` (sender,
+    destination, payload class, send/delivery times -- never the payload),
+    giving message-level provenance at 1/K of the memory of a full trace and
+    none of the default path's cost when off.  Samples ride home in
+    :attr:`OnlineMetricsSummary.message_samples` and concatenate under the
+    merge algebra, so distributed and sharded runs can ship a bounded
+    message trace back to the parent.
+
     The recorder observes one run segment: after :meth:`finalize`, new events
     are rejected (re-finalizing at the same end time returns the cached
     summary).  Multi-segment runs that resume after ``run_until`` need the
@@ -563,15 +604,21 @@ class OnlineMetricsRecorder(Recorder):
         rate_high: Optional[float] = None,
         window_rates: bool = True,
         mergeable: bool = False,
+        sample_messages: Optional[int] = None,
     ) -> None:
         if (rate_low is None) != (rate_high is None):
             raise ValueError("rate_low and rate_high must be given together")
         if mergeable and not window_rates:
             raise ValueError("mergeable summaries require window_rates=True")
+        if sample_messages is not None and sample_messages < 1:
+            raise ValueError(f"sample_messages must be at least 1 (or None to disable), got {sample_messages}")
         self.rate_low = rate_low
         self.rate_high = rate_high
         self.window_rates = window_rates
         self.mergeable = mergeable
+        self.sample_messages = sample_messages
+        self._messages_seen = 0
+        self._message_samples: list[MessageSample] = []
         self._procs: dict[int, _ProcState] = {}
         self._honest: list[_ProcState] = []
         self._sealed = False
@@ -856,6 +903,22 @@ class OnlineMetricsRecorder(Recorder):
                 for stale in [r for r in self._round_times if r > ceiling]:
                     del self._round_times[stale]
 
+    def on_message(self, envelope: "Envelope") -> None:
+        if self.sample_messages is None:
+            return
+        if self._messages_seen % self.sample_messages == 0:
+            self._message_samples.append(
+                MessageSample(
+                    msg_id=envelope.msg_id,
+                    sender=envelope.sender,
+                    dest=envelope.dest,
+                    kind=type(envelope.payload).__name__,
+                    send_time=envelope.send_time,
+                    deliver_time=envelope.deliver_time,
+                )
+            )
+        self._messages_seen += 1
+
     def on_note(self, text: str) -> None:
         self._notes.append(text)
 
@@ -958,6 +1021,7 @@ class OnlineMetricsRecorder(Recorder):
             message_stats=dict(network_stats.messages_by_type),
             notes=list(self._notes),
             window_samples=window_samples,
+            message_samples=tuple(self._message_samples) if self.sample_messages is not None else None,
         )
         self._finalized = (end_time, summary)
         return summary
@@ -991,3 +1055,8 @@ class OnlineMetricsRecorder(Recorder):
         messages each round took).
         """
         return sum(len(proc.win_t) for proc in self._procs.values())
+
+    def retained_message_samples(self) -> int:
+        """Sampled message summaries retained (0 with ``sample_messages=None``;
+        otherwise one per ``sample_messages`` network messages)."""
+        return len(self._message_samples)

@@ -1,0 +1,118 @@
+"""``python -m repro.worker`` -- a protocol worker for the remote executors.
+
+One worker is one long-lived process that speaks the length-prefixed pickle
+protocol of :mod:`repro.runner.exec.protocol` on its stdio: it reads task
+frames from stdin, runs each task function on its payload, and writes result
+(or error) frames to stdout.  A daemon thread emits heartbeat frames so the
+parent's scheduler can distinguish a busy worker from a wedged one.
+
+The executors (:class:`~repro.runner.exec.remote.SubprocessWorkerExecutor`
+locally, :class:`~repro.runner.exec.remote.SSHExecutor` across machines)
+spawn and own these processes; the module has no other entry points.  Tasks
+run strictly sequentially in arrival order -- parallelism comes from running
+several workers, which keeps each worker's results trivially deterministic.
+
+Discipline: stdout belongs to the frame stream.  ``sys.stdout`` is rebound to
+stderr before any task runs, so stray prints inside task functions degrade to
+log noise instead of corrupting the protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+import threading
+import traceback
+from typing import Optional, Sequence
+
+from .runner.exec.protocol import read_frame, write_frame
+
+#: Default seconds between heartbeat frames (``--heartbeat`` overrides;
+#: non-positive disables the thread entirely).
+HEARTBEAT_INTERVAL = 1.0
+
+
+def _describe_error(exc: BaseException) -> tuple:
+    """An ``("error", ...)`` tail: the pickled exception when possible."""
+    shipped: Optional[BaseException] = exc
+    try:
+        pickle.dumps(exc)
+    except Exception:
+        shipped = None
+    info = (type(exc).__name__, str(exc), traceback.format_exc())
+    return shipped, info
+
+
+def serve(in_stream, out_stream, heartbeat: float = HEARTBEAT_INTERVAL) -> int:
+    """Run the worker loop over the given binary streams until shutdown/EOF."""
+    write_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(frame: tuple) -> None:
+        with write_lock:
+            write_frame(out_stream, frame)
+
+    send(("hello", os.getpid()))
+
+    if heartbeat > 0:
+
+        def beat() -> None:
+            while not stop.wait(heartbeat):
+                try:
+                    send(("heartbeat",))
+                except Exception:
+                    return  # parent gone; the main loop sees EOF and exits
+
+        threading.Thread(target=beat, name="repro-worker-heartbeat", daemon=True).start()
+
+    try:
+        while True:
+            frame = read_frame(in_stream)
+            if frame is None or frame[0] == "shutdown":
+                return 0
+            tag, task_id, fn, payload = frame
+            if tag != "task":
+                raise RuntimeError(f"worker received unexpected frame tag {tag!r}")
+            try:
+                result = fn(payload)
+            except BaseException as exc:  # noqa: BLE001 - ship every failure home
+                shipped, info = _describe_error(exc)
+                send(("error", task_id, shipped, info))
+            else:
+                try:
+                    send(("result", task_id, result))
+                except OSError:
+                    raise  # the stream itself is broken: let the worker die
+                except Exception as exc:
+                    # The *result* cannot be shipped (unpicklable, over the
+                    # frame limit).  Encoding is all-or-nothing, so nothing
+                    # hit the stream: report the serialization failure as a
+                    # task error instead of dying -- a deterministic task
+                    # would fail identically on every retry worker.
+                    shipped, info = _describe_error(exc)
+                    send(("error", task_id, shipped, info))
+    finally:
+        stop.set()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.worker", description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=HEARTBEAT_INTERVAL,
+        help=f"seconds between heartbeat frames (default {HEARTBEAT_INTERVAL}; <= 0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    in_stream = sys.stdin.buffer
+    out_stream = sys.stdout.buffer
+    # Stray prints from task code must not corrupt the frame stream.
+    sys.stdout = sys.stderr
+    return serve(in_stream, out_stream, heartbeat=args.heartbeat)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -130,6 +130,13 @@ class Scenario:
     #: ``replications``; sharding never changes measured values, only where
     #: the replications execute.
     shards: Optional[int] = None
+    #: Sampling message trace (metrics level only): retain every K-th network
+    #: message as a :class:`~repro.sim.recorder.MessageSample` in
+    #: :attr:`ScenarioResult.message_samples`.  Samples concatenate across
+    #: replications and shards under the merge algebra, so sharded and
+    #: distributed runs ship bounded message-level provenance home.  ``None``
+    #: (the default) retains nothing and costs nothing.
+    sample_messages: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -147,6 +154,8 @@ class Scenario:
             raise ValueError("replications must be at least 1")
         if self.shards is not None and self.shards < 1:
             raise ValueError("shards must be at least 1 (or None for auto)")
+        if self.sample_messages is not None and self.sample_messages < 1:
+            raise ValueError("sample_messages must be at least 1 (or None to disable)")
         if self.actual_faults is None:
             self.actual_faults = self.params.f
         if self.actual_faults >= self.params.n:
@@ -314,6 +323,11 @@ class ScenarioResult:
     #: Per-shard effective horizon (latest end time inside each shard), in
     #: shard order; ``None`` for unreplicated runs.
     shard_horizons: Optional[tuple] = None
+    #: Every K-th message's :class:`~repro.sim.recorder.MessageSample` when
+    #: the scenario set ``sample_messages=K`` (metrics level only); for a
+    #: replicated scenario, the concatenation over all replications in
+    #: replication order.  ``None`` when sampling was off.
+    message_samples: Optional[tuple] = None
 
     @property
     def params(self) -> SyncParams:
@@ -391,34 +405,52 @@ def _make_faulty_processes(scenario: Scenario, context: AdversaryContext, keysto
     raise ValueError(f"attack {attack!r} is not applicable to baseline algorithm {scenario.algorithm!r}")
 
 
-def _make_recorder(scenario: Scenario, trace_level: str, mergeable: bool = False) -> Optional[Recorder]:
+def _make_recorder(
+    scenario: Scenario,
+    trace_level: str,
+    mergeable: bool = False,
+    sample_messages: Optional[int] = None,
+) -> Optional[Recorder]:
     if trace_level not in TRACE_LEVELS:
         raise ValueError(f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}")
     if trace_level == "full":
         if mergeable:
             raise ValueError("mergeable summaries require trace_level='metrics'")
+        if sample_messages is not None:
+            raise ValueError("sample_messages requires trace_level='metrics' (full traces keep every message)")
         return None  # the engine's default FullTraceRecorder
     params = scenario.params
     return OnlineMetricsRecorder(
-        rate_low=params.min_rate, rate_high=params.max_rate, mergeable=mergeable
+        rate_low=params.min_rate,
+        rate_high=params.max_rate,
+        mergeable=mergeable,
+        sample_messages=sample_messages,
     )
 
 
-def build_cluster(scenario: Scenario, trace_level: str = "full", mergeable: bool = False) -> ClusterHandles:
+def build_cluster(
+    scenario: Scenario,
+    trace_level: str = "full",
+    mergeable: bool = False,
+    sample_messages: Optional[int] = None,
+) -> ClusterHandles:
     """Assemble a ready-to-run simulation for ``scenario``.
 
     ``trace_level`` selects the recorder the engine emits into: ``"full"``
     keeps the complete execution trace, ``"metrics"`` streams scalar metrics
     in O(n) memory (no history retained).  ``mergeable`` (metrics level only)
     makes the finalized summary carry the retained window samples the
-    shard-merge algebra folds over.
+    shard-merge algebra folds over.  ``sample_messages=K`` (metrics level
+    only) retains every K-th message's
+    :class:`~repro.sim.recorder.MessageSample` in the summary -- the
+    lightweight message-level provenance distributed runs ship home.
     """
     params = scenario.params
     sim = Simulation(
         tmin=params.tmin,
         tdel=params.tdel,
         seed=scenario.seed,
-        recorder=_make_recorder(scenario, trace_level, mergeable=mergeable),
+        recorder=_make_recorder(scenario, trace_level, mergeable=mergeable, sample_messages=sample_messages),
     )
 
     keystore: Optional[KeyStore] = None
@@ -587,6 +619,7 @@ def _measure_streamed(
         trace_level="metrics",
         effective_horizon=summary.end_time,
         stopped_early=stopped_early,
+        message_samples=summary.message_samples,
     )
 
 
@@ -616,7 +649,7 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
     stopped = True
     for index in replication_indices:
         rep = replicate(scenario, index)
-        handles = build_cluster(rep, trace_level="metrics", mergeable=True)
+        handles = build_cluster(rep, trace_level="metrics", mergeable=True, sample_messages=rep.sample_messages)
         sim = handles.sim
         summaries.append(
             sim.run_until_round(
@@ -702,7 +735,7 @@ def run_scenario(
         ]
         return measure_sharded(scenario, outcomes, check_guarantees)
 
-    handles = build_cluster(scenario, trace_level=trace_level)
+    handles = build_cluster(scenario, trace_level=trace_level, sample_messages=scenario.sample_messages)
     sim = handles.sim
     horizon = scenario.horizon()
     observed = sim.run_until_round(

@@ -15,8 +15,8 @@ def run_tables(exp_id):
     return tables
 
 
-def test_registry_covers_e1_to_e13():
-    assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+def test_registry_covers_e1_to_e14():
+    assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
     for experiment in EXPERIMENTS.values():
         assert experiment.claim
 

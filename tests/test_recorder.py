@@ -12,9 +12,11 @@ from repro.sim.network import FixedDelay
 from repro.sim.process import Process
 from repro.sim.recorder import (
     FullTraceRecorder,
+    MessageSample,
     OnlineMetricsRecorder,
     Recorder,
     RecorderError,
+    merge_summaries,
 )
 from repro.sim.trace import ResyncEvent
 from repro.workloads.scenarios import build_cluster
@@ -246,3 +248,118 @@ def test_message_digest_cache_distinguishes_equal_but_distinct_values():
 
     for message in ((1, 2), (1.0, 2), (True, 2), (0.0,), (-0.0,)):
         assert message_digest(message) == _compute_digest(message)
+
+
+# -- sampling message trace (sample_messages=K) ----------------------------------------
+
+
+def _metrics_summary(scenario, sample_messages=None):
+    handles = build_cluster(scenario, trace_level="metrics", sample_messages=sample_messages)
+    return handles.sim.run_until_round(scenario.rounds, t_max=scenario.horizon(), adaptive=True)
+
+
+def test_message_sampling_retains_every_kth_envelope():
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=4)
+    period = 10
+    summary = _metrics_summary(scenario, sample_messages=period)
+    assert summary.message_samples is not None
+    # Message i is retained iff i % K == 0: exactly ceil(total / K) samples.
+    expected = -(-summary.total_messages // period)
+    assert len(summary.message_samples) == expected
+    for sample in summary.message_samples:
+        assert isinstance(sample, MessageSample)
+        assert sample.deliver_time >= sample.send_time
+        assert sample.kind  # the payload class name, never the payload
+    ids = [sample.msg_id for sample in summary.message_samples]
+    assert ids == sorted(ids)  # send order
+
+
+def test_message_sampling_off_by_default_and_validated():
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=3)
+    assert _metrics_summary(scenario).message_samples is None
+    with pytest.raises(ValueError, match="sample_messages"):
+        OnlineMetricsRecorder(sample_messages=0)
+    with pytest.raises(ValueError, match="trace_level='metrics'"):
+        build_cluster(scenario, trace_level="full", sample_messages=4)
+
+
+def test_message_sampling_never_perturbs_metrics():
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=4)
+    plain = _metrics_summary(scenario)
+    sampled = _metrics_summary(scenario, sample_messages=3)
+    import dataclasses
+
+    assert dataclasses.replace(sampled, message_samples=None) == plain
+
+
+def test_message_samples_concatenate_under_merge():
+    base = benign_scenario(default_params(5, authenticated=True), "auth", rounds=3)
+    import dataclasses as dc
+
+    first = _metrics_summary(base, sample_messages=5)
+    second = _metrics_summary(dc.replace(base, seed=7, name=""), sample_messages=5)
+    merged = merge_summaries([first, second])
+    assert merged.message_samples == first.message_samples + second.message_samples
+    # A group without samples contributes nothing but does not erase the rest.
+    third = _metrics_summary(dc.replace(base, seed=9, name=""))
+    mixed = merge_summaries([first, third])
+    assert mixed.message_samples == first.message_samples
+    assert merge_summaries([third, _metrics_summary(dc.replace(base, seed=11, name=""))]).message_samples is None
+
+
+def test_message_sampling_memory_is_bounded_by_rate():
+    scenario = benign_scenario(default_params(5, authenticated=True), "auth", rounds=4)
+    handles = build_cluster(scenario, trace_level="metrics", sample_messages=1000000)
+    summary = handles.sim.run_until_round(scenario.rounds, t_max=scenario.horizon(), adaptive=True)
+    recorder = handles.sim.recorder
+    assert recorder.retained_message_samples() == 1  # just message 0
+    assert len(summary.message_samples) == 1
+
+
+def test_scenario_level_message_sampling_flows_into_result():
+    from repro.workloads.scenarios import run_scenario
+
+    import dataclasses as dc
+
+    base = benign_scenario(default_params(5, authenticated=True), "auth", rounds=3)
+    plain = run_scenario(base, trace_level="metrics")
+    assert plain.message_samples is None  # off by default
+
+    sampled_scenario = dc.replace(base, sample_messages=5, name="")
+    sampled = run_scenario(sampled_scenario, trace_level="metrics")
+    assert sampled.message_samples is not None
+    assert len(sampled.message_samples) == -(-sampled.total_messages // 5)
+    # Sampling never perturbs the measured values.
+    assert sampled.precision == plain.precision
+    assert sampled.total_messages == plain.total_messages
+
+    # Replicated + sharded: samples concatenate over all replications.
+    replicated = dc.replace(base, sample_messages=5, replications=3, shards=2, name="")
+    merged = run_scenario(replicated, trace_level="metrics")
+    per_rep = [
+        run_scenario(dc.replace(base, sample_messages=5, seed=base.seed + r, name=""), trace_level="metrics")
+        for r in range(3)
+    ]
+    expected = tuple(sample for result in per_rep for sample in result.message_samples)
+    assert merged.message_samples == expected
+
+    # Full traces keep every message; sampling there is a usage error.
+    with pytest.raises(ValueError, match="trace_level='metrics'"):
+        run_scenario(sampled_scenario, trace_level="full")
+
+
+def test_message_samples_round_trip_serialization():
+    import dataclasses as dc
+    import json
+
+    from repro.analysis.serialize import result_to_json
+    from repro.workloads.scenarios import run_scenario
+
+    scenario = dc.replace(
+        benign_scenario(default_params(5, authenticated=True), "auth", rounds=3), sample_messages=10, name=""
+    )
+    result = run_scenario(scenario, trace_level="metrics")
+    data = json.loads(result_to_json(result))
+    assert data["scenario"]["sample_messages"] == 10
+    assert len(data["message_samples"]) == len(result.message_samples)
+    assert data["message_samples"][0][1] == result.message_samples[0].sender

@@ -347,13 +347,13 @@ def test_persistent_pool_reused_across_sweeps():
     runner = SweepRunner(jobs=2)
     try:
         runner.run_sweep(small_grid()[:2])
-        pool = runner._pool
-        assert pool is not None
+        executor = runner._executor
+        assert executor is not None
         runner.run_sweep(small_grid()[2:])
-        assert runner._pool is pool  # same executor, no respawn
+        assert runner._executor is executor  # same backend, no respawn
     finally:
         runner.close()
-    assert runner._pool is None
+    assert runner._executor is None
 
 
 # -- cache schema v3: adaptive horizon -------------------------------------------------
