@@ -1,28 +1,34 @@
-"""Write BENCH_PR5.json: the tracked perf baseline of the execution stack.
+"""Write BENCH_PR6.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-4 script) times a fixed
+The canonical benchmark (successor of the PR-5 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
 plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
 the sharded backend), a backend-scaling grid (the same replicated cell on the
-``pool`` and ``subprocess`` executor backends at 1/2/4 workers) and every
-reproduction experiment end to end.  CI's perf-smoke job runs it with
-``--quick --gate`` and uploads the JSON as an artifact, so the bench
-trajectory is versioned alongside the code.
+``pool`` and ``subprocess`` executor backends at 1/2/4 workers), a kernel grid
+(the pure-Python event loop vs the batched NumPy vector kernel, single-run and
+lane-batched, at the two largest E9 cells) and every reproduction experiment
+end to end.  CI's perf-smoke job runs it with ``--quick --gate`` and uploads
+the JSON as an artifact, so the bench trajectory is versioned alongside the
+code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR5.json]
+    python scripts/bench.py [--quick] [--output BENCH_PR6.json]
                             [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
 measured runs), so they measure simulation + observation, not cache reads.
-Each grid cell reports the best of ``--repeats`` runs; the parity blocks
-assert the acceptance contracts -- adaptive metrics values (including the
-window-rate extremes) are float-for-float equal to the full-trace pipeline,
-sharded runs are float-for-float equal to the unsharded fold, and the
-subprocess wire backend is float-for-float equal to the pool backend (and to
-the serial path) at every worker count.
+The horizon/shard/executor grids pin ``kernel="event"`` so they keep
+measuring the event-loop paths they always measured; the kernel grid is
+where the engines race.  Each grid cell reports the best of ``--repeats``
+runs; the parity blocks assert the acceptance contracts -- adaptive metrics
+values (including the window-rate extremes) are float-for-float equal to the
+full-trace pipeline, sharded runs are float-for-float equal to the unsharded
+fold, the subprocess wire backend is float-for-float equal to the pool
+backend (and to the serial path) at every worker count, and the vector
+kernel is float-for-float equal to the event loop (gated unconditionally,
+with a speedup floor on multi-core runners).
 """
 
 from __future__ import annotations
@@ -57,6 +63,15 @@ GATE_TOLERANCE = 1.25
 #: CI runner noise; value parity is gated unconditionally.
 SHARD_SPEEDUP_TARGET = 1.5
 SHARD_GATE_MIN_CORES = 4
+
+#: The kernel contract: on the largest E9 cell the vector kernel must beat
+#: the event loop by this factor.  Value parity (vector == event,
+#: float-for-float, and the vector kernel actually serving the cell rather
+#: than falling back) is gated unconditionally; the speedup floor -- like the
+#: shard gate -- only applies on runners with :data:`KERNEL_GATE_MIN_CORES`
+#: cores and is softened by :data:`GATE_TOLERANCE` against CI noise.
+KERNEL_SPEEDUP_TARGET = 5.0
+KERNEL_GATE_MIN_CORES = 4
 
 
 def time_experiments(quick: bool) -> dict:
@@ -116,12 +131,15 @@ def time_horizon_grid(quick: bool, repeats: int) -> dict:
     sizes = [7, 28] if quick else [7, 14, 28, 42]
     grid = {}
     for n in sizes:
-        scenario = adversarial_scenario(
-            default_params(n, authenticated=True),
-            "auth",
-            attack="skew_max",
-            rounds=rounds,
-            seed=100 + n,
+        scenario = dataclasses.replace(
+            adversarial_scenario(
+                default_params(n, authenticated=True),
+                "auth",
+                attack="skew_max",
+                rounds=rounds,
+                seed=100 + n,
+            ),
+            kernel="event",  # this grid measures the event-loop paths
         )
         modes = {
             "full": lambda s=scenario: run_scenario(s, trace_level="full"),
@@ -186,12 +204,15 @@ def time_shard_grid(quick: bool, repeats: int) -> dict:
     n = 28 if quick else 42
     rounds = 5 if quick else 12
     replications = 8
-    base = adversarial_scenario(
-        default_params(n, authenticated=True),
-        "auth",
-        attack="skew_max",
-        rounds=rounds,
-        seed=100 + n,
+    base = dataclasses.replace(
+        adversarial_scenario(
+            default_params(n, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=100 + n,
+        ),
+        kernel="event",  # this grid measures event-loop shard scaling
     )
     grid = {}
     results = {}
@@ -272,12 +293,15 @@ def time_executor_grid(quick: bool, repeats: int) -> dict:
     n = 28 if quick else 42
     rounds = 5 if quick else 12
     replications = 8
-    base = adversarial_scenario(
-        default_params(n, authenticated=True),
-        "auth",
-        attack="skew_max",
-        rounds=rounds,
-        seed=100 + n,
+    base = dataclasses.replace(
+        adversarial_scenario(
+            default_params(n, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=100 + n,
+        ),
+        kernel="event",  # this grid measures event-loop backend scaling
     )
     serial = run_scenario(
         dataclasses.replace(base, replications=replications, shards=1, name=""), trace_level="metrics"
@@ -309,6 +333,94 @@ def time_executor_grid(quick: bool, repeats: int) -> dict:
         "cpu_count": os.cpu_count(),
         "grid": grid,
     }
+
+
+def time_kernel_grid(quick: bool, repeats: int) -> dict:
+    """Event loop vs vector kernel at the two largest E9 cells, parity gated.
+
+    Single-run rows race the engines head to head; the ``lanes`` rows run the
+    cell replicated 8 times -- the event loop serially, the vector kernel
+    lane-batched (all replications stepped in lockstep as array lanes inside
+    one shard).  ``vector_served`` asserts the vector rows were actually
+    evaluated by the vector kernel (no silent fallback): a fallback would
+    still be value-identical, which is exactly why it must be detected
+    explicitly rather than through the numbers.
+    """
+    from repro.sim.vectorized import run_lanes
+
+    rounds = 5 if quick else 12
+    sizes = [7, 28] if quick else [28, 42]
+    replications = 8
+    grid: dict = {}
+    for n in sizes:
+        base = adversarial_scenario(
+            default_params(n, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=100 + n,
+        )
+        single = {
+            "event": dataclasses.replace(base, kernel="event"),
+            "vector": dataclasses.replace(base, kernel="vector"),
+        }
+        entry: dict = {}
+        results: dict = {}
+        for mode, scenario in single.items():
+            wall, result = _best_of(repeats, lambda s=scenario: run_scenario(s, trace_level="metrics"))
+            results[mode] = result
+            entry[mode] = _result_cell(wall, result)
+        served = run_lanes([single["vector"]])[0].fallback is None
+        lanes = {
+            "event_lanes": dataclasses.replace(
+                base, kernel="event", replications=replications, shards=1, name=""
+            ),
+            "vector_lanes": dataclasses.replace(
+                base, kernel="vector", replications=replications, shards=1, name=""
+            ),
+        }
+        for mode, scenario in lanes.items():
+            wall, result = _best_of(repeats, lambda s=scenario: run_scenario(s, trace_level="metrics"))
+            results[mode] = result
+            entry[mode] = _result_cell(wall, result)
+        entry["parity"] = {
+            "vector_exact": results_exactly_equal(results["vector"], results["event"]),
+            "lanes_exact": results_exactly_equal(results["vector_lanes"], results["event_lanes"]),
+            "vector_served": served,
+        }
+        vector_wall = max(entry["vector"]["wall_time_s"], 1e-9)
+        lanes_wall = max(entry["vector_lanes"]["wall_time_s"], 1e-9)
+        entry["speedup_event_over_vector"] = round(entry["event"]["wall_time_s"] / vector_wall, 3)
+        entry["speedup_lanes"] = round(entry["event_lanes"]["wall_time_s"] / lanes_wall, 3)
+        grid[f"n={n}"] = entry
+    return {
+        "rounds": rounds,
+        "replications": replications,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+    }
+
+
+def check_kernel_gate(kernel_grid: dict) -> list[str]:
+    """Vector parity (and actually-served) unconditionally; speedup on big boxes."""
+    failures = []
+    for label, entry in kernel_grid["grid"].items():
+        for name, ok in entry["parity"].items():
+            if not ok:
+                failures.append(f"kernel {label}: parity check {name} failed")
+    cores = kernel_grid.get("cpu_count") or 1
+    if cores >= KERNEL_GATE_MIN_CORES:
+        labels = list(kernel_grid["grid"])
+        largest = max(labels, key=lambda label: int(label.split("=")[1]))
+        speedup = kernel_grid["grid"][largest]["speedup_event_over_vector"]
+        required = KERNEL_SPEEDUP_TARGET / GATE_TOLERANCE
+        if speedup < required:
+            failures.append(
+                f"kernel {largest}: speedup x{speedup} below x{required:.2f} "
+                f"(target x{KERNEL_SPEEDUP_TARGET}, tolerance x{GATE_TOLERANCE}, {cores} cores)"
+            )
+    return failures
 
 
 def check_executor_gate(executor_grid: dict) -> list[str]:
@@ -370,7 +482,7 @@ def check_shard_gate(shard_grid: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR5.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR6.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
         "--gate",
@@ -381,7 +493,9 @@ def main() -> int:
         "static-horizon runs, sharded runs are value-identical to the unsharded fold "
         "(and, on multi-core runners, at least 1.5x faster at 4 shards), the subprocess "
         "executor backend is value-identical to the pool backend and the serial path at "
-        "every worker count, and every value-parity check is float-exact",
+        "every worker count, the vector kernel is value-identical to the event loop and "
+        "actually serves the kernel grid (and, on multi-core runners, at least 5x faster "
+        "on the largest cell), and every value-parity check is float-exact",
     )
     args = parser.parse_args()
 
@@ -391,8 +505,9 @@ def main() -> int:
     horizon_grid = time_horizon_grid(args.quick, args.repeats)
     shard_grid = time_shard_grid(args.quick, args.repeats)
     executor_grid = time_executor_grid(args.quick, args.repeats)
+    kernel_grid = time_kernel_grid(args.quick, args.repeats)
     summary = {
-        "schema": "bench/5",
+        "schema": "bench/6",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -400,6 +515,7 @@ def main() -> int:
         "horizon_grid": horizon_grid,
         "shard_grid": shard_grid,
         "executor_grid": executor_grid,
+        "kernel_grid": kernel_grid,
     }
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -428,9 +544,22 @@ def main() -> int:
             + (f" (x{overhead} vs pool)" if overhead is not None else "")
             + f", parity {all(entry['parity'].values())}"
         )
+    for label, entry in kernel_grid["grid"].items():
+        print(
+            f"  kernel {label}: event {entry['event']['wall_time_s']}s, "
+            f"vector {entry['vector']['wall_time_s']}s "
+            f"(x{entry['speedup_event_over_vector']}), "
+            f"lanes x{entry['speedup_lanes']}, "
+            f"parity {all(entry['parity'].values())}"
+        )
 
     if args.gate:
-        failures = check_gate(horizon_grid) + check_shard_gate(shard_grid) + check_executor_gate(executor_grid)
+        failures = (
+            check_gate(horizon_grid)
+            + check_shard_gate(shard_grid)
+            + check_executor_gate(executor_grid)
+            + check_kernel_gate(kernel_grid)
+        )
         if failures:
             for failure in failures:
                 print(f"PERF GATE: {failure}", file=sys.stderr)
@@ -438,7 +567,8 @@ def main() -> int:
         print(
             "perf gate: adaptive >= static on the largest cell, sharded == unsharded "
             "float-exact, shard speedup within contract, subprocess == pool == serial "
-            "float-exact at every worker count"
+            "float-exact at every worker count, vector == event float-exact with the "
+            "kernel speedup within contract"
         )
     return 0
 

@@ -57,6 +57,7 @@ from .sim import (
     Trace,
     drifting_clock,
 )
+from .sim.kernel import KERNELS, resolve_kernel
 from .runner import (
     Executor,
     LocalPoolExecutor,
@@ -69,7 +70,7 @@ from .runner import (
 from .sim.recorder import OnlineMetricsSummary, merge_summaries
 from .workloads import Scenario, ScenarioResult, build_cluster, run_scenario
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -94,6 +95,8 @@ __all__ = [
     "FixedRateClock",
     "PiecewiseLinearClock",
     "drifting_clock",
+    "KERNELS",
+    "resolve_kernel",
     "KeyStore",
     "Signature",
     "sign",

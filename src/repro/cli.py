@@ -146,6 +146,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         replications=args.replications,
         shards=args.shards,
         sample_messages=args.sample_messages,
+        kernel=args.kernel,
         seed=args.seed,
     )
     if args.adaptive_horizon != "auto":
@@ -199,16 +200,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"  [{done}/{total}] {result.scenario.name}", file=sys.stderr)
 
         experiments_common.set_progress(report)
+    failed: list[str] = []
     try:
         for exp_id in ids:
             experiment = EXPERIMENTS[exp_id]
-            tables = experiment.run(quick=args.quick)
+            try:
+                tables = experiment.run(quick=args.quick)
+            except Exception as exc:
+                # Table generation failing must fail the invocation (it used
+                # to exit 0): report, keep going so an `all` run still shows
+                # which other experiments reproduce, and exit nonzero below.
+                print(f"[{exp_id}] FAILED: {exc!r}", file=sys.stderr)
+                failed.append(exp_id)
+                continue
+            if not tables:
+                print(f"[{exp_id}] FAILED: produced no tables", file=sys.stderr)
+                failed.append(exp_id)
+                continue
             print(f"[{exp_id}] {experiment.claim}")
             print(render_tables(tables))
             print()
     finally:
         if args.stream:
             experiments_common.set_progress(None)
+    if failed:
+        print(f"experiment(s) failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -301,6 +318,15 @@ def build_parser() -> argparse.ArgumentParser:
         dest="sample_messages",
         help="retain every K-th network message as a lightweight sample in the result "
         "(message-level provenance; forces --trace-level metrics)",
+    )
+    run.add_argument(
+        "--kernel",
+        choices=["auto", "event", "vector"],
+        default=None,
+        help="simulation kernel: 'event' (pure-Python event loop), 'vector' (batched NumPy "
+        "round evaluator; metrics-level runs only, falls back with a recorded note when "
+        "ineligible), 'auto' (vector exactly when eligible); default: REPRO_KERNEL or auto "
+        "-- measured values are float-identical across kernels",
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="emit the result as JSON")

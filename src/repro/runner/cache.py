@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..analysis.serialize import scenario_to_dict
+from ..sim.kernel import resolve_kernel
 from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, resolve_shards
 
 #: Bump when the on-disk entry format changes (pickled object layout, key schema).
@@ -47,7 +48,13 @@ from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, re
 #: results carry the retained ``message_samples``.  The executor backend is
 #: deliberately NOT part of the key: results are invariant to where they
 #: were computed, so a warm cache serves every backend.
-SCHEMA_VERSION = 5
+#: 6: scenarios carry the simulation kernel (``kernel``); keys carry the
+#: *resolved* selection (field -> ``REPRO_KERNEL`` env -> ``"auto"``).  The
+#: kernels are float-identical by contract, but that parity is enforced by
+#: tests and the bench gate, not assumed by the cache -- a result recorded
+#: under one engine is never served for a request pinning the other (and
+#: fallback notes in the summary depend on the selection).
+SCHEMA_VERSION = 6
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the
@@ -104,7 +111,12 @@ def cache_key(
     plan is likewise keyed *resolved* (``shards=None`` and an explicit equal
     count share one entry); it is part of the key because the stored result's
     provenance (``shard_count``, ``shard_horizons``) records it, even though
-    the measured values are shard-invariant by construction.
+    the measured values are shard-invariant by construction.  The simulation
+    kernel is keyed *resolved* too (``kernel=None`` and the matching
+    ``REPRO_KERNEL`` spelling share one entry), because the selection decides
+    which engine recorded the stored result and whether it carries fallback
+    notes -- parity between the engines is enforced elsewhere, not assumed
+    here.
     """
     description = scenario_to_dict(scenario)
     description.pop("name", None)
@@ -112,6 +124,7 @@ def cache_key(
     description["adaptive_horizon"] = adaptive
     description["grace"] = scenario.grace if adaptive else 0.0
     description["shards"] = resolve_shards(scenario)
+    description["kernel"] = resolve_kernel(scenario)
     payload = {
         "scenario": description,
         "check_guarantees": bool(check_guarantees),

@@ -58,6 +58,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from ..sim.kernel import resolve_kernel
 from ..workloads.scenarios import (
     ST_ALGORITHMS,
     TRACE_LEVELS,
@@ -363,6 +364,11 @@ class SweepRunner:
                 if primary != index:
                     duplicates.setdefault(primary, []).append(index)
                     continue
+            if scenario.kernel is None:
+                # Pin the resolved kernel before shipping: a worker with a
+                # different REPRO_KERNEL environment must not re-resolve the
+                # engine selection this process's cache entry was keyed on.
+                scenario = dataclasses.replace(scenario, kernel=resolve_kernel(scenario))
             plan = shard_plan_for(scenario, level)
             if plan is not None:
                 # Replicated scenario: split into shard tasks that share the

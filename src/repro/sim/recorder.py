@@ -189,12 +189,14 @@ class Recorder(ABC):
 
     @property
     def trace(self) -> Trace:
+        """The full execution trace (raises unless this recorder keeps one)."""
         raise RecorderError(
             f"{type(self).__name__} does not keep an execution trace; "
             "use trace_level='full' (FullTraceRecorder) for history-based analysis"
         )
 
     def process_trace(self, pid: int) -> ProcessTrace:
+        """Process ``pid``'s trace (raises unless this recorder keeps traces)."""
         raise RecorderError(
             f"{type(self).__name__} does not keep per-process traces; "
             "use trace_level='full' (FullTraceRecorder) for history-based analysis"
@@ -221,21 +223,26 @@ class FullTraceRecorder(Recorder):
 
     @property
     def trace(self) -> Trace:
+        """The :class:`Trace` being recorded (live; finalized by :meth:`finalize`)."""
         return self._trace
 
     def process_trace(self, pid: int) -> ProcessTrace:
+        """Process ``pid``'s piecewise-linear trace."""
         return self._trace.processes[pid]
 
     def register_process(self, pid: int, clock: "HardwareClock", faulty: bool = False) -> None:
+        """Open a per-process trace; honest processes join round tracking."""
         self._trace.add_process(pid, clock, faulty=faulty)
         if not faulty:
             self._round_floor[pid] = 0
             self._completed = 0
 
     def on_adjustment(self, pid: int, time: float, adjustment: float) -> None:
+        """Append the adjustment breakpoint to ``pid``'s trace."""
         self._trace.record_adjustment(pid, time, adjustment)
 
     def on_resync(self, event: ResyncEvent) -> None:
+        """Record the acceptance and advance the completed-round floor."""
         self._trace.record_resync(event)
         old = self._round_floor.get(event.pid)
         if old is not None and event.round > old:
@@ -245,6 +252,7 @@ class FullTraceRecorder(Recorder):
             self._check_round_target(event.time)
 
     def on_crash(self, pid: int, time: float) -> None:
+        """Record the halt and cap the completable-round ceiling."""
         self._trace.record_crash(pid, time)
         floor = self._round_floor.get(pid)
         if floor is not None and floor < self._crash_ceiling:
@@ -253,12 +261,15 @@ class FullTraceRecorder(Recorder):
             self._crash_ceiling = floor
 
     def on_note(self, text: str) -> None:
+        """Append the annotation to the trace."""
         self._trace.note(text)
 
     def min_completed_round(self) -> int:
+        """Largest round accepted by every honest process (0 if none)."""
         return self._completed if self._round_floor else 0
 
     def finalize(self, end_time: float, network_stats: "NetworkStats") -> Trace:
+        """Stamp the end time and message statistics; return the trace."""
         self._trace.end_time = end_time
         self._trace.total_messages = network_stats.total_messages
         self._trace.message_stats = dict(network_stats.messages_by_type)
@@ -655,6 +666,7 @@ class OnlineMetricsRecorder(Recorder):
     # -- registration --------------------------------------------------------
 
     def register_process(self, pid: int, clock: "HardwareClock", faulty: bool = False) -> None:
+        """Attach a process before the first event; honest ones join skew tracking."""
         if self._sealed:
             raise RecorderError("cannot register processes after the first recorded event")
         if pid in self._procs:
@@ -803,6 +815,7 @@ class OnlineMetricsRecorder(Recorder):
     # -- event intake ----------------------------------------------------------
 
     def on_adjustment(self, pid: int, time: float, adjustment: float) -> None:
+        """Fold the adjustment breakpoint into the streaming skew evaluation."""
         proc = self._procs[pid]
         if proc.faulty:
             return
@@ -820,6 +833,7 @@ class OnlineMetricsRecorder(Recorder):
         proc.adj = adjustment
 
     def on_resync(self, event: ResyncEvent) -> None:
+        """Stream the acceptance: rounds, periods, spreads, adjustment extremes."""
         proc = self._procs[event.pid]
         if proc.faulty:
             return
@@ -892,6 +906,7 @@ class OnlineMetricsRecorder(Recorder):
                 del self._round_times[stale]
 
     def on_crash(self, pid: int, time: float) -> None:
+        """Mark the halt; an honest crash caps the completable-round ceiling."""
         proc = self._procs[pid]
         proc.crashed = True
         if not proc.faulty:
@@ -904,6 +919,7 @@ class OnlineMetricsRecorder(Recorder):
                     del self._round_times[stale]
 
     def on_message(self, envelope: "Envelope") -> None:
+        """Retain every K-th envelope as a :class:`MessageSample` (if sampling)."""
         if self.sample_messages is None:
             return
         if self._messages_seen % self.sample_messages == 0:
@@ -919,15 +935,46 @@ class OnlineMetricsRecorder(Recorder):
             )
         self._messages_seen += 1
 
+    def ingest_message_samples(self, samples) -> None:
+        """Adopt pre-built :class:`MessageSample` rows (vector-kernel replay hook).
+
+        The vectorized kernel (:mod:`repro.sim.vectorized`) computes a run's
+        message timeline arithmetically instead of sending one envelope per
+        message, so it cannot feed :meth:`on_message` -- instead it selects
+        the exact rows the event loop's every-K-th sampling would have kept
+        and hands them over here, already ordered.  The rows are appended
+        verbatim (they must carry the event loop's ``msg_id`` numbering for
+        parity); requires ``sample_messages`` to be enabled and, like every
+        intake method, rejects events after :meth:`finalize`.
+        """
+        if self.sample_messages is None:
+            raise RecorderError(
+                "ingest_message_samples requires sample_messages to be enabled"
+            )
+        if self._finalized is not None:
+            raise RecorderError(
+                "OnlineMetricsRecorder cannot record past finalize(); "
+                "use trace_level='full' to resume runs"
+            )
+        self._message_samples.extend(samples)
+
     def on_note(self, text: str) -> None:
+        """Append the annotation; notes concatenate under the merge algebra."""
         self._notes.append(text)
 
     def min_completed_round(self) -> int:
+        """Largest round accepted by every honest process (0 if none)."""
         return self._min_completed
 
     # -- finalization -----------------------------------------------------------
 
     def finalize(self, end_time: float, network_stats: "NetworkStats") -> OnlineMetricsSummary:
+        """Close the streams at ``end_time`` and build the immutable summary.
+
+        Idempotent at the same end time; re-finalizing at a different one is
+        an error (streaming state cannot be rewound -- use a full trace for
+        resumable runs).
+        """
         if self._finalized is not None:
             finalized_at, summary = self._finalized
             if end_time == finalized_at:

@@ -1,0 +1,810 @@
+"""Batched (vectorized) evaluation of authenticated Srikanth-Toueg scenarios.
+
+This is the *mechanism* half of the simulation kernel split described in
+``docs/kernel.md``; the policy half (selection and static eligibility) is
+:mod:`repro.sim.kernel`.  Instead of dispatching one Python callback per
+event, :func:`run_lanes` evaluates a whole run round by round:
+
+1. **Phase 1 (arrays).**  Per round, every actor's timer instant, every
+   signature's arrival time and every acceptance instant are computed as
+   NumPy array operations, using exactly the float expressions the event
+   loop's objects evaluate (``FixedRateClock.read``/``invert``,
+   ``LogicalClock.set_to``, ``Network.send`` clamping), so results agree
+   bit for bit.  Announce decisions couple processes at shared instants;
+   they are resolved by a Kleene fixpoint whose convergence to the event
+   loop's unique execution is argued in ``docs/kernel.md``.  Executions
+   that leave the proven regime (out-of-order rounds, adversary sends
+   racing a timer's own arming instant, non-convergence) raise
+   :class:`LaneFallback` instead of guessing.
+2. **Phase 2 (timeline).**  Message *batches* (one per broadcast, not one
+   per message) are laid out in the event loop's exact global order; tied
+   instants that the array pass cannot order -- several acceptances at one
+   instant, and always the final instant, where the run is cut mid-instant
+   -- are resolved by a small exact *walk* that replays the event queue's
+   insertion-order tie-breaking for just that instant.
+3. **Replay.**  The per-acceptance adjustments are fed, in order, into a
+   real :class:`~repro.sim.recorder.OnlineMetricsRecorder` (the same class
+   the event loop uses), message statistics are computed arithmetically
+   from the batch layout, and sampled messages are selected by index and
+   handed over via
+   :meth:`~repro.sim.recorder.OnlineMetricsRecorder.ingest_message_samples`.
+   Everything downstream of the recorder seam is therefore shared code.
+
+Lanes: several single-replication scenarios that differ only in seed (the
+shape :func:`~repro.workloads.scenarios.replicate` produces) are evaluated
+in lockstep -- the static layout (roles, destination sets, delay matrix) is
+built once and phase 1's clock/arrival arrays carry a leading lane axis.
+A lane that falls back never touches a recorder, so the caller can re-run
+exactly the failed lanes on the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .clocks import FixedRateClock, spread_offsets
+from .kernel import numpy_or_none
+from .network import NetworkStats
+from .recorder import MessageSample, OnlineMetricsRecorder, OnlineMetricsSummary
+from .trace import ResyncEvent
+
+#: Mirrors of the deterministic adversary constants in
+#: :mod:`repro.faults.behaviors` / :mod:`repro.faults.strategies`.  The sim
+#: layer cannot import the faults layer (it sits above), so the values are
+#: duplicated here and pinned against the originals by a parity test.
+EAGER_FACTOR = 0.75
+EAGER_MAX_ROUND = 200
+CRASH_PERIODS = 2.5
+
+_SIG = "SignedRound"
+_BUNDLE = "SignatureBundle"
+
+
+class LaneFallback(Exception):
+    """One lane left the regime the vector derivation covers; use the event loop."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class LaneOutcome:
+    """Result of evaluating one lane (one single-replication scenario)."""
+
+    #: The finalized summary; ``None`` when the lane fell back.
+    summary: Optional[OnlineMetricsSummary] = None
+    #: Real time the run ended (the completing acceptance instant).
+    end_time: float = 0.0
+    #: Always ``True`` for a served lane (the round target completed).
+    stopped_early: bool = False
+    #: Why the lane must run on the event loop instead, or ``None``.
+    fallback: Optional[str] = None
+
+
+class _Batch:
+    """One multicast: a sender emitting one payload to an ordered dest list."""
+
+    __slots__ = ("time", "sender", "kind", "round", "dests", "delays", "seq")
+
+    def __init__(self, time, sender, kind, round_, dests, delays, seq):
+        self.time = float(time)
+        self.sender = sender
+        self.kind = kind
+        self.round = round_
+        self.dests = dests
+        self.delays = delays
+        self.seq = seq
+
+
+class _Round:
+    """Per-round phase-1 output for one lane."""
+
+    __slots__ = (
+        "k", "tgt", "T", "ann", "timer_ok", "Acc", "valid", "arr",
+        "active", "before", "adj_after",
+    )
+
+
+def _faulty_roles(attack: Optional[str], faulty_pids: list) -> dict:
+    if attack in (None, "silent"):
+        return {pid: "silent" for pid in faulty_pids}
+    if attack in ("crash", "eager", "two_faced", "laggard"):
+        return {pid: attack for pid in faulty_pids}
+    if attack == "skew_max":
+        return {
+            pid: ("eager" if index % 2 == 0 else "two_faced")
+            for index, pid in enumerate(faulty_pids)
+        }
+    raise LaneFallback(f"attack {attack!r} has no vectorized role assignment")
+
+
+class _Layout:
+    """Seed-independent structure shared by every lane of a scenario family."""
+
+    def __init__(self, scenario, np):
+        self.np = np
+        params = scenario.params
+        self.params = params
+        self.n = params.n
+        self.f = params.f
+        self.P = float(params.period)
+        self.alpha = params.alpha_value
+        self.tmin = float(params.tmin)
+        self.tdel = float(params.tdel)
+        self.delay_mode = scenario.delay_mode
+        self.clock_mode = scenario.clock_mode
+        self.h = params.n - scenario.actual_faults
+        self.honest_pids = list(range(self.h))
+        faulty_pids = list(range(self.h, self.n))
+        self.roles = _faulty_roles(scenario.attack, faulty_pids)
+        # AdversaryContext.build: fast group = first half of the honest ids.
+        half = max(1, len(self.honest_pids) // 2)
+        self.fast_group = self.honest_pids[:half]
+        self.fast_set = frozenset(self.fast_group)
+        # Actors drive timers/acceptances: honest plus protocol-following
+        # faulty roles.  Eager signers only inject signatures; silent ones
+        # only occupy network slots.
+        self.actor_pids = list(self.honest_pids) + [
+            pid for pid in faulty_pids
+            if self.roles[pid] in ("crash", "two_faced", "laggard")
+        ]
+        self.A = len(self.actor_pids)
+        self.actor_col = {pid: i for i, pid in enumerate(self.actor_pids)}
+        self.eager_pids = [pid for pid in faulty_pids if self.roles[pid] == "eager"]
+        self.E = len(self.eager_pids)
+        self.S = self.A + self.E
+        self.crash_time = (
+            CRASH_PERIODS * params.period
+            if any(self.roles[pid] == "crash" for pid in faulty_pids)
+            else None
+        )
+        self.is_crash = np.array(
+            [self.roles.get(pid) == "crash" for pid in self.actor_pids], dtype=bool
+        )
+        # Honest clock rates follow _honest_clock's index-parity assignment.
+        rates = []
+        for i, pid in enumerate(self.actor_pids):
+            if pid < self.h:
+                if self.clock_mode == "nominal":
+                    rates.append(1.0)
+                else:
+                    rates.append(params.max_rate if i % 2 == 0 else params.min_rate)
+            else:
+                rates.append(1.0)  # faulty clocks: FixedRateClock(1.0, 0.0)
+        self.rates = np.array(rates, dtype=float)
+        # Destination lists and per-destination clamped delays, in the event
+        # loop's send order (broadcast: ascending pids minus self; two-faced:
+        # the fast group; laggard: ascending pids minus self at tdel).
+        all_pids = list(range(self.n))
+        self.dests = {}
+        self.delays = {}
+        for pid in self.actor_pids + self.eager_pids:
+            role = self.roles.get(pid, "honest")
+            if role == "two_faced":
+                dest_list = list(self.fast_group)
+            else:
+                dest_list = [d for d in all_pids if d != pid]
+            self.dests[pid] = tuple(dest_list)
+            self.delays[pid] = tuple(
+                self._pair_delay(role, d) for d in dest_list
+            )
+        # Arrival structure over (sender row, actor column).
+        D = np.full((self.S, self.A), np.inf)
+        M = np.zeros((self.S, self.A), dtype=bool)
+        sender_order = self.actor_pids + self.eager_pids
+        for s, pid in enumerate(sender_order):
+            for p, d in enumerate(self.dests[pid]):
+                col = self.actor_col.get(d)
+                if col is not None:
+                    D[s, col] = self.delays[pid][p]
+                    M[s, col] = True
+        self.D = D
+        self.M = M
+
+    def _pair_delay(self, role: str, dest: int) -> float:
+        # Exactly Network.send's clamp min(tdel, max(tmin, raw)) for each
+        # deterministic policy (and the laggard's explicit delay=tdel).
+        if role == "laggard":
+            return min(self.tdel, max(self.tmin, self.tdel))
+        if self.delay_mode == "max":
+            return min(self.tdel, max(self.tmin, float("inf")))
+        if self.delay_mode == "midpoint":
+            return min(self.tdel, max(self.tmin, 0.5 * (self.tmin + self.tdel)))
+        if self.delay_mode == "targeted":
+            raw = 0.0 if dest in self.fast_set else float("inf")
+            return min(self.tdel, max(self.tmin, raw))
+        raise LaneFallback(f"delay_mode {self.delay_mode!r} is not deterministic")
+
+
+def _phase1(layout: _Layout, scenarios: list) -> list:
+    """Lockstep round evaluation for all lanes; returns per-lane round lists.
+
+    Entries are either ``list[_Round]`` or a :class:`LaneFallback` instance
+    recording why that lane left the proven regime.
+    """
+    np = layout.np
+    A, S, E = layout.A, layout.S, layout.E
+    f = layout.f
+    L = len(scenarios)
+    R = scenarios[0].rounds
+    tdel = layout.tdel
+    crash_time = layout.crash_time
+    is_crash = layout.is_crash
+
+    offs = np.zeros((L, A))
+    for l, sc in enumerate(scenarios):
+        lane_offsets = spread_offsets(
+            layout.h, sc.params.initial_offset_spread, seed=sc.seed + 13
+        )
+        offs[l, : layout.h] = lane_offsets
+    rates = layout.rates
+
+    adj = np.zeros((L, A))
+    arm = np.zeros((L, A))
+    active = np.ones((L, A), dtype=bool)
+    max_prev_acc = np.zeros(L)
+
+    results: list = [[] for _ in range(L)]
+    failed: dict = {}
+
+    def fail(l, reason):
+        if l not in failed:
+            failed[l] = LaneFallback(reason)
+
+    for k in range(1, R + 1):
+        kP = k * layout.P
+        tgt = kP + layout.alpha
+        hw = kP - adj
+        inv = np.where(hw <= offs, 0.0, (hw - offs) / rates[None, :])
+        T = np.maximum(inv, arm)
+        has_eager = E > 0 and k <= EAGER_MAX_ROUND
+        te = max(0.0, EAGER_FACTOR * k * layout.P) if has_eager else None
+        # Candidate arrival matrix: sender row s announced at its own instant
+        # delivers to actor column d at send + clamped delay (inf if s never
+        # reaches d).  Actor rows are masked by the announce fixpoint below.
+        cand = np.full((L, S, A), np.inf)
+        actor_block = T[:, :, None] + layout.D[None, :A, :]
+        cand[:, :A, :] = np.where(layout.M[None, :A, :], actor_block, np.inf)
+        if has_eager:
+            eager_block = te + layout.D[None, A:, :]
+            cand[:, A:, :] = np.where(layout.M[None, A:, :], eager_block, np.inf)
+
+        for l in range(L):
+            if l in failed:
+                continue
+            try:
+                rd = _solve_round(
+                    layout, np, k, tgt, T[l], cand[l], active[l], arm[l],
+                    adj[l], offs[l], max_prev_acc[l], has_eager, te,
+                )
+            except LaneFallback as fb:
+                fail(l, fb.reason)
+                continue
+            results[l].append(rd)
+            # Advance lane state with the same float expressions set_to uses.
+            reading = offs[l] + rates * rd.Acc
+            rd.before = reading + adj[l]
+            rd.adj_after = np.where(rd.valid, tgt - reading, adj[l])
+            adj[l] = rd.adj_after
+            arm[l] = np.where(rd.valid, rd.Acc, arm[l])
+            if k < R:
+                missed = active[l] & ~rd.valid & ~is_crash
+                if missed.any():
+                    fail(l, f"a faulty participant missed round {k}")
+                    continue
+            active[l] = rd.valid
+            honest_acc = rd.Acc[: layout.h]
+            max_prev_acc[l] = float(np.max(np.where(rd.valid, rd.Acc, -np.inf)))
+        if len(failed) == L:
+            break
+
+    out = []
+    for l in range(L):
+        out.append(failed.get(l, results[l]))
+    return out
+
+
+def _solve_round(layout, np, k, tgt, T, cand, active, arm, adj, offs,
+                 max_prev_acc, has_eager, te):
+    """Fixpoint + guards for one lane's round ``k``; returns a `_Round`."""
+    A, S, f = layout.A, layout.S, layout.f
+    h = layout.h
+    tdel = layout.tdel
+    crash_time = layout.crash_time
+    is_crash = layout.is_crash
+
+    timer_ok = active.copy()
+    if crash_time is not None:
+        crash_live = is_crash & active
+        if k == 1 and bool((crash_live & (T == crash_time)).any()):
+            # Boot-order corner: the round-1 timer (intra 0) fires before the
+            # halt (intra 1), so an announce -- and possibly an acceptance --
+            # happens *at* the crash instant.  Measure it on the event loop.
+            raise LaneFallback("crash instant coincides with a round-1 timer")
+        timer_ok = np.where(crash_live, timer_ok & (T < crash_time), timer_ok)
+
+    # Strong round separation: every round-k event (timers, announce and
+    # bundle deliveries) must lie strictly after every round-(k-1)
+    # acceptance, which is what makes (a) timers precede same-instant
+    # deliveries (non-eager sends happen after every timer was armed) and
+    # (b) rounds pairwise instant-disjoint.  Eager signatures may legally
+    # arrive early; the one ordering they could corrupt is checked below.
+    if k >= 2:
+        armed_T = T[active]
+        if armed_T.size == 0:
+            raise LaneFallback(f"no participant armed round {k}")
+        if not float(np.min(armed_T)) > max_prev_acc:
+            raise LaneFallback(f"rounds {k - 1} and {k} share an instant")
+    if has_eager and k >= 2:
+        eager_hit = ((cand[A:, :] == T[None, :]) & layout.M[A:, :]).any(axis=0)
+        corner = timer_ok & eager_hit & (te <= arm)
+        if bool(corner.any()):
+            raise LaneFallback(
+                f"an eager signature races a round-{k} timer's arming instant"
+            )
+
+    rows_fixed = np.ones(S - A, dtype=bool)
+    idx = np.arange(A)
+    ann = timer_ok.copy()
+    via = np.full(A, np.inf)
+    X_wo = np.full(A, np.inf)
+    for _ in range(A + 4):
+        rows_on = np.concatenate([ann, rows_fixed])
+        arr = np.where(rows_on[:, None], cand, np.inf)
+        X_wo = np.sort(arr, axis=0)[f]
+        arr_own = arr.copy()
+        arr_own[idx, idx] = np.where(ann, T, np.inf)
+        X_with = np.sort(arr_own, axis=0)[f]
+        X = np.where(ann, X_with, X_wo)
+        # Bundle relaxation: an acceptance anywhere relays a proof that
+        # accepts any pending receiver on arrival (min-plus fixpoint).
+        Acc = np.where(active, X, np.inf)
+        converged = False
+        for _ in range(A + 2):
+            send_ok = active & np.isfinite(Acc)
+            if crash_time is not None:
+                send_ok &= ~is_crash | (Acc < crash_time)
+            via_mat = np.where(
+                layout.M[:A] & send_ok[:, None], Acc[:, None] + layout.D[:A], np.inf
+            )
+            via = via_mat.min(axis=0)
+            new_acc = np.where(active, np.minimum(X, via), np.inf)
+            if np.array_equal(new_acc, Acc):
+                converged = True
+                break
+            Acc = new_acc
+        if not converged:
+            raise LaneFallback(f"bundle relaxation did not converge in round {k}")
+        # A timer announces iff nothing else accepted its owner strictly
+        # before the timer fired; at the shared instant the timer wins
+        # (timers precede same-instant deliveries under the guards above).
+        others = np.minimum(X_wo, via)
+        new_ann = timer_ok & (others >= T)
+        if np.array_equal(new_ann, ann):
+            break
+        ann = new_ann
+    else:
+        raise LaneFallback(f"announce fixpoint did not converge in round {k}")
+
+    valid = active & np.isfinite(Acc)
+    if crash_time is not None:
+        valid &= ~is_crash | (Acc < crash_time)
+    if not bool(valid[:h].all()):
+        raise LaneFallback(f"an honest process missed round {k}")
+
+    rd = _Round()
+    rd.k = k
+    rd.tgt = tgt
+    rd.T = T.copy()
+    rd.ann = ann
+    rd.timer_ok = timer_ok
+    rd.Acc = np.where(valid, Acc, np.inf)
+    rd.valid = valid
+    rd.arr = np.where(np.concatenate([ann, rows_fixed])[:, None], cand, np.inf)
+    rd.active = active.copy()
+    return rd
+
+
+class _LaneAssembly:
+    """Phase 2 + replay for one lane: exact timeline, stats, recorder feed."""
+
+    def __init__(self, layout: _Layout, scenario, rounds: list, mergeable, sample_messages):
+        self.layout = layout
+        self.scenario = scenario
+        self.rounds = rounds
+        self.mergeable = mergeable
+        self.sample_messages = sample_messages
+        self.np = layout.np
+        self.batches: list = []
+        self.eager_batches: list = []
+        self.emissions: list = []
+        self.seq = 0
+        self.rank = [pid - layout.n for pid in layout.actor_pids]
+        self.next_rank = 0
+
+    # -- batch creation -------------------------------------------------------
+
+    def _add_batch(self, time, sender, kind, round_):
+        batch = _Batch(
+            time, sender, kind, round_,
+            self.layout.dests[sender], self.layout.delays[sender], self.seq,
+        )
+        self.seq += 1
+        self.batches.append(batch)
+        return batch
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self) -> LaneOutcome:
+        layout = self.layout
+        np = self.np
+        final = self.rounds[-1]
+        t_star = float(np.max(final.Acc[: layout.h]))
+        if not t_star <= self.scenario.horizon():
+            raise LaneFallback("run exceeds the static horizon")
+        self._check_round_after(final, t_star)
+        self._create_eager_batches(t_star)
+        for rd in self.rounds:
+            self._process_round(rd, t_star)
+        return self._replay(t_star)
+
+    def _check_round_after(self, final, t_star):
+        """No round-(R+1) timer may fire at or before the cut instant."""
+        layout = self.layout
+        np = self.np
+        k1 = final.k + 1
+        kP = k1 * layout.P
+        adj = final.adj_after
+        hw = kP - adj
+        offs = self._offs
+        inv = np.where(hw <= offs, 0.0, (hw - offs) / layout.rates)
+        T_next = np.maximum(inv, final.Acc)
+        armed = final.valid
+        if bool((armed & (T_next <= t_star)).any()):
+            raise LaneFallback("a next-round timer lands on the final instant")
+
+    def _create_eager_batches(self, t_star):
+        layout = self.layout
+        for pid in layout.eager_pids:
+            for k in range(1, EAGER_MAX_ROUND + 1):
+                te = max(0.0, EAGER_FACTOR * k * layout.P)
+                if te > t_star:
+                    break
+                batch = self._add_batch(te, pid, _SIG, k)
+                self.eager_batches.append(batch)
+
+    def _process_round(self, rd, t_star):
+        layout = self.layout
+        np = self.np
+        is_last = rd is self.rounds[-1]
+        times = set(float(t) for t in rd.T[rd.ann])
+        times.update(float(t) for t in rd.Acc[rd.valid])
+        for tau in sorted(times):
+            if is_last and tau > t_star:
+                continue
+            accs = [
+                j for j in range(layout.A)
+                if rd.valid[j] and rd.Acc[j] == tau
+            ]
+            anns = [
+                j for j in range(layout.A)
+                if rd.ann[j] and rd.T[j] == tau
+            ]
+            final_here = is_last and tau == t_star
+            if final_here or len(accs) >= 2:
+                self._walk(tau, rd, final_here)
+            else:
+                self._direct(tau, rd, anns, accs)
+
+    # -- uncontended instants -------------------------------------------------
+
+    def _direct(self, tau, rd, anns, accs):
+        layout = self.layout
+        acc = accs[0] if accs else None
+        timer_trig = acc is not None and bool(rd.ann[acc]) and rd.T[acc] == tau
+        bundled = False
+        for j in sorted(anns, key=lambda j: self.rank[j]):
+            self._add_batch(tau, layout.actor_pids[j], _SIG, rd.k)
+            if timer_trig and j == acc:
+                self._accept(j, tau, rd)
+                bundled = True
+        if acc is not None and not bundled:
+            self._accept(acc, tau, rd)
+
+    def _accept(self, j, tau, rd):
+        layout = self.layout
+        pid = layout.actor_pids[j]
+        if pid < layout.h:
+            self.emissions.append((
+                float(tau), pid, rd.k,
+                float(rd.before[j]), float(rd.adj_after[j]), float(rd.tgt),
+            ))
+        batch = self._add_batch(tau, pid, _BUNDLE, rd.k)
+        self.rank[j] = self.next_rank
+        self.next_rank += 1
+        return batch
+
+    # -- contended instants: exact insertion-order walk -----------------------
+
+    def _walk(self, tau, rd, is_final):
+        layout = self.layout
+        np = self.np
+        k = rd.k
+        f1 = layout.f + 1
+        crash_time = layout.crash_time
+        pending = set()
+        for j in range(layout.A):
+            if not rd.active[j]:
+                continue
+            if rd.valid[j] and rd.Acc[j] < tau:
+                continue
+            if crash_time is not None and layout.is_crash[j] and crash_time <= tau:
+                continue
+            pending.add(j)
+        counts = {j: int((rd.arr[:, j] < tau).sum()) for j in pending}
+        for j in pending:
+            if rd.ann[j] and rd.T[j] < tau:
+                counts[j] += 1
+        honest_left = 0
+        if is_final:
+            for j in pending:
+                if layout.actor_pids[j] < layout.h:
+                    if not (rd.valid[j] and rd.Acc[j] == tau):
+                        raise LaneFallback("final instant misses an honest acceptance")
+                    honest_left += 1
+            if honest_left == 0:
+                raise LaneFallback("final instant has no honest acceptance")
+        accepted: set = set()
+        state = {"cut": False}
+
+        # Deliveries scheduled before this instant, in insertion (= creation)
+        # order; batches created during the instant append their zero-delay
+        # arrivals at the tail, which is exactly where their event-queue
+        # sequence numbers put them.
+        deliveries = []
+        for b in sorted(self.batches, key=lambda b: (b.time, b.seq)):
+            if not b.time < tau:
+                continue
+            for p, d in enumerate(b.dests):
+                if b.time + b.delays[p] == tau and d in layout.actor_col:
+                    deliveries.append((b, d))
+
+        def spawn(batch):
+            for p, d in enumerate(batch.dests):
+                if batch.delays[p] == 0.0 and d in layout.actor_col:
+                    deliveries.append((batch, d))
+
+        def accept_in_walk(j):
+            if not (rd.valid[j] and rd.Acc[j] == tau):
+                raise LaneFallback(
+                    f"walk and relaxation disagree on an acceptance in round {k}"
+                )
+            accepted.add(j)
+            spawn(self._accept(j, tau, rd))
+            if is_final and layout.actor_pids[j] < layout.h:
+                nonlocal_honest[0] -= 1
+                if nonlocal_honest[0] == 0:
+                    state["cut"] = True
+
+        nonlocal_honest = [honest_left]
+
+        def fire_announce(j):
+            if j not in pending or j in accepted:
+                raise LaneFallback(f"round-{k} timer fired for a settled process")
+            spawn(self._add_batch(tau, layout.actor_pids[j], _SIG, k))
+            counts[j] += 1
+            if counts[j] >= f1:
+                accept_in_walk(j)
+
+        # Class 0: boot-scheduled events (eager send slots; round-1 timers),
+        # ordered by (pid, boot-intra): the timer is each pid's first boot
+        # action, the k-th eager send its k-th.
+        boots = []
+        for b in self.eager_batches:
+            if b.time == tau:
+                boots.append(((b.sender, b.round), "eager", b))
+        if k == 1:
+            for j in range(layout.A):
+                if rd.ann[j] and rd.T[j] == tau:
+                    boots.append(((layout.actor_pids[j], 0), "timer", j))
+        for _, kind, payload in sorted(boots, key=lambda item: item[0]):
+            if state["cut"]:
+                break
+            if kind == "eager":
+                spawn(payload)
+            else:
+                fire_announce(payload)
+        # Class 1: round>=2 timers in arming order (the rank each owner's
+        # previous acceptance got).
+        if k >= 2 and not state["cut"]:
+            timers = [
+                (self.rank[j], j) for j in range(layout.A)
+                if rd.ann[j] and rd.T[j] == tau
+            ]
+            for _, j in sorted(timers):
+                if state["cut"]:
+                    break
+                fire_announce(j)
+        # Class 2: deliveries, in insertion order, growing at the tail.
+        i = 0
+        while i < len(deliveries) and not state["cut"]:
+            b, d = deliveries[i]
+            i += 1
+            j = layout.actor_col[d]
+            if j not in pending or j in accepted:
+                continue
+            if b.kind == _BUNDLE:
+                if b.round == k:
+                    accept_in_walk(j)
+                elif b.round > k:
+                    raise LaneFallback("a bundle for a future round arrived early")
+            else:
+                if b.round != k:
+                    continue
+                counts[j] += 1
+                if counts[j] >= f1:
+                    accept_in_walk(j)
+
+        if state["cut"]:
+            return
+        expected = {j for j in pending if rd.valid[j] and rd.Acc[j] == tau}
+        if accepted != expected:
+            raise LaneFallback(
+                f"walk and relaxation disagree on round {k}'s acceptance set"
+            )
+        if is_final:
+            raise LaneFallback("final instant did not complete the round")
+
+    # -- replay ---------------------------------------------------------------
+
+    def _replay(self, t_star) -> LaneOutcome:
+        layout = self.layout
+        params = layout.params
+        ordered = sorted(self.batches, key=lambda b: (b.time, b.seq))
+        total = 0
+        by_sender: dict = {}
+        by_type: dict = {}
+        for b in ordered:
+            count = len(b.dests)
+            total += count
+            by_sender[b.sender] = by_sender.get(b.sender, 0) + count
+            by_type[b.kind] = by_type.get(b.kind, 0) + count
+        stats = NetworkStats(
+            total_messages=total,
+            messages_by_sender=by_sender,
+            messages_by_type=by_type,
+        )
+
+        samples = None
+        if self.sample_messages is not None:
+            samples = []
+            step = self.sample_messages
+            base = 0
+            index = 0  # next sampled msg_id
+            for b in ordered:
+                count = len(b.dests)
+                while index < base + count:
+                    p = index - base
+                    samples.append(MessageSample(
+                        msg_id=index,
+                        sender=b.sender,
+                        dest=b.dests[p],
+                        kind=b.kind,
+                        send_time=b.time,
+                        deliver_time=b.time + b.delays[p],
+                    ))
+                    index += step
+                base += count
+
+        recorder = OnlineMetricsRecorder(
+            rate_low=params.min_rate,
+            rate_high=params.max_rate,
+            mergeable=self.mergeable,
+            sample_messages=self.sample_messages,
+        )
+        offsets = self._lane_offsets
+        for i, pid in enumerate(layout.honest_pids):
+            if layout.clock_mode == "nominal":
+                clock = FixedRateClock(rate=1.0, offset=offsets[i])
+            else:
+                rate = params.max_rate if i % 2 == 0 else params.min_rate
+                clock = FixedRateClock(rate=rate, offset=offsets[i])
+            recorder.register_process(pid, clock, faulty=False)
+        for pid in range(layout.h, layout.n):
+            recorder.register_process(
+                pid, FixedRateClock(rate=1.0, offset=0.0), faulty=True
+            )
+        for time, pid, round_, before, adj_after, tgt in self.emissions:
+            recorder.on_adjustment(pid, time, adj_after)
+            recorder.on_resync(ResyncEvent(
+                pid=pid, round=round_, time=time,
+                logical_before=before, logical_after=tgt,
+            ))
+        if samples is not None:
+            recorder.ingest_message_samples(samples)
+        summary = recorder.finalize(t_star, stats)
+        return LaneOutcome(
+            summary=summary, end_time=t_star, stopped_early=True, fallback=None
+        )
+
+
+def _layout_key(scenario):
+    p = scenario.params
+    return (
+        p.n, p.f, p.rho, p.period, p.tmin, p.tdel, p.alpha_value,
+        scenario.attack, scenario.clock_mode, scenario.delay_mode,
+        scenario.actual_faults, scenario.rounds,
+    )
+
+
+def run_lanes(scenarios, *, mergeable: bool = False,
+              sample_messages: Optional[int] = None) -> list:
+    """Evaluate single-replication scenarios on the vector kernel, as lanes.
+
+    Every scenario must already have passed
+    :func:`repro.sim.kernel.kernel_ineligibility` (metrics level); lanes
+    sharing a family (same params/attack/modes/rounds, different seeds) run
+    in lockstep off one static layout.  Returns one :class:`LaneOutcome`
+    per scenario, in order: either a finalized
+    :class:`~repro.sim.recorder.OnlineMetricsSummary` float-identical to
+    the event loop's, or a ``fallback`` reason for the caller to re-run
+    that lane on the event loop (a falling-back lane never touches a
+    recorder, so no partial observation leaks).
+    """
+    scenarios = list(scenarios)
+    np = numpy_or_none()
+    if np is None:
+        return [
+            LaneOutcome(fallback="numpy is not installed") for _ in scenarios
+        ]
+    outcomes: list = [None] * len(scenarios)
+    groups: dict = {}
+    for i, sc in enumerate(scenarios):
+        groups.setdefault(_layout_key(sc), []).append(i)
+    for indices in groups.values():
+        group = [scenarios[i] for i in indices]
+        try:
+            layout = _Layout(group[0], np)
+            lane_rounds = _phase1(layout, group)
+        except LaneFallback as fb:
+            for i in indices:
+                outcomes[i] = LaneOutcome(fallback=fb.reason)
+            continue
+        except Exception as exc:  # pragma: no cover - defensive fallback
+            for i in indices:
+                outcomes[i] = LaneOutcome(fallback=f"vector evaluation error: {exc!r}")
+            continue
+        for pos, i in enumerate(indices):
+            rounds = lane_rounds[pos]
+            if isinstance(rounds, LaneFallback):
+                outcomes[i] = LaneOutcome(fallback=rounds.reason)
+                continue
+            try:
+                assembly = _LaneAssembly(
+                    layout, group[pos], rounds, mergeable, sample_messages
+                )
+                assembly._offs = _lane_offs(layout, group[pos])
+                assembly._lane_offsets = _lane_offsets_list(layout, group[pos])
+                outcomes[i] = assembly.run()
+            except LaneFallback as fb:
+                outcomes[i] = LaneOutcome(fallback=fb.reason)
+            except Exception as exc:  # pragma: no cover - defensive fallback
+                outcomes[i] = LaneOutcome(
+                    fallback=f"vector evaluation error: {exc!r}"
+                )
+    return outcomes
+
+
+def _lane_offsets_list(layout: _Layout, scenario) -> list:
+    return spread_offsets(
+        layout.h, scenario.params.initial_offset_spread, seed=scenario.seed + 13
+    )
+
+
+def _lane_offs(layout: _Layout, scenario):
+    np = layout.np
+    offs = np.zeros(layout.A)
+    offs[: layout.h] = _lane_offsets_list(layout, scenario)
+    return offs

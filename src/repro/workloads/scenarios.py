@@ -42,6 +42,13 @@ from ..faults.behaviors import AdversaryContext, SilentFaulty
 from ..faults.strategies import make_faulty_processes
 from ..sim.clocks import FixedRateClock, HardwareClock, drifting_clock, spread_offsets
 from ..sim.engine import Simulation
+from ..sim.kernel import (
+    KERNELS,
+    fallback_note,
+    kernel_ineligibility,
+    resolve_kernel,
+)
+from ..sim.vectorized import run_lanes
 from ..sim.recorder import (
     OnlineMetricsRecorder,
     OnlineMetricsSummary,
@@ -137,6 +144,15 @@ class Scenario:
     #: distributed runs ship bounded message-level provenance home.  ``None``
     #: (the default) retains nothing and costs nothing.
     sample_messages: Optional[int] = None
+    #: Simulation kernel: ``"event"`` (the pure-Python event loop),
+    #: ``"vector"`` (the batched NumPy round evaluator,
+    #: :mod:`repro.sim.vectorized`) or ``"auto"`` (vector exactly when the
+    #: scenario family is in its proven float-parity regime).  ``None``
+    #: defers to the ``REPRO_KERNEL`` environment variable, then ``"auto"``.
+    #: A requested-but-ineligible vector run falls back to the event loop
+    #: and records the reason via ``on_note``; measured values are
+    #: float-identical either way (see ``docs/kernel.md``).
+    kernel: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -156,6 +172,8 @@ class Scenario:
             raise ValueError("shards must be at least 1 (or None for auto)")
         if self.sample_messages is not None and self.sample_messages < 1:
             raise ValueError("sample_messages must be at least 1 (or None to disable)")
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; expected one of {KERNELS} (or None)")
         if self.actual_faults is None:
             self.actual_faults = self.params.f
         if self.actual_faults >= self.params.n:
@@ -331,10 +349,12 @@ class ScenarioResult:
 
     @property
     def params(self) -> SyncParams:
+        """The scenario's model parameters (shorthand for ``scenario.params``)."""
         return self.scenario.params
 
     @property
     def guarantees_hold(self) -> bool:
+        """Whether every checked guarantee held (True when checking was off)."""
         return self.guarantees.all_hold if self.guarantees is not None else True
 
 
@@ -644,13 +664,38 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
     block of the serial reference path): each replication runs at metrics
     level under a mergeable recorder, and the block folds through
     :func:`~repro.sim.recorder.merge_summaries` in replication order.
+
+    When the resolved kernel allows it, the whole block is evaluated
+    *lane-batched* on the vector kernel first -- all replications stepped in
+    lockstep as array lanes (:func:`repro.sim.vectorized.run_lanes`) -- and
+    only lanes that individually fell back re-run on the event loop, with
+    the reason annotated.  The fold order is replication order either way,
+    so lane batching never changes the merged summary.
     """
+    reps = [replicate(scenario, index) for index in replication_indices]
+    resolved = resolve_kernel(scenario)
+    static_reason: Optional[str] = None
+    outcomes: list = [None] * len(reps)
+    if reps and resolved != "event":
+        static_reason = kernel_ineligibility(reps[0], "metrics")
+        if static_reason is None:
+            outcomes = run_lanes(
+                reps, mergeable=True, sample_messages=scenario.sample_messages
+            )
+
     summaries: list[OnlineMetricsSummary] = []
     stopped = True
-    for index in replication_indices:
-        rep = replicate(scenario, index)
+    for rep, outcome in zip(reps, outcomes):
+        if outcome is not None and outcome.fallback is None:
+            summaries.append(outcome.summary)
+            stopped = stopped and outcome.stopped_early
+            continue
         handles = build_cluster(rep, trace_level="metrics", mergeable=True, sample_messages=rep.sample_messages)
         sim = handles.sim
+        if outcome is not None:
+            sim.recorder.on_note(fallback_note(outcome.fallback))
+        elif resolved == "vector" and static_reason is not None:
+            sim.recorder.on_note(fallback_note(static_reason))
         summaries.append(
             sim.run_until_round(
                 rep.rounds,
@@ -722,6 +767,13 @@ def run_scenario(
     algebra along the resolved shard plan -- the serial reference the
     parallel sharded backend (:mod:`repro.runner.sharded`) is
     float-for-float identical to.
+
+    The resolved kernel (:func:`repro.sim.kernel.resolve_kernel`) decides
+    which engine steps each run: eligible metrics-level runs under
+    ``"auto"``/``"vector"`` are evaluated by the batched NumPy kernel
+    (float-identical by contract), everything else -- and every run the
+    vector evaluator refuses -- by the event loop, with the fallback reason
+    recorded via ``on_note`` when the vector kernel was in play.
     """
     if scenario.replications > 1:
         if trace_level != "metrics":
@@ -735,8 +787,27 @@ def run_scenario(
         ]
         return measure_sharded(scenario, outcomes, check_guarantees)
 
+    check = _resolve_check(scenario, check_guarantees)
+    resolved = resolve_kernel(scenario)
+    fallback_reason: Optional[str] = None
+    if resolved != "event":
+        reason = kernel_ineligibility(scenario, trace_level)
+        if reason is None:
+            outcome = run_lanes([scenario], sample_messages=scenario.sample_messages)[0]
+            if outcome.fallback is None:
+                return _measure_streamed(
+                    scenario, outcome.summary, check, stopped_early=outcome.stopped_early
+                )
+            fallback_reason = outcome.fallback
+        elif resolved == "vector":
+            # An explicit vector request never errors: run on the event loop
+            # (float-identical by contract) and annotate why.
+            fallback_reason = reason
+
     handles = build_cluster(scenario, trace_level=trace_level, sample_messages=scenario.sample_messages)
     sim = handles.sim
+    if fallback_reason is not None:
+        sim.recorder.on_note(fallback_note(fallback_reason))
     horizon = scenario.horizon()
     observed = sim.run_until_round(
         scenario.rounds,
@@ -746,7 +817,6 @@ def run_scenario(
         abort_unreachable=scenario.abort_unreachable,
     )
 
-    check = _resolve_check(scenario, check_guarantees)
     if trace_level == "metrics":
         return _measure_streamed(scenario, observed, check, stopped_early=sim.stopped_early)
     return _measure_full(scenario, observed, check, stopped_early=sim.stopped_early)

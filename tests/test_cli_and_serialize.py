@@ -141,3 +141,38 @@ def test_cli_list_experiments(capsys):
 def test_cli_requires_a_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_experiment_failure_exits_nonzero(capsys, monkeypatch):
+    """Table-generation failure must propagate a nonzero exit (PR-5 review bug)."""
+    import repro.cli as cli
+
+    class BoomExperiment:
+        claim = "always fails"
+
+        def run(self, quick=False):
+            raise RuntimeError("table generation exploded")
+
+    class EmptyExperiment:
+        claim = "produces nothing"
+
+        def run(self, quick=False):
+            return []
+
+    monkeypatch.setattr(cli, "EXPERIMENTS", {"E1": BoomExperiment(), "E2": EmptyExperiment()})
+    assert main(["experiment", "E1", "--quick"]) == 1
+    assert "FAILED" in capsys.readouterr().err
+    assert main(["experiment", "E2", "--quick"]) == 1
+    # An `all` run keeps going past the failure but still exits nonzero.
+    assert main(["experiment", "all", "--quick"]) == 1
+    err = capsys.readouterr().err
+    assert "E1" in err and "E2" in err
+
+
+def test_cli_run_kernel_flag(capsys):
+    code = main([
+        "run", "--n", "5", "--rounds", "3", "--seed", "2",
+        "--attack", "skew_max", "--kernel", "vector", "--trace-level", "metrics",
+    ])
+    assert code == 0
+    assert "Scenario" in capsys.readouterr().out

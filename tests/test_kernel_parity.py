@@ -1,0 +1,260 @@
+"""Float-for-float parity between the event loop and the vector kernel.
+
+The vector kernel (``repro.sim.vectorized``) is only allowed to replace the
+event loop for scenario families it matches float-for-float -- these tests
+pin that contract across the eligible attacks, delay/clock modes, tie-heavy
+degenerate grids and message sampling, assert the lane-batched replication
+path equals the serial fold, and check that every ineligible scenario falls
+back to the event loop with a recorded note instead of erroring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.common import MEASURED_RESULT_FIELDS
+from repro.sim.kernel import (
+    FALLBACK_NOTE_PREFIX,
+    kernel_ineligibility,
+    numpy_or_none,
+    resolve_kernel,
+)
+from repro.sim.vectorized import (
+    CRASH_PERIODS,
+    EAGER_FACTOR,
+    EAGER_MAX_ROUND,
+    run_lanes,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    build_cluster,
+    run_scenario,
+    run_shard,
+)
+from repro.core.params import SyncParams
+
+pytestmark = pytest.mark.skipif(numpy_or_none() is None, reason="numpy not installed")
+
+
+def cell(
+    n,
+    attack="skew_max",
+    clock="extreme",
+    delay="targeted",
+    rounds=8,
+    spread=0.01,
+    seed=None,
+    sample=None,
+    **kwargs,
+):
+    params = SyncParams(
+        n=n,
+        f=(n - 1) // 2,
+        rho=1e-4,
+        tdel=0.01,
+        tmin=0.0,
+        period=1.0,
+        initial_offset_spread=spread,
+    )
+    return Scenario(
+        params=params,
+        algorithm="auth",
+        rounds=rounds,
+        attack=attack,
+        clock_mode=clock,
+        delay_mode=delay,
+        seed=100 + n if seed is None else seed,
+        sample_messages=sample,
+        **kwargs,
+    )
+
+
+def assert_results_identical(event_result, vector_result, label=""):
+    for field in MEASURED_RESULT_FIELDS:
+        assert getattr(event_result, field) == getattr(vector_result, field), (
+            f"{label}: {field} differs"
+        )
+    assert event_result.accuracy == vector_result.accuracy, f"{label}: accuracy differs"
+    assert event_result.guarantees == vector_result.guarantees, f"{label}: guarantees differ"
+    assert event_result.message_samples == vector_result.message_samples, (
+        f"{label}: message samples differ"
+    )
+
+
+def run_both(scenario):
+    """The scenario on both kernels; asserts the vector kernel actually served."""
+    event = run_scenario(
+        dataclasses.replace(scenario, kernel="event"), trace_level="metrics"
+    )
+    vector_scenario = dataclasses.replace(scenario, kernel="vector")
+    outcome = run_lanes([vector_scenario], sample_messages=scenario.sample_messages)[0]
+    assert outcome.fallback is None, f"unexpected fallback: {outcome.fallback}"
+    vector = run_scenario(vector_scenario, trace_level="metrics")
+    return event, vector
+
+
+# -- single-run parity across the eligible families -------------------------------------
+
+
+@pytest.mark.parametrize("n", [5, 7, 14])
+def test_parity_skew_max_targeted(n):
+    event, vector = run_both(cell(n))
+    assert_results_identical(event, vector, f"skew_max n={n}")
+
+
+@pytest.mark.parametrize("attack", [None, "silent", "crash", "eager", "two_faced", "laggard"])
+def test_parity_per_attack(attack):
+    event, vector = run_both(cell(7, attack=attack))
+    assert_results_identical(event, vector, f"attack={attack}")
+
+
+@pytest.mark.parametrize("delay", ["max", "midpoint", "targeted"])
+def test_parity_per_delay_mode(delay):
+    event, vector = run_both(cell(9, attack="eager", delay=delay))
+    assert_results_identical(event, vector, f"delay={delay}")
+
+
+def test_parity_nominal_clocks():
+    event, vector = run_both(cell(7, clock="nominal"))
+    assert_results_identical(event, vector, "nominal clocks")
+
+
+def test_parity_tie_heavy():
+    """Zero spread + nominal clocks + uniform max delay: every instant shared.
+
+    Every round-k timer fires at exactly ``k*P`` and every acceptance lands at
+    exactly ``k*P + tdel``, so the whole run resolves through the kernel's
+    exact tie-resolution walk -- the hardest ordering regime it supports.
+    """
+    for attack in (None, "crash", "skew_max"):
+        delay = "targeted" if attack == "skew_max" else "max"
+        event, vector = run_both(
+            cell(7, attack=attack, clock="nominal", delay=delay, spread=0.0)
+        )
+        assert_results_identical(event, vector, f"tie-heavy attack={attack}")
+
+
+@pytest.mark.parametrize("sample", [1, 3])
+def test_parity_message_sampling(sample):
+    event, vector = run_both(cell(7, sample=sample))
+    assert event.message_samples is not None
+    assert_results_identical(event, vector, f"sampling K={sample}")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 17, 202])
+def test_parity_seed_sweep(seed):
+    event, vector = run_both(cell(7, seed=seed, rounds=6))
+    assert_results_identical(event, vector, f"seed={seed}")
+
+
+# -- lane batching -----------------------------------------------------------------------
+
+
+def test_lane_batched_equals_serial_replications():
+    base = cell(7, rounds=6)
+    event = run_scenario(
+        dataclasses.replace(base, kernel="event", replications=5, shards=1, name=""),
+        trace_level="metrics",
+    )
+    vector = run_scenario(
+        dataclasses.replace(base, kernel="vector", replications=5, shards=1, name=""),
+        trace_level="metrics",
+    )
+    assert_results_identical(event, vector, "lane batching")
+    assert event.shard_horizons == vector.shard_horizons
+
+
+def test_run_shard_lane_fold_order():
+    base = cell(7, rounds=6, kernel="vector")
+    lane = run_shard(dataclasses.replace(base, replications=4), 0, (0, 1, 2, 3))
+    serial = run_shard(
+        dataclasses.replace(base, replications=4, kernel="event"), 0, (0, 1, 2, 3)
+    )
+    assert lane.summary == serial.summary
+
+
+# -- selection, fallback and eligibility -------------------------------------------------
+
+
+def test_ineligible_scenario_falls_back_with_note():
+    scenario = cell(7, kernel="vector", clock="random")  # drifting clocks
+    reason = kernel_ineligibility(scenario, "metrics")
+    assert reason is not None
+    handles = build_cluster(scenario, trace_level="metrics")
+    del handles
+    result = run_scenario(scenario, trace_level="metrics")
+    event = run_scenario(
+        dataclasses.replace(scenario, kernel="event"), trace_level="metrics"
+    )
+    assert_results_identical(event, result, "ineligible fallback")
+
+
+def test_fallback_note_recorded_in_summary():
+    scenario = cell(7, kernel="vector", clock="random", replications=2, shards=1)
+    outcome = run_shard(scenario, 0, (0, 1))
+    notes = [note for note in outcome.summary.notes if note.startswith(FALLBACK_NOTE_PREFIX)]
+    assert len(notes) == 2  # one per replication that fell back
+
+
+def test_auto_ineligible_records_no_note():
+    scenario = cell(7, kernel="auto", clock="random", replications=2, shards=1)
+    outcome = run_shard(scenario, 0, (0, 1))
+    assert not any(note.startswith(FALLBACK_NOTE_PREFIX) for note in outcome.summary.notes)
+
+
+def test_eligibility_reasons():
+    assert kernel_ineligibility(cell(7), "metrics") is None
+    assert "full" in kernel_ineligibility(cell(7), "full")
+    assert "delay_mode" in kernel_ineligibility(cell(7, delay="uniform"), "metrics")
+    assert "not vectorized" in kernel_ineligibility(
+        cell(7, attack=None, use_startup=True), "metrics"
+    )
+    assert "joiner" in kernel_ineligibility(
+        cell(7, joiner_count=1, join_time=2.0), "metrics"
+    )
+    echo = dataclasses.replace(cell(7, attack=None), algorithm="echo", name="")
+    assert "algorithm" in kernel_ineligibility(echo, "metrics")
+
+
+def test_resolve_kernel_env_and_field(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert resolve_kernel(cell(5)) == "auto"
+    monkeypatch.setenv("REPRO_KERNEL", "event")
+    assert resolve_kernel(cell(5)) == "event"
+    assert resolve_kernel(cell(5, kernel="vector")) == "vector"
+    monkeypatch.setenv("REPRO_KERNEL", "bogus")
+    with pytest.raises(ValueError):
+        resolve_kernel(cell(5))
+
+
+def test_scenario_rejects_unknown_kernel():
+    with pytest.raises(ValueError):
+        cell(5, kernel="numpy")
+
+
+def test_run_lanes_reports_fallback_without_recording():
+    # An out-of-regime lane (drifting clocks never reach run_lanes through
+    # run_scenario, but calling directly must refuse, not guess).
+    scenario = cell(7, delay="max", attack="crash", spread=0.0, clock="nominal")
+    outcomes = run_lanes([scenario, dataclasses.replace(scenario, seed=9)])
+    for outcome in outcomes:
+        assert (outcome.summary is None) == (outcome.fallback is not None)
+
+
+# -- mirrored adversary constants --------------------------------------------------------
+
+
+def test_mirrored_constants_match_fault_layer():
+    """The kernel mirrors the faults-layer constants; they must never drift."""
+    crash = cell(6, attack="crash")
+    handles = build_cluster(crash, trace_level="metrics")
+    for proc in handles.faulty:
+        assert proc.crash_time == CRASH_PERIODS * crash.params.period
+
+    eager = cell(6, attack="eager")
+    handles = build_cluster(eager, trace_level="metrics")
+    for proc in handles.faulty:
+        assert proc.rounds == EAGER_MAX_ROUND
+        assert proc.early_factor == EAGER_FACTOR

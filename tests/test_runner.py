@@ -455,3 +455,53 @@ def test_sharded_sweep_parallel_identical_to_serial():
     with SweepRunner(jobs=2) as runner:
         parallel = runner.run_sweep(scenarios, trace_level="metrics")
     assert results_fingerprint(serial) == results_fingerprint(parallel)
+
+
+# -- schema v6: the simulation kernel ----------------------------------------------------
+
+
+def test_cache_key_resolves_kernel(monkeypatch):
+    scenario = small_grid()[0]
+    # The None default resolves through REPRO_KERNEL and shares the entry
+    # with its explicit spelling; the other engine gets its own entry.
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert cache_key(scenario, True, trace_level="metrics") == cache_key(
+        replace(scenario, kernel="auto"), True, trace_level="metrics"
+    )
+    assert cache_key(scenario, True, trace_level="metrics") != cache_key(
+        replace(scenario, kernel="event"), True, trace_level="metrics"
+    )
+    monkeypatch.setenv("REPRO_KERNEL", "event")
+    assert cache_key(scenario, True, trace_level="metrics") == cache_key(
+        replace(scenario, kernel="event"), True, trace_level="metrics"
+    )
+    assert cache_key(replace(scenario, kernel="vector"), True, trace_level="metrics") != cache_key(
+        replace(scenario, kernel="event"), True, trace_level="metrics"
+    )
+
+
+def test_kernel_result_round_trips_through_cache(tmp_path):
+    scenario = replace(small_grid()[0], kernel="vector")
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    cold = runner.run(scenario, trace_level="metrics")
+    warm = runner.run(scenario, trace_level="metrics")
+    assert cache.stats.stores == 1 and cache.stats.hits == 1
+    assert result_to_json(warm) == result_to_json(cold)
+    # Pinning the other engine is a different entry, but the same floats.
+    other = runner.run(replace(scenario, kernel="event"), trace_level="metrics")
+    assert cache.stats.stores == 2
+    assert other.precision == cold.precision
+    assert other.total_messages == cold.total_messages
+
+
+def test_parallel_sweep_pins_resolved_kernel():
+    # A worker with a different REPRO_KERNEL must not re-resolve the engine:
+    # parallel results equal serial ones even with kernel=None defaults.
+    scenarios = [replace(scenario, name="") for scenario in small_grid()]
+    serial = SweepRunner(jobs=1).run_sweep(scenarios, trace_level="metrics")
+    with SweepRunner(jobs=2) as runner:
+        parallel = runner.run_sweep(scenarios, trace_level="metrics")
+    assert results_fingerprint(serial) == results_fingerprint(parallel)
+    for result, scenario in zip(parallel, scenarios):
+        assert result.scenario == scenario  # caller's (unpinned) copy handed back
