@@ -1,20 +1,24 @@
-"""Write BENCH_PR6.json: the tracked perf baseline of the execution stack.
+"""Write BENCH_PR7.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-5 script) times a fixed
+The canonical benchmark (successor of the PR-6 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
 plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
 the sharded backend), a backend-scaling grid (the same replicated cell on the
 ``pool`` and ``subprocess`` executor backends at 1/2/4 workers), a kernel grid
 (the pure-Python event loop vs the batched NumPy vector kernel, single-run and
-lane-batched, at the two largest E9 cells) and every reproduction experiment
-end to end.  CI's perf-smoke job runs it with ``--quick --gate`` and uploads
-the JSON as an artifact, so the bench trajectory is versioned alongside the
-code.
+lane-batched, at the two largest E9 cells), a kernel *family* grid (the
+families the PR-7 whitelist widening admitted: the echo algorithm, uniform
+delays and the randomized forge_flood attack, event loop vs the exact-replay
+engine) and every reproduction experiment end to end -- recording, via the
+experiments' result observer, which fraction of the E1-E14 scenario cells is
+statically vector-eligible under the current whitelist vs the PR-6 one.
+CI's perf-smoke job runs it with ``--quick --gate`` and uploads the JSON as
+an artifact, so the bench trajectory is versioned alongside the code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR6.json]
+    python scripts/bench.py [--quick] [--output BENCH_PR7.json]
                             [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
@@ -43,9 +47,15 @@ import time
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS
-from repro.experiments.common import adversarial_scenario, default_params, results_exactly_equal
+from repro.experiments.common import (
+    adversarial_scenario,
+    default_params,
+    results_exactly_equal,
+    set_observer,
+)
 from repro.runner.config import configure as configure_runner
 from repro.runner.core import SweepRunner
+from repro.sim.kernel import kernel_ineligibility
 from repro.workloads.scenarios import _measure_streamed, _resolve_check, build_cluster, run_scenario
 
 #: Adaptive-vs-baseline tolerance for the CI gate.  The adaptive and static
@@ -74,16 +84,62 @@ KERNEL_SPEEDUP_TARGET = 5.0
 KERNEL_GATE_MIN_CORES = 4
 
 
-def time_experiments(quick: bool) -> dict:
+def _pr6_statically_eligible(scenario, trace_level: str) -> bool:
+    """Whether the PR-6 whitelist (pre-widening) admitted this scenario.
+
+    PR 7 widened exactly three axes -- algorithm (``echo``), delay mode
+    (``uniform``) and attack (``forge_flood``) -- so the old whitelist is the
+    current one minus those admissions.
+    """
+    if kernel_ineligibility(scenario, trace_level) is not None:
+        return False
+    return (
+        scenario.algorithm == "auth"
+        and scenario.delay_mode != "uniform"
+        and scenario.attack != "forge_flood"
+    )
+
+
+def time_experiments(quick: bool) -> tuple[dict, dict]:
+    """Time every experiment and record the E-grid vector-eligibility coverage.
+
+    The passive result observer sees every scenario an experiment evaluates;
+    each is classified against the current static whitelist and the PR-6 one,
+    so the summary carries a coverage stat the gate can hold strictly above
+    the pre-widening baseline.
+    """
     timings = {}
-    for exp_id, experiment in EXPERIMENTS.items():
-        start = time.perf_counter()
-        experiment.run(quick=quick)
-        timings[exp_id] = {
-            "claim": experiment.claim,
-            "wall_time_s": round(time.perf_counter() - start, 4),
-        }
-    return timings
+    observed: list = []
+
+    def observe(result) -> None:
+        observed.append((result.scenario, getattr(result, "trace_level", "full")))
+
+    set_observer(observe)
+    try:
+        for exp_id, experiment in EXPERIMENTS.items():
+            start = time.perf_counter()
+            experiment.run(quick=quick)
+            timings[exp_id] = {
+                "claim": experiment.claim,
+                "wall_time_s": round(time.perf_counter() - start, 4),
+            }
+    finally:
+        set_observer(None)
+    eligible = sum(
+        1 for scenario, level in observed if kernel_ineligibility(scenario, level) is None
+    )
+    pr6_eligible = sum(
+        1 for scenario, level in observed if _pr6_statically_eligible(scenario, level)
+    )
+    total = len(observed)
+    coverage = {
+        "total_cells": total,
+        "eligible_cells": eligible,
+        "pr6_eligible_cells": pr6_eligible,
+        "coverage": round(eligible / total, 4) if total else 0.0,
+        "pr6_coverage": round(pr6_eligible / total, 4) if total else 0.0,
+    }
+    return timings, coverage
 
 
 def _best_of(repeats: int, fn):
@@ -402,6 +458,101 @@ def time_kernel_grid(quick: bool, repeats: int) -> dict:
     }
 
 
+#: The families the PR-7 widening admitted, each raced event vs vector:
+#: label -> (algorithm, attack, delay_mode).
+KERNEL_FAMILY_CELLS = {
+    "echo": ("echo", "skew_max", "targeted"),
+    "uniform": ("auth", "skew_max", "uniform"),
+    "forge_flood": ("auth", "forge_flood", "targeted"),
+    "echo-uniform-flood": ("echo", "forge_flood", "uniform"),
+}
+
+
+def time_kernel_family_grid(quick: bool, repeats: int) -> dict:
+    """Event loop vs the exact-replay engine on the PR-7 widened families.
+
+    One cell per newly eligible family (echo broadcast, uniform delays, the
+    randomized forge_flood attack, and all three combined) at two system
+    sizes.  ``vector_served`` reads the result's kernel provenance, so a
+    silent fallback -- value-identical by design -- still fails the gate.
+    Parity is gated unconditionally; the x5 speedup floor applies to each
+    family's largest cell on multi-core runners.
+    """
+    rounds = 5 if quick else 10
+    sizes = [10, 16] if quick else [16, 28]
+    grid: dict = {}
+    for label, (algorithm, attack, delay_mode) in KERNEL_FAMILY_CELLS.items():
+        for n in sizes:
+            base = dataclasses.replace(
+                adversarial_scenario(
+                    default_params(n, authenticated=(algorithm == "auth")),
+                    algorithm,
+                    attack=attack,
+                    rounds=rounds,
+                    seed=100 + n,
+                ),
+                delay_mode=delay_mode,
+            )
+            entry: dict = {}
+            results: dict = {}
+            for mode in ("event", "vector"):
+                scenario = dataclasses.replace(base, kernel=mode)
+                wall, result = _best_of(
+                    repeats, lambda s=scenario: run_scenario(s, trace_level="metrics")
+                )
+                results[mode] = result
+                entry[mode] = _result_cell(wall, result)
+            provenance = results["vector"].kernel_provenance
+            entry["parity"] = {
+                "vector_exact": results_exactly_equal(results["vector"], results["event"]),
+                "vector_served": provenance is not None and provenance.vector_lanes == 1,
+            }
+            vector_wall = max(entry["vector"]["wall_time_s"], 1e-9)
+            entry["speedup_event_over_vector"] = round(
+                entry["event"]["wall_time_s"] / vector_wall, 3
+            )
+            grid[f"{label}/n={n}"] = entry
+    return {
+        "rounds": rounds,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+    }
+
+
+def check_kernel_family_gate(family_grid: dict) -> list[str]:
+    """Parity and actually-served on every family cell; x5 on the largest."""
+    failures = []
+    for label, entry in family_grid["grid"].items():
+        for name, ok in entry["parity"].items():
+            if not ok:
+                failures.append(f"kernel family {label}: parity check {name} failed")
+    cores = family_grid.get("cpu_count") or 1
+    if cores >= KERNEL_GATE_MIN_CORES:
+        required = KERNEL_SPEEDUP_TARGET / GATE_TOLERANCE
+        for family in KERNEL_FAMILY_CELLS:
+            labels = [label for label in family_grid["grid"] if label.startswith(f"{family}/")]
+            largest = max(labels, key=lambda label: int(label.split("=")[1]))
+            speedup = family_grid["grid"][largest]["speedup_event_over_vector"]
+            if speedup < required:
+                failures.append(
+                    f"kernel family {largest}: speedup x{speedup} below x{required:.2f} "
+                    f"(target x{KERNEL_SPEEDUP_TARGET}, tolerance x{GATE_TOLERANCE}, {cores} cores)"
+                )
+    return failures
+
+
+def check_coverage_gate(coverage: dict) -> list[str]:
+    """The widened whitelist must cover strictly more E-grid cells than PR 6."""
+    if coverage["eligible_cells"] <= coverage["pr6_eligible_cells"]:
+        return [
+            f"kernel coverage: {coverage['eligible_cells']}/{coverage['total_cells']} "
+            f"eligible cells is not strictly above the PR-6 whitelist's "
+            f"{coverage['pr6_eligible_cells']}"
+        ]
+    return []
+
+
 def check_kernel_gate(kernel_grid: dict) -> list[str]:
     """Vector parity (and actually-served) unconditionally; speedup on big boxes."""
     failures = []
@@ -482,7 +633,7 @@ def check_shard_gate(shard_grid: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR6.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR7.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
         "--gate",
@@ -494,8 +645,10 @@ def main() -> int:
         "(and, on multi-core runners, at least 1.5x faster at 4 shards), the subprocess "
         "executor backend is value-identical to the pool backend and the serial path at "
         "every worker count, the vector kernel is value-identical to the event loop and "
-        "actually serves the kernel grid (and, on multi-core runners, at least 5x faster "
-        "on the largest cell), and every value-parity check is float-exact",
+        "actually serves the kernel grid and the widened family grid (and, on multi-core "
+        "runners, at least 5x faster on the largest cells), the E-grid vector-eligibility "
+        "coverage is strictly above the PR-6 whitelist's, and every value-parity check is "
+        "float-exact",
     )
     args = parser.parse_args()
 
@@ -506,16 +659,20 @@ def main() -> int:
     shard_grid = time_shard_grid(args.quick, args.repeats)
     executor_grid = time_executor_grid(args.quick, args.repeats)
     kernel_grid = time_kernel_grid(args.quick, args.repeats)
+    kernel_family_grid = time_kernel_family_grid(args.quick, args.repeats)
+    experiments, kernel_coverage = time_experiments(args.quick)
     summary = {
-        "schema": "bench/6",
+        "schema": "bench/7",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "experiments": time_experiments(args.quick),
+        "experiments": experiments,
+        "kernel_coverage": kernel_coverage,
         "horizon_grid": horizon_grid,
         "shard_grid": shard_grid,
         "executor_grid": executor_grid,
         "kernel_grid": kernel_grid,
+        "kernel_family_grid": kernel_family_grid,
     }
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -552,6 +709,18 @@ def main() -> int:
             f"lanes x{entry['speedup_lanes']}, "
             f"parity {all(entry['parity'].values())}"
         )
+    for label, entry in kernel_family_grid["grid"].items():
+        print(
+            f"  kernel family {label}: event {entry['event']['wall_time_s']}s, "
+            f"vector {entry['vector']['wall_time_s']}s "
+            f"(x{entry['speedup_event_over_vector']}), "
+            f"parity {all(entry['parity'].values())}"
+        )
+    print(
+        f"  kernel coverage: {kernel_coverage['eligible_cells']}/"
+        f"{kernel_coverage['total_cells']} E-grid cells vector-eligible "
+        f"(PR-6 whitelist: {kernel_coverage['pr6_eligible_cells']})"
+    )
 
     if args.gate:
         failures = (
@@ -559,6 +728,8 @@ def main() -> int:
             + check_shard_gate(shard_grid)
             + check_executor_gate(executor_grid)
             + check_kernel_gate(kernel_grid)
+            + check_kernel_family_gate(kernel_family_grid)
+            + check_coverage_gate(kernel_coverage)
         )
         if failures:
             for failure in failures:
@@ -568,7 +739,8 @@ def main() -> int:
             "perf gate: adaptive >= static on the largest cell, sharded == unsharded "
             "float-exact, shard speedup within contract, subprocess == pool == serial "
             "float-exact at every worker count, vector == event float-exact with the "
-            "kernel speedup within contract"
+            "kernel speedup within contract on both grids, and E-grid eligibility "
+            "coverage strictly above the PR-6 whitelist"
         )
     return 0
 

@@ -113,6 +113,11 @@ def result_to_dict(result, include_trace: bool = False) -> dict[str, Any]:
             if getattr(result, "message_samples", None) is not None
             else None
         ),
+        "kernel_provenance": (
+            dataclasses.asdict(result.kernel_provenance)
+            if getattr(result, "kernel_provenance", None) is not None
+            else None
+        ),
         "precision": result.precision,
         "precision_overall": result.precision_overall,
         "acceptance_spread": result.acceptance_spread,

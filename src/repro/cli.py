@@ -172,6 +172,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row("effective horizon (max, s)", result.effective_horizon)
     if result.message_samples is not None:
         table.add_row("message samples retained", len(result.message_samples))
+    if result.kernel_provenance is not None:
+        table.add_row("kernel", result.kernel_provenance.describe().removeprefix("kernel "))
     table.add_row("completed round", result.completed_round)
     table.add_row("precision (worst skew, s)", result.precision)
     table.add_row("acceptance spread (s)", result.acceptance_spread)
@@ -186,6 +188,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.guarantees_hold else 1
 
 
+def _experiment_provenance_line(parts: list) -> Optional[str]:
+    """Fold the kernel provenance of one experiment's results into one line."""
+    if not parts:
+        return None
+    from .workloads.scenarios import merge_kernel_provenance
+
+    by_resolved: dict = {}
+    for part in parts:
+        by_resolved.setdefault(part.resolved, []).append(part)
+    return "; ".join(
+        merge_kernel_provenance(resolved, group).describe()
+        for resolved, group in sorted(by_resolved.items())
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     _configure_runner(args)
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
@@ -193,17 +210,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    if args.stream:
-        from .experiments import common as experiments_common
+    from .experiments import common as experiments_common
 
+    if args.stream:
         def report(done: int, total: int, result) -> None:
             print(f"  [{done}/{total}] {result.scenario.name}", file=sys.stderr)
 
         experiments_common.set_progress(report)
+    provenance_parts: list = []
+
+    def observe(result) -> None:
+        if getattr(result, "kernel_provenance", None) is not None:
+            provenance_parts.append(result.kernel_provenance)
+
+    experiments_common.set_observer(observe)
     failed: list[str] = []
     try:
         for exp_id in ids:
             experiment = EXPERIMENTS[exp_id]
+            provenance_parts.clear()
             try:
                 tables = experiment.run(quick=args.quick)
             except Exception as exc:
@@ -218,9 +243,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 failed.append(exp_id)
                 continue
             print(f"[{exp_id}] {experiment.claim}")
+            provenance = _experiment_provenance_line(provenance_parts)
+            if provenance is not None:
+                print(f"[{exp_id}] {provenance}")
             print(render_tables(tables))
             print()
     finally:
+        experiments_common.set_observer(None)
         if args.stream:
             experiments_common.set_progress(None)
     if failed:

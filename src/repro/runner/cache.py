@@ -54,7 +54,11 @@ from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, re
 #: tests and the bench gate, not assumed by the cache -- a result recorded
 #: under one engine is never served for a request pinning the other (and
 #: fallback notes in the summary depend on the selection).
-SCHEMA_VERSION = 6
+#: 7: ScenarioResult carries per-sweep kernel provenance
+#: (``kernel_provenance``); the vector whitelist widened to echo, uniform
+#: delays and the forge_flood attack, changing which runs the vector engine
+#: serves under ``"auto"``.
+SCHEMA_VERSION = 7
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the

@@ -28,7 +28,7 @@ Contract
   refuses (lane by lane) whenever an execution leaves the regime where that
   derivation is proven -- again with an ``on_note`` naming the reason.
 
-The result cache keys on the resolved kernel (cache schema v6), so switching
+The result cache keys on the resolved kernel (cache schema v7), so switching
 kernels never serves a result recorded under the other engine even though the
 two are float-identical by construction -- parity is *enforced* by tests and
 the bench gate (``tests/test_kernel_parity.py``, ``scripts/bench.py
@@ -51,20 +51,35 @@ KERNEL_ENV = "REPRO_KERNEL"
 #: operators can grep one stable marker in ``summary.notes``.
 FALLBACK_NOTE_PREFIX = "vector kernel fallback:"
 
-#: Attacks whose faulty behaviour the vector evaluator models exactly (all
-#: deterministic: no RNG draws, no content-dependent sends).
+#: Algorithms the vector layer evaluates exactly: the authenticated
+#: signature-chain rule (f+1 distinct signers) and the echo broadcast rule
+#: (f+1 inits/echoes -> echo, 2f+1 echoes -> accept).
+ELIGIBLE_ALGORITHMS = frozenset(["auth", "echo"])
+
+#: Attacks whose faulty behaviour the vector evaluator models exactly --
+#: deterministic ones, plus ``forge_flood``, whose per-adversary
+#: ``random.Random(seed + pid)`` stream the evaluator replays draw for draw.
 ELIGIBLE_ATTACKS = frozenset(
-    [None, "silent", "crash", "eager", "two_faced", "laggard", "skew_max"]
+    [None, "silent", "crash", "eager", "two_faced", "laggard", "skew_max",
+     "forge_flood"]
 )
 
 #: Clock assignments with closed-form timer inversion (fixed-rate clocks).
 ELIGIBLE_CLOCK_MODES = frozenset(["extreme", "nominal"])
 
-#: Delay policies that are deterministic per (sender, destination) -- the
-#: uniform policy consumes the network RNG in global send order and "min"
+#: Delay policies the vector layer reproduces exactly: the deterministic
+#: per-(sender, destination) ones, plus ``uniform``, whose network RNG the
+#: evaluator consumes in the event loop's exact global send order.  ``"min"``
 #: with ``tmin = 0`` collapses whole rounds into zero-delay cascades the
-#: order derivation does not cover, so both stay on the event loop.
-ELIGIBLE_DELAY_MODES = frozenset(["max", "midpoint", "targeted"])
+#: lockstep order derivation does not cover, so it stays on the event loop.
+ELIGIBLE_DELAY_MODES = frozenset(["max", "midpoint", "targeted", "uniform"])
+
+
+def _eligible_names(eligible) -> str:
+    """Render a whitelist set as a stable, human-readable reason fragment."""
+    return ", ".join(
+        sorted(repr(name) for name in eligible if name is not None)
+    )
 
 _numpy_checked = False
 _numpy_module = None
@@ -94,7 +109,7 @@ def resolve_kernel(scenario) -> str:
 
     ``Scenario.kernel`` wins when set; otherwise the ``REPRO_KERNEL``
     environment variable; otherwise ``"auto"``.  The result cache keys on
-    this resolved value (schema v6), so an environment override changes the
+    this resolved value (schema v7), so an environment override changes the
     cache identity exactly like the explicit field does.
     """
     kernel = getattr(scenario, "kernel", None)
@@ -122,15 +137,25 @@ def kernel_ineligibility(scenario, trace_level: str) -> Optional[str]:
         return "numpy is not installed"
     if trace_level != "metrics":
         return "full traces require the event loop (vector kernel is metrics-only)"
-    if getattr(scenario, "algorithm", None) != "auth":
-        return f"algorithm {getattr(scenario, 'algorithm', None)!r} is not vectorized (only 'auth')"
+    algorithm = getattr(scenario, "algorithm", None)
+    if algorithm not in ELIGIBLE_ALGORITHMS:
+        return (
+            f"algorithm {algorithm!r} is not vectorized "
+            f"(only {_eligible_names(ELIGIBLE_ALGORITHMS)})"
+        )
     attack = getattr(scenario, "attack", None)
     if attack not in ELIGIBLE_ATTACKS:
-        return f"attack {attack!r} is not vectorized"
+        return (
+            f"attack {attack!r} is not vectorized "
+            f"(only benign or {_eligible_names(ELIGIBLE_ATTACKS)})"
+        )
     if getattr(scenario, "clock_mode", None) not in ELIGIBLE_CLOCK_MODES:
         return f"clock_mode {getattr(scenario, 'clock_mode', None)!r} needs the event loop (drifting clocks)"
     if getattr(scenario, "delay_mode", None) not in ELIGIBLE_DELAY_MODES:
-        return f"delay_mode {getattr(scenario, 'delay_mode', None)!r} needs the event loop"
+        return (
+            f"delay_mode {getattr(scenario, 'delay_mode', None)!r} needs the "
+            f"event loop (only {_eligible_names(ELIGIBLE_DELAY_MODES)})"
+        )
     if getattr(scenario, "use_startup", False):
         return "start-up protocol runs are not vectorized"
     if getattr(scenario, "joiner_count", 0):
@@ -140,6 +165,14 @@ def kernel_ineligibility(scenario, trace_level: str) -> Optional[str]:
     if getattr(scenario, "grace", 0.0) != 0.0:
         return "grace windows past round completion are not vectorized"
     params = scenario.params
+    if algorithm == "echo" and params.n <= 3 * params.f:
+        # The event loop's EchoTracker raises ValueError for this
+        # configuration; stay ineligible so the same error surfaces instead
+        # of the vector layer masking it.
+        return (
+            f"echo broadcast requires n > 3f (got n={params.n}, f={params.f}); "
+            "the event loop raises on construction"
+        )
     honest = params.n - scenario.actual_faults
     if honest < params.f + 1:
         return (

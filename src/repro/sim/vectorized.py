@@ -1,9 +1,28 @@
-"""Batched (vectorized) evaluation of authenticated Srikanth-Toueg scenarios.
+"""Batched (vectorized) evaluation of Srikanth-Toueg scenarios.
 
 This is the *mechanism* half of the simulation kernel split described in
 ``docs/kernel.md``; the policy half (selection and static eligibility) is
-:mod:`repro.sim.kernel`.  Instead of dispatching one Python callback per
-event, :func:`run_lanes` evaluates a whole run round by round:
+:mod:`repro.sim.kernel`.  Two engines live here, sharing one finalization
+seam (:func:`_finalize_lane`: batch-level statistics, index-stepped message
+sampling, recorder replay):
+
+* the **lockstep array path** (phases 1/2 below) serves the authenticated
+  algorithm under deterministic attacks and deterministic delay modes, all
+  lanes of a replication block as NumPy array rows;
+* the **exact-replay path** (:class:`_ExactReplay`) serves the echo
+  algorithm, the ``uniform`` delay mode and the randomized ``forge_flood``
+  adversary: a lean per-lane discrete replay that mirrors the event queue's
+  ``(time, seq)`` ordering by construction -- sequence numbers are allocated
+  in the event loop's exact push order, the network RNG
+  (``random.Random(seed + 1)``) is consumed in the exact global send order,
+  and each flood adversary's ``random.Random(seed + pid)`` stream is
+  replayed draw for draw.  Being order-exact by construction, it needs none
+  of the tie-breaking guards of the array path; its speed comes from
+  eliminating the event loop's per-message constants (envelope/event
+  allocation, handler dispatch, signature verification, per-message recorder
+  calls) rather than from arrays.
+
+The lockstep array path evaluates a whole run round by round:
 
 1. **Phase 1 (arrays).**  Per round, every actor's timer instant, every
    signature's arrival time and every acceptance instant are computed as
@@ -40,7 +59,9 @@ exactly the failed lanes on the event loop.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from random import Random
 from typing import Optional
 
 from .clocks import FixedRateClock, spread_offsets
@@ -49,16 +70,24 @@ from .network import NetworkStats
 from .recorder import MessageSample, OnlineMetricsRecorder, OnlineMetricsSummary
 from .trace import ResyncEvent
 
-#: Mirrors of the deterministic adversary constants in
-#: :mod:`repro.faults.behaviors` / :mod:`repro.faults.strategies`.  The sim
-#: layer cannot import the faults layer (it sits above), so the values are
-#: duplicated here and pinned against the originals by a parity test.
+#: Mirrors of the adversary constants in :mod:`repro.faults.behaviors` /
+#: :mod:`repro.faults.strategies`.  The sim layer cannot import the faults
+#: layer (it sits above), so the values are duplicated here and pinned
+#: against the originals by a parity test.
 EAGER_FACTOR = 0.75
 EAGER_MAX_ROUND = 200
 CRASH_PERIODS = 2.5
+#: ``ForgeAndFlood``'s tick interval and ``randint`` round ceiling.
+FLOOD_INTERVAL = 0.05
+FLOOD_MAX_ROUND = 200
+#: Default ``max_round_lookahead`` of both broadcast trackers.
+TRACKER_LOOKAHEAD = 1000
 
 _SIG = "SignedRound"
 _BUNDLE = "SignatureBundle"
+_INIT = "InitMessage"
+_ECHO = "EchoMessage"
+_GARBAGE = "GarbageMessage"
 
 
 class LaneFallback(Exception):
@@ -117,6 +146,8 @@ def _faulty_roles(attack: Optional[str], faulty_pids: list) -> dict:
             pid: ("eager" if index % 2 == 0 else "two_faced")
             for index, pid in enumerate(faulty_pids)
         }
+    if attack == "forge_flood":
+        return {pid: "flood" for pid in faulty_pids}
     raise LaneFallback(f"attack {attack!r} has no vectorized role assignment")
 
 
@@ -135,6 +166,7 @@ class _Layout:
         self.tdel = float(params.tdel)
         self.delay_mode = scenario.delay_mode
         self.clock_mode = scenario.clock_mode
+        self.algorithm = scenario.algorithm
         self.h = params.n - scenario.actual_faults
         self.honest_pids = list(range(self.h))
         faulty_pids = list(range(self.h, self.n))
@@ -155,6 +187,14 @@ class _Layout:
         self.eager_pids = [pid for pid in faulty_pids if self.roles[pid] == "eager"]
         self.E = len(self.eager_pids)
         self.S = self.A + self.E
+        self.flood_pids = [pid for pid in faulty_pids if self.roles[pid] == "flood"]
+        # The lockstep array path (phases 1/2) covers exactly the regime it
+        # was proven in; everything else eligible goes through _ExactReplay.
+        self.lockstep = (
+            self.algorithm == "auth"
+            and self.delay_mode != "uniform"
+            and not self.flood_pids
+        )
         self.crash_time = (
             CRASH_PERIODS * params.period
             if any(self.roles[pid] == "crash" for pid in faulty_pids)
@@ -180,16 +220,24 @@ class _Layout:
         all_pids = list(range(self.n))
         self.dests = {}
         self.delays = {}
-        for pid in self.actor_pids + self.eager_pids:
+        for pid in self.actor_pids + self.eager_pids + self.flood_pids:
             role = self.roles.get(pid, "honest")
             if role == "two_faced":
                 dest_list = list(self.fast_group)
             else:
                 dest_list = [d for d in all_pids if d != pid]
             self.dests[pid] = tuple(dest_list)
-            self.delays[pid] = tuple(
-                self._pair_delay(role, d) for d in dest_list
-            )
+            if self.delay_mode == "uniform" and role != "laggard":
+                # Drawn per message from the network RNG at emit time.
+                self.delays[pid] = None
+            else:
+                self.delays[pid] = tuple(
+                    self._pair_delay(role, d) for d in dest_list
+                )
+        if not self.lockstep:
+            self.D = None
+            self.M = None
+            return
         # Arrival structure over (sender row, actor column).
         D = np.full((self.S, self.A), np.inf)
         M = np.zeros((self.S, self.A), dtype=bool)
@@ -660,82 +708,485 @@ class _LaneAssembly:
     # -- replay ---------------------------------------------------------------
 
     def _replay(self, t_star) -> LaneOutcome:
-        layout = self.layout
-        params = layout.params
-        ordered = sorted(self.batches, key=lambda b: (b.time, b.seq))
-        total = 0
-        by_sender: dict = {}
-        by_type: dict = {}
+        return _finalize_lane(
+            self.layout, self._lane_offsets, self.batches, self.emissions,
+            t_star, self.mergeable, self.sample_messages,
+        )
+
+
+def _finalize_lane(layout, lane_offsets, batches, emissions, t_star,
+                   mergeable, sample_messages) -> LaneOutcome:
+    """Shared finalization of one served lane (both vector engines).
+
+    Computes the network statistics arithmetically from the batch layout,
+    selects sampled messages by index stepping, and replays the acceptance
+    emissions -- in global order -- into a real
+    :class:`~repro.sim.recorder.OnlineMetricsRecorder`, so everything
+    downstream of the recorder seam is the exact code the event loop uses.
+    """
+    params = layout.params
+    ordered = sorted(batches, key=lambda b: (b.time, b.seq))
+    total = 0
+    by_sender: dict = {}
+    by_type: dict = {}
+    for b in ordered:
+        count = len(b.dests)
+        total += count
+        by_sender[b.sender] = by_sender.get(b.sender, 0) + count
+        by_type[b.kind] = by_type.get(b.kind, 0) + count
+    stats = NetworkStats(
+        total_messages=total,
+        messages_by_sender=by_sender,
+        messages_by_type=by_type,
+    )
+
+    samples = None
+    if sample_messages is not None:
+        samples = []
+        step = sample_messages
+        base = 0
+        index = 0  # next sampled msg_id
         for b in ordered:
             count = len(b.dests)
-            total += count
-            by_sender[b.sender] = by_sender.get(b.sender, 0) + count
-            by_type[b.kind] = by_type.get(b.kind, 0) + count
-        stats = NetworkStats(
-            total_messages=total,
-            messages_by_sender=by_sender,
-            messages_by_type=by_type,
-        )
+            while index < base + count:
+                p = index - base
+                samples.append(MessageSample(
+                    msg_id=index,
+                    sender=b.sender,
+                    dest=b.dests[p],
+                    kind=b.kind,
+                    send_time=b.time,
+                    deliver_time=b.time + b.delays[p],
+                ))
+                index += step
+            base += count
 
-        samples = None
-        if self.sample_messages is not None:
-            samples = []
-            step = self.sample_messages
-            base = 0
-            index = 0  # next sampled msg_id
-            for b in ordered:
-                count = len(b.dests)
-                while index < base + count:
-                    p = index - base
-                    samples.append(MessageSample(
-                        msg_id=index,
-                        sender=b.sender,
-                        dest=b.dests[p],
-                        kind=b.kind,
-                        send_time=b.time,
-                        deliver_time=b.time + b.delays[p],
-                    ))
-                    index += step
-                base += count
-
-        recorder = OnlineMetricsRecorder(
-            rate_low=params.min_rate,
-            rate_high=params.max_rate,
-            mergeable=self.mergeable,
-            sample_messages=self.sample_messages,
+    recorder = OnlineMetricsRecorder(
+        rate_low=params.min_rate,
+        rate_high=params.max_rate,
+        mergeable=mergeable,
+        sample_messages=sample_messages,
+    )
+    for i, pid in enumerate(layout.honest_pids):
+        if layout.clock_mode == "nominal":
+            clock = FixedRateClock(rate=1.0, offset=lane_offsets[i])
+        else:
+            rate = params.max_rate if i % 2 == 0 else params.min_rate
+            clock = FixedRateClock(rate=rate, offset=lane_offsets[i])
+        recorder.register_process(pid, clock, faulty=False)
+    for pid in range(layout.h, layout.n):
+        recorder.register_process(
+            pid, FixedRateClock(rate=1.0, offset=0.0), faulty=True
         )
-        offsets = self._lane_offsets
-        for i, pid in enumerate(layout.honest_pids):
-            if layout.clock_mode == "nominal":
-                clock = FixedRateClock(rate=1.0, offset=offsets[i])
+    for time, pid, round_, before, adj_after, tgt in emissions:
+        recorder.on_adjustment(pid, time, adj_after)
+        recorder.on_resync(ResyncEvent(
+            pid=pid, round=round_, time=time,
+            logical_before=before, logical_after=tgt,
+        ))
+    if samples is not None:
+        recorder.ingest_message_samples(samples)
+    summary = recorder.finalize(t_star, stats)
+    return LaneOutcome(
+        summary=summary, end_time=t_star, stopped_early=True, fallback=None
+    )
+
+
+# Event codes of the exact-replay heap.  Events are plain tuples
+# ``(time, seq, code, ...)``; ``seq`` is unique, so heap comparisons never
+# reach the payload -- exactly the event queue's (time, insertion-seq) order.
+_EV_TIMER = 0    # (t, seq, 0, pid, round)
+_EV_HALT = 1     # (t, seq, 1, pid)
+_EV_EAGER = 2    # (t, seq, 2, pid, round)
+_EV_FLOOD = 3    # (t, seq, 3, pid)
+_EV_DELIVER = 4  # (t, seq, 4, dest, kind, sender, round, payload)
+
+
+class _ExactReplay:
+    """Per-lane exact replay of the event loop, without the event loop.
+
+    Mirrors the discrete execution by construction: a heap of plain tuples
+    ordered by ``(time, seq)`` where ``seq`` is allocated in the event
+    loop's exact push order, protocol state as plain sets (the signature /
+    echo trackers' observable state), the network RNG consumed in global
+    send order under ``uniform`` delays, and each flood adversary's RNG
+    stream replayed draw for draw.  Deliveries that are provably no-ops on
+    the event loop (payload kinds the receiving algorithm ignores, forged
+    signatures that fail verification, deliveries to non-protocol faulty
+    processes) are never pushed -- popping a no-op has no side effects and
+    skipping pushes preserves the relative ``seq`` order of everything
+    else, so the execution is unchanged.  The per-message constants the
+    event loop pays (envelope/event allocation, handler dispatch,
+    signature verification, per-message recorder and stats calls) are
+    replaced by set operations and batch-level accounting.
+
+    Float parity: every arithmetic expression (timer inversion, logical
+    clock adjustment, delay clamping and scaling, flood tick accumulation)
+    is written exactly as the mirrored object evaluates it, in pure Python
+    floats.
+    """
+
+    def __init__(self, layout: _Layout, scenario, mergeable, sample_messages):
+        self.layout = layout
+        self.scenario = scenario
+        self.mergeable = mergeable
+        self.sample_messages = sample_messages
+        params = layout.params
+        self.n = layout.n
+        self.h = layout.h
+        self.f = layout.f
+        self.P = layout.P
+        self.alpha = layout.alpha
+        self.tmin = layout.tmin
+        self.tdel = layout.tdel
+        self.is_echo = layout.algorithm == "echo"
+        self.echo_threshold = layout.f + 1
+        self.accept_threshold = 2 * layout.f + 1
+        self.actor_set = frozenset(layout.actor_pids)
+        self.R = scenario.rounds
+
+        # Per-process clock functions as pure Python floats (H(t) = offset
+        # + rate * t), mirroring build_cluster's assignment: honest clocks
+        # by index parity, faulty clocks at rate 1 / offset 0.
+        self.lane_offsets = _lane_offsets_list(layout, scenario)
+        self.offs = [0.0] * self.n
+        self.rate = [1.0] * self.n
+        for pid in layout.honest_pids:
+            self.offs[pid] = self.lane_offsets[pid]
+            if layout.clock_mode != "nominal":
+                self.rate[pid] = (
+                    params.max_rate if pid % 2 == 0 else params.min_rate
+                )
+
+        # Protocol state (the trackers' observable state, as plain sets).
+        self.cur = [1] * self.n
+        self.adj = [0.0] * self.n
+        self.floor = [0] * self.n
+        self.broadcasted = [set() for _ in range(self.n)]
+        if self.is_echo:
+            # round -> [init_senders, echo_senders, echoed, accept_reported]
+            self.est = [dict() for _ in range(self.n)]
+        else:
+            # round -> set of signer ids holding a valid signature
+            self.sigs = [dict() for _ in range(self.n)]
+        self.halted: set = set()
+
+        # Replayed RNG streams.
+        self.net_rng = (
+            Random(scenario.seed + 1) if layout.delay_mode == "uniform" else None
+        )
+        self.adv_rng = {pid: Random(scenario.seed + pid) for pid in layout.flood_pids}
+        self.honest_list = list(layout.honest_pids)
+
+        self.heap: list = []
+        self.seq = self.n  # boot events consumed seqs 0 .. n-1
+        self.now = 0.0
+        self.batches: list = []
+        self.emissions: list = []
+        self.batch_seq = 0
+        self.reached = [False] * self.h
+        self.remaining = self.h
+        self.done = False
+
+    # -- scheduling mirrors ---------------------------------------------------
+
+    def _push(self, item) -> None:
+        heapq.heappush(self.heap, item)
+
+    def _arm_timer(self, pid: int, k: int) -> None:
+        # ClockSyncProcess.schedule_round -> set_logical_timer ->
+        # set_timer_local: invert the fixed-rate clock, clamp to now.
+        hw = k * self.P - self.adj[pid]
+        offs = self.offs[pid]
+        real = 0.0 if hw <= offs else (hw - offs) / self.rate[pid]
+        if real < self.now:
+            real = self.now
+        self._push((real, self.seq, _EV_TIMER, pid, k))
+        self.seq += 1
+
+    def _emit(self, sender: int, kind: str, round_: int, deliver: bool,
+              payload=None) -> None:
+        """One broadcast/multicast: stats batch + (relevant) delivery pushes."""
+        layout = self.layout
+        dests = layout.dests[sender]
+        delays = layout.delays[sender]
+        if delays is None:
+            # Network._choose_delay under UniformDelay: one unit draw per
+            # message in destination order, scaled into [tmin, tdel].
+            rng = self.net_rng
+            width = self.tdel - self.tmin
+            tmin = self.tmin
+            delays = tuple(tmin + rng.random() * width for _ in dests)
+        now = self.now
+        self.batches.append(
+            _Batch(now, sender, kind, round_, dests, delays, self.batch_seq)
+        )
+        self.batch_seq += 1
+        if not deliver:
+            return
+        actor_set = self.actor_set
+        halted = self.halted
+        kind_code = _KIND_CODES[kind]
+        for p, d in enumerate(dests):
+            if d in actor_set and d not in halted:
+                self._push((
+                    now + delays[p], self.seq, _EV_DELIVER,
+                    d, kind_code, sender, round_, payload,
+                ))
+            self.seq += 1
+
+    # -- protocol mirrors -----------------------------------------------------
+
+    def _auth_add(self, pid: int, round_: int, signer: int) -> bool:
+        # SignatureTracker.add for a *valid* signature: window check, then
+        # per-round signer dedup (forged signatures never reach this).
+        fl = self.floor[pid]
+        if round_ < fl or round_ > fl + TRACKER_LOOKAHEAD:
+            return False
+        per_round = self.sigs[pid].setdefault(round_, set())
+        if signer in per_round:
+            return False
+        per_round.add(signer)
+        return True
+
+    def _echo_state(self, pid: int, round_):
+        fl = self.floor[pid]
+        if round_ < fl or round_ > fl + TRACKER_LOOKAHEAD:
+            return None
+        return self.est[pid].setdefault(round_, [set(), set(), False, False])
+
+    def _echo_eval(self, state):
+        # EchoTracker._evaluate: f+1 inits or echoes -> echo (once);
+        # 2f+1 echoes -> accept (reported once).
+        send_echo = not state[2] and (
+            len(state[0]) >= self.echo_threshold
+            or len(state[1]) >= self.echo_threshold
+        )
+        accept = False
+        if not state[3] and len(state[1]) >= self.accept_threshold:
+            accept = True
+            state[3] = True
+        return send_echo, accept
+
+    def _echo_apply(self, pid: int, round_: int, actions) -> None:
+        send_echo, accept = actions
+        if send_echo:
+            self._echo_send(pid, round_)
+        if accept:
+            self._try_accept(pid)
+
+    def _echo_send(self, pid: int, round_: int) -> None:
+        # EchoSyncProcess._send_echo: broadcast first, then count own echo.
+        state = self.est[pid].get(round_)
+        if state is None or state[2]:
+            return
+        self._emit(pid, _ECHO, round_, deliver=True)
+        state[2] = True
+        state[1].add(pid)
+        self._echo_apply(pid, round_, self._echo_eval(state))
+
+    def _announce(self, pid: int, k: int) -> None:
+        if k in self.broadcasted[pid]:
+            return
+        self.broadcasted[pid].add(k)
+        if self.is_echo:
+            # EchoSyncProcess.announce_round: broadcast init, then count own.
+            self._emit(pid, _INIT, k, deliver=True)
+            state = self._echo_state(pid, k)
+            if state is not None:
+                state[0].add(pid)
+                self._echo_apply(pid, k, self._echo_eval(state))
+        else:
+            # AuthSyncProcess.announce_round: record own signature, then
+            # broadcast it, then check the threshold.
+            self._auth_add(pid, k, pid)
+            self._emit(pid, _SIG, k, deliver=True)
+            self._try_accept(pid)
+
+    def _try_accept(self, pid: int) -> None:
+        # ClockSyncProcess.try_accept: accept every pending round in order.
+        rounds = self.est[pid] if self.is_echo else self.sigs[pid]
+        while True:
+            cur = self.cur[pid]
+            if self.is_echo:
+                reached = [
+                    r for r, st in rounds.items()
+                    if r >= cur and len(st[1]) >= self.accept_threshold
+                ]
             else:
-                rate = params.max_rate if i % 2 == 0 else params.min_rate
-                clock = FixedRateClock(rate=rate, offset=offsets[i])
-            recorder.register_process(pid, clock, faulty=False)
-        for pid in range(layout.h, layout.n):
-            recorder.register_process(
-                pid, FixedRateClock(rate=1.0, offset=0.0), faulty=True
-            )
-        for time, pid, round_, before, adj_after, tgt in self.emissions:
-            recorder.on_adjustment(pid, time, adj_after)
-            recorder.on_resync(ResyncEvent(
-                pid=pid, round=round_, time=time,
-                logical_before=before, logical_after=tgt,
-            ))
-        if samples is not None:
-            recorder.ingest_message_samples(samples)
-        summary = recorder.finalize(t_star, stats)
-        return LaneOutcome(
-            summary=summary, end_time=t_star, stopped_early=True, fallback=None
-        )
+                reached = [
+                    r for r, signers in rounds.items()
+                    if r >= cur and len(signers) >= self.echo_threshold
+                ]
+            if not reached:
+                return
+            self._accept(pid, min(reached))
+
+    def _accept(self, pid: int, k: int) -> None:
+        # ClockSyncProcess.accept_round: resynchronize, relay (auth), then
+        # advance the round and re-arm the timer.
+        now = self.now
+        tgt = k * self.P + self.alpha
+        reading = self.offs[pid] + self.rate[pid] * now
+        before = reading + self.adj[pid]
+        adj_after = tgt - reading
+        self.adj[pid] = adj_after
+        if pid < self.h:
+            self.emissions.append((now, pid, k, before, adj_after, tgt))
+        if not self.is_echo:
+            # AuthSyncProcess.after_acceptance: contribute our signature if
+            # missing, then relay the first f+1 signatures by signer id.
+            if k not in self.broadcasted[pid]:
+                self.broadcasted[pid].add(k)
+                self._auth_add(pid, k, pid)
+            proof = tuple(sorted(self.sigs[pid].get(k, ())))[: self.f + 1]
+            self._emit(pid, _BUNDLE, k, deliver=True, payload=proof)
+        new_round = k + 1
+        self.cur[pid] = new_round
+        if new_round > self.floor[pid]:
+            self.floor[pid] = new_round
+            rounds = self.est[pid] if self.is_echo else self.sigs[pid]
+            for r in [r for r in rounds if r < new_round]:
+                del rounds[r]
+        self._arm_timer(pid, new_round)
+        if pid < self.h and k >= self.R and not self.reached[pid]:
+            self.reached[pid] = True
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.done = True
+
+    # -- adversary mirrors ----------------------------------------------------
+
+    def _flood_tick(self, pid: int) -> None:
+        # ForgeAndFlood._flood, draw for draw.  The forged signature and
+        # bundle fail verification and the garbage is ignored by both
+        # algorithms; the init only matters to echo trackers.
+        rng = self.adv_rng[pid]
+        rng.choice(self.honest_list)           # victim (forged signer id)
+        round_ = rng.randint(1, FLOOD_MAX_ROUND)
+        rng.getrandbits(32)                    # forgery tag guess
+        self._emit(pid, _SIG, round_, deliver=False)
+        self._emit(pid, _BUNDLE, round_, deliver=False)
+        rng.getrandbits(16)                    # garbage blob
+        self._emit(pid, _GARBAGE, None, deliver=False)
+        self._emit(pid, _INIT, round_, deliver=self.is_echo)
+        self._push((self.now + FLOOD_INTERVAL, self.seq, _EV_FLOOD, pid))
+        self.seq += 1
+
+    # -- driving --------------------------------------------------------------
+
+    def _boot(self) -> None:
+        # Simulation.add_process schedules every boot at time 0 with
+        # seq = pid; nothing else can fire at time 0 before the last boot,
+        # so processing them directly, in pid order, is order-exact.
+        layout = self.layout
+        roles = layout.roles
+        crash_time = layout.crash_time
+        for pid in range(self.n):
+            role = roles.get(pid, "honest")
+            if pid in self.actor_set:
+                self._arm_timer(pid, 1)
+                if role == "crash":
+                    self._push((crash_time, self.seq, _EV_HALT, pid))
+                    self.seq += 1
+            elif role == "eager":
+                for k in range(1, EAGER_MAX_ROUND + 1):
+                    te = max(0.0, EAGER_FACTOR * k * self.P)
+                    self._push((te, self.seq, _EV_EAGER, pid, k))
+                    self.seq += 1
+            elif role == "flood":
+                self._push((0.0 + FLOOD_INTERVAL, self.seq, _EV_FLOOD, pid))
+                self.seq += 1
+            # silent faulty processes schedule nothing
+
+    def run(self) -> LaneOutcome:
+        if self.is_echo and self.n <= 3 * self.f:
+            # EchoTracker's constructor raises on the event loop; never
+            # serve a run the oracle would refuse to build.
+            raise LaneFallback("echo broadcast requires n > 3f")
+        horizon = self.scenario.horizon()
+        heap = self.heap
+        halted = self.halted
+        self._boot()
+        while True:
+            if not heap:
+                raise LaneFallback(
+                    "event queue drained before the target round completed"
+                )
+            ev = heapq.heappop(heap)
+            t = ev[0]
+            if t > horizon:
+                raise LaneFallback("run exceeds the static horizon")
+            self.now = t
+            code = ev[2]
+            if code == _EV_DELIVER:
+                dest = ev[3]
+                if dest not in halted:
+                    self._deliver(dest, ev[4], ev[5], ev[6], ev[7])
+            elif code == _EV_TIMER:
+                pid = ev[3]
+                if pid not in halted and self.cur[pid] == ev[4]:
+                    self._announce(pid, ev[4])
+            elif code == _EV_EAGER:
+                pid = ev[3]
+                if pid not in halted:
+                    if self.is_echo:
+                        # EagerEchoer._push_round: init then echo.
+                        self._emit(pid, _INIT, ev[4], deliver=True)
+                        self._emit(pid, _ECHO, ev[4], deliver=True)
+                    else:
+                        # EagerSigner._sign_round: one genuine signature.
+                        self._emit(pid, _SIG, ev[4], deliver=True)
+            elif code == _EV_FLOOD:
+                if ev[3] not in halted:
+                    self._flood_tick(ev[3])
+            else:  # _EV_HALT
+                halted.add(ev[3])
+            if self.done:
+                return _finalize_lane(
+                    self.layout, self.lane_offsets, self.batches,
+                    self.emissions, self.now, self.mergeable,
+                    self.sample_messages,
+                )
+
+    def _deliver(self, dest: int, kind_code: int, sender: int, round_,
+                 payload) -> None:
+        if self.is_echo:
+            if kind_code == _KIND_INIT:
+                state = self._echo_state(dest, round_)
+                if state is not None:
+                    state[0].add(sender)
+                    self._echo_apply(dest, round_, self._echo_eval(state))
+            else:  # echo
+                state = self._echo_state(dest, round_)
+                if state is not None:
+                    state[1].add(sender)
+                    self._echo_apply(dest, round_, self._echo_eval(state))
+        elif kind_code == _KIND_SIG:
+            if self._auth_add(dest, round_, sender):
+                self._try_accept(dest)
+        else:  # bundle: add every new signer, then check the threshold once
+            added = 0
+            for signer in payload:
+                if self._auth_add(dest, round_, signer):
+                    added += 1
+            if added:
+                self._try_accept(dest)
+
+
+_KIND_SIG = 0
+_KIND_BUNDLE = 1
+_KIND_INIT = 2
+_KIND_ECHO = 3
+_KIND_CODES = {_SIG: _KIND_SIG, _BUNDLE: _KIND_BUNDLE, _INIT: _KIND_INIT, _ECHO: _KIND_ECHO}
 
 
 def _layout_key(scenario):
     p = scenario.params
     return (
         p.n, p.f, p.rho, p.period, p.tmin, p.tdel, p.alpha_value,
-        scenario.attack, scenario.clock_mode, scenario.delay_mode,
-        scenario.actual_faults, scenario.rounds,
+        scenario.algorithm, scenario.attack, scenario.clock_mode,
+        scenario.delay_mode, scenario.actual_faults, scenario.rounds,
     )
 
 
@@ -767,6 +1218,30 @@ def run_lanes(scenarios, *, mergeable: bool = False,
         group = [scenarios[i] for i in indices]
         try:
             layout = _Layout(group[0], np)
+        except LaneFallback as fb:
+            for i in indices:
+                outcomes[i] = LaneOutcome(fallback=fb.reason)
+            continue
+        except Exception as exc:  # pragma: no cover - defensive fallback
+            for i in indices:
+                outcomes[i] = LaneOutcome(fallback=f"vector evaluation error: {exc!r}")
+            continue
+        if not layout.lockstep:
+            # Echo, uniform delays, and randomized attacks run per lane on
+            # the exact-replay engine (no cross-lane lockstep arrays).
+            for pos, i in enumerate(indices):
+                try:
+                    outcomes[i] = _ExactReplay(
+                        layout, group[pos], mergeable, sample_messages
+                    ).run()
+                except LaneFallback as fb:
+                    outcomes[i] = LaneOutcome(fallback=fb.reason)
+                except Exception as exc:  # pragma: no cover - defensive
+                    outcomes[i] = LaneOutcome(
+                        fallback=f"vector evaluation error: {exc!r}"
+                    )
+            continue
+        try:
             lane_rounds = _phase1(layout, group)
         except LaneFallback as fb:
             for i in indices:

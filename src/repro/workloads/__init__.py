@@ -8,6 +8,7 @@ from .scenarios import (
     ST_ALGORITHMS,
     TRACE_LEVELS,
     ClusterHandles,
+    KernelProvenance,
     Scenario,
     ScenarioResult,
     build_cluster,
@@ -19,6 +20,7 @@ from .sweeps import grid, run_sweep, scenario_sweep, stream_sweep
 __all__ = [
     "Scenario",
     "ScenarioResult",
+    "KernelProvenance",
     "ClusterHandles",
     "build_cluster",
     "resolve_adaptive",

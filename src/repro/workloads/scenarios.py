@@ -303,6 +303,82 @@ class ClusterHandles:
     joiners: list
 
 
+@dataclass(frozen=True)
+class KernelProvenance:
+    """Which engine served each lane (replication) of an executed scenario.
+
+    One lane is one single-replication run.  Every lane lands in exactly one
+    bucket: served by the vector kernel, dynamically fallen back to the event
+    loop (the vector evaluator refused it, reason counted in
+    ``fallback_reasons``), or never offered to the vector evaluator at all
+    (statically ineligible, or the kernel resolved to ``"event"``).
+    """
+
+    #: The resolved kernel selection (``"auto"``/``"event"``/``"vector"``).
+    resolved: str
+    #: Lanes evaluated by the vector kernel.
+    vector_lanes: int = 0
+    #: Lanes the vector evaluator refused per-run; they re-ran on the event
+    #: loop with the reason noted.
+    fallback_lanes: int = 0
+    #: Lanes that never reached the vector evaluator (static ineligibility,
+    #: or ``resolved == "event"``).
+    ineligible_lanes: int = 0
+    #: Deduplicated dynamic fallback reasons as ``(reason, lane_count)``
+    #: pairs, sorted by reason.
+    fallback_reasons: tuple = ()
+    #: The static ineligibility reason, or ``None`` (always ``None`` when
+    #: the kernel resolved to ``"event"`` -- that is selection, not
+    #: eligibility).
+    ineligible_reason: Optional[str] = None
+
+    @property
+    def total_lanes(self) -> int:
+        """All lanes this provenance accounts for."""
+        return self.vector_lanes + self.fallback_lanes + self.ineligible_lanes
+
+    def describe(self) -> str:
+        """One human-readable provenance line (used by the CLI and reports)."""
+        parts = [f"kernel {self.resolved}:"]
+        buckets = []
+        if self.vector_lanes:
+            buckets.append(f"{self.vector_lanes} vector-served")
+        if self.fallback_lanes:
+            reasons = "; ".join(
+                f"{reason} ({count} lanes)" if count > 1 else reason
+                for reason, count in self.fallback_reasons
+            )
+            buckets.append(f"{self.fallback_lanes} fell back ({reasons})")
+        if self.ineligible_lanes:
+            if self.ineligible_reason is not None:
+                buckets.append(
+                    f"{self.ineligible_lanes} ineligible ({self.ineligible_reason})"
+                )
+            else:
+                buckets.append(f"{self.ineligible_lanes} event-loop")
+        parts.append(", ".join(buckets) if buckets else "no lanes")
+        return " ".join(parts)
+
+
+def merge_kernel_provenance(resolved: str, parts: Sequence["KernelProvenance"]) -> KernelProvenance:
+    """Fold per-shard provenance records into one scenario-level record."""
+    reasons: dict = {}
+    ineligible_reason = None
+    for part in parts:
+        for reason, count in part.fallback_reasons:
+            reasons[reason] = reasons.get(reason, 0) + count
+        if ineligible_reason is None:
+            ineligible_reason = part.ineligible_reason
+    return KernelProvenance(
+        resolved=resolved,
+        vector_lanes=sum(part.vector_lanes for part in parts),
+        fallback_lanes=sum(part.fallback_lanes for part in parts),
+        ineligible_lanes=sum(part.ineligible_lanes for part in parts),
+        fallback_reasons=tuple(sorted(reasons.items())),
+        ineligible_reason=ineligible_reason,
+    )
+
+
 @dataclass
 class ScenarioResult:
     """Measurements of one executed scenario.
@@ -346,6 +422,10 @@ class ScenarioResult:
     #: replicated scenario, the concatenation over all replications in
     #: replication order.  ``None`` when sampling was off.
     message_samples: Optional[tuple] = None
+    #: Which engine served each lane (vector-served / fell-back / ineligible
+    #: counts plus deduplicated reasons); ``None`` for results predating the
+    #: provenance record.
+    kernel_provenance: Optional[KernelProvenance] = None
 
     @property
     def params(self) -> SyncParams:
@@ -655,6 +735,14 @@ class ShardOutcome:
     summary: OnlineMetricsSummary
     #: Whether every replication in the block ended before its static budget.
     stopped_early: bool
+    #: Per-shard kernel accounting, folded into the scenario-level
+    #: :class:`KernelProvenance` by :func:`measure_sharded`.
+    vector_lanes: int = 0
+    fallback_lanes: int = 0
+    ineligible_lanes: int = 0
+    #: Deduplicated ``(reason, lane_count)`` pairs, sorted by reason.
+    fallback_reasons: tuple = ()
+    ineligible_reason: Optional[str] = None
 
 
 def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequence[int]) -> ShardOutcome:
@@ -683,8 +771,26 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
                 reps, mergeable=True, sample_messages=scenario.sample_messages
             )
 
+    # Kernel accounting up front, so fallback notes are recorded once per
+    # distinct reason (with a lane count) rather than once per lane.
+    fallback_counts: dict = {}
+    vector_lanes = 0
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        if outcome.fallback is None:
+            vector_lanes += 1
+        else:
+            fallback_counts[outcome.fallback] = fallback_counts.get(outcome.fallback, 0) + 1
+    ineligible_lanes = len(reps) - vector_lanes - sum(fallback_counts.values())
+
+    def deduped_note(reason: str, count: int) -> str:
+        suffix = f" ({count} lanes)" if count > 1 else ""
+        return fallback_note(reason) + suffix
+
     summaries: list[OnlineMetricsSummary] = []
     stopped = True
+    noted: set = set()
     for rep, outcome in zip(reps, outcomes):
         if outcome is not None and outcome.fallback is None:
             summaries.append(outcome.summary)
@@ -693,9 +799,14 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
         handles = build_cluster(rep, trace_level="metrics", mergeable=True, sample_messages=rep.sample_messages)
         sim = handles.sim
         if outcome is not None:
-            sim.recorder.on_note(fallback_note(outcome.fallback))
-        elif resolved == "vector" and static_reason is not None:
-            sim.recorder.on_note(fallback_note(static_reason))
+            if outcome.fallback not in noted:
+                noted.add(outcome.fallback)
+                sim.recorder.on_note(
+                    deduped_note(outcome.fallback, fallback_counts[outcome.fallback])
+                )
+        elif resolved == "vector" and static_reason is not None and static_reason not in noted:
+            noted.add(static_reason)
+            sim.recorder.on_note(deduped_note(static_reason, len(reps)))
         summaries.append(
             sim.run_until_round(
                 rep.rounds,
@@ -711,6 +822,11 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
         replication_indices=tuple(replication_indices),
         summary=merge_summaries(summaries),
         stopped_early=stopped,
+        vector_lanes=vector_lanes,
+        fallback_lanes=sum(fallback_counts.values()),
+        ineligible_lanes=ineligible_lanes,
+        fallback_reasons=tuple(sorted(fallback_counts.items())),
+        ineligible_reason=static_reason if resolved != "event" else None,
     )
 
 
@@ -734,10 +850,25 @@ def measure_sharded(
         check,
         stopped_early=all(outcome.stopped_early for outcome in outcomes),
     )
+    provenance = merge_kernel_provenance(
+        resolve_kernel(scenario),
+        [
+            KernelProvenance(
+                resolved=resolve_kernel(scenario),
+                vector_lanes=outcome.vector_lanes,
+                fallback_lanes=outcome.fallback_lanes,
+                ineligible_lanes=outcome.ineligible_lanes,
+                fallback_reasons=outcome.fallback_reasons,
+                ineligible_reason=outcome.ineligible_reason,
+            )
+            for outcome in outcomes
+        ],
+    )
     return dataclasses_replace(
         result,
         shard_count=len(outcomes),
         shard_horizons=tuple(outcome.summary.end_time for outcome in outcomes),
+        kernel_provenance=provenance,
     )
 
 
@@ -790,19 +921,35 @@ def run_scenario(
     check = _resolve_check(scenario, check_guarantees)
     resolved = resolve_kernel(scenario)
     fallback_reason: Optional[str] = None
+    provenance = KernelProvenance(resolved=resolved, ineligible_lanes=1)
     if resolved != "event":
         reason = kernel_ineligibility(scenario, trace_level)
         if reason is None:
             outcome = run_lanes([scenario], sample_messages=scenario.sample_messages)[0]
             if outcome.fallback is None:
-                return _measure_streamed(
+                result = _measure_streamed(
                     scenario, outcome.summary, check, stopped_early=outcome.stopped_early
                 )
+                return dataclasses_replace(
+                    result,
+                    kernel_provenance=KernelProvenance(
+                        resolved=resolved, vector_lanes=1
+                    ),
+                )
             fallback_reason = outcome.fallback
-        elif resolved == "vector":
-            # An explicit vector request never errors: run on the event loop
-            # (float-identical by contract) and annotate why.
-            fallback_reason = reason
+            provenance = KernelProvenance(
+                resolved=resolved,
+                fallback_lanes=1,
+                fallback_reasons=((fallback_reason, 1),),
+            )
+        else:
+            provenance = KernelProvenance(
+                resolved=resolved, ineligible_lanes=1, ineligible_reason=reason
+            )
+            if resolved == "vector":
+                # An explicit vector request never errors: run on the event
+                # loop (float-identical by contract) and annotate why.
+                fallback_reason = reason
 
     handles = build_cluster(scenario, trace_level=trace_level, sample_messages=scenario.sample_messages)
     sim = handles.sim
@@ -818,5 +965,7 @@ def run_scenario(
     )
 
     if trace_level == "metrics":
-        return _measure_streamed(scenario, observed, check, stopped_early=sim.stopped_early)
-    return _measure_full(scenario, observed, check, stopped_early=sim.stopped_early)
+        result = _measure_streamed(scenario, observed, check, stopped_early=sim.stopped_early)
+    else:
+        result = _measure_full(scenario, observed, check, stopped_early=sim.stopped_early)
+    return dataclasses_replace(result, kernel_provenance=provenance)

@@ -14,6 +14,8 @@ import dataclasses
 
 import pytest
 
+import random
+
 from repro.experiments.common import MEASURED_RESULT_FIELDS
 from repro.sim.kernel import (
     FALLBACK_NOTE_PREFIX,
@@ -25,6 +27,9 @@ from repro.sim.vectorized import (
     CRASH_PERIODS,
     EAGER_FACTOR,
     EAGER_MAX_ROUND,
+    FLOOD_INTERVAL,
+    FLOOD_MAX_ROUND,
+    TRACKER_LOOKAHEAD,
     run_lanes,
 )
 from repro.workloads.scenarios import (
@@ -47,11 +52,17 @@ def cell(
     spread=0.01,
     seed=None,
     sample=None,
+    algorithm="auth",
+    f=None,
     **kwargs,
 ):
+    if f is None:
+        # Each algorithm's resilience optimum: n > 2f with signatures,
+        # n > 3f without.
+        f = (n - 1) // 3 if algorithm == "echo" else (n - 1) // 2
     params = SyncParams(
         n=n,
-        f=(n - 1) // 2,
+        f=f,
         rho=1e-4,
         tdel=0.01,
         tmin=0.0,
@@ -60,7 +71,7 @@ def cell(
     )
     return Scenario(
         params=params,
-        algorithm="auth",
+        algorithm=algorithm,
         rounds=rounds,
         attack=attack,
         clock_mode=clock,
@@ -69,6 +80,11 @@ def cell(
         sample_messages=sample,
         **kwargs,
     )
+
+
+def echo_cell(n, **kwargs):
+    """An echo-algorithm cell within the ``n > 3f`` resilience bound."""
+    return cell(n, algorithm="echo", **kwargs)
 
 
 def assert_results_identical(event_result, vector_result, label=""):
@@ -149,11 +165,145 @@ def test_parity_seed_sweep(seed):
     assert_results_identical(event, vector, f"seed={seed}")
 
 
+# -- echo algorithm parity ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [4, 7, 13])
+def test_parity_echo_skew_max_targeted(n):
+    event, vector = run_both(echo_cell(n))
+    assert_results_identical(event, vector, f"echo skew_max n={n}")
+
+
+@pytest.mark.parametrize(
+    "attack",
+    [None, "silent", "crash", "eager", "two_faced", "laggard", "forge_flood"],
+)
+def test_parity_echo_per_attack(attack):
+    event, vector = run_both(echo_cell(7, attack=attack))
+    assert_results_identical(event, vector, f"echo attack={attack}")
+
+
+@pytest.mark.parametrize("delay", ["max", "midpoint", "targeted", "uniform"])
+def test_parity_echo_per_delay_mode(delay):
+    event, vector = run_both(echo_cell(10, attack="eager", delay=delay))
+    assert_results_identical(event, vector, f"echo delay={delay}")
+
+
+def test_parity_echo_tie_heavy():
+    """Zero spread + nominal clocks: echo's hardest shared-instant regime."""
+    for attack in (None, "crash", "skew_max"):
+        delay = "targeted" if attack == "skew_max" else "max"
+        event, vector = run_both(
+            echo_cell(7, attack=attack, clock="nominal", delay=delay, spread=0.0)
+        )
+        assert_results_identical(event, vector, f"echo tie-heavy attack={attack}")
+
+
+# -- uniform delays and randomized attacks -----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "attack", [None, "crash", "eager", "two_faced", "laggard", "skew_max", "forge_flood"]
+)
+def test_parity_uniform_delay_per_attack(attack):
+    event, vector = run_both(cell(7, attack=attack, delay="uniform"))
+    assert_results_identical(event, vector, f"uniform attack={attack}")
+
+
+@pytest.mark.parametrize("seed", [0, 3, 91, 555])
+def test_parity_uniform_delay_seed_sweep(seed):
+    event, vector = run_both(cell(9, delay="uniform", seed=seed, rounds=6))
+    assert_results_identical(event, vector, f"uniform seed={seed}")
+
+
+@pytest.mark.parametrize("algorithm", ["auth", "echo"])
+def test_parity_forge_flood(algorithm):
+    event, vector = run_both(cell(8, attack="forge_flood", algorithm=algorithm))
+    assert_results_identical(event, vector, f"forge_flood {algorithm}")
+
+
+@pytest.mark.parametrize("seed", [0, 7, 123])
+def test_parity_echo_uniform_forge_flood_grid(seed):
+    """The fully randomized corner: echo + uniform delays + flooding adversaries."""
+    event, vector = run_both(
+        echo_cell(10, attack="forge_flood", delay="uniform", seed=seed, rounds=6)
+    )
+    assert_results_identical(event, vector, f"echo/uniform/forge_flood seed={seed}")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(algorithm="echo", sample=1),
+        dict(algorithm="echo", delay="uniform", sample=3),
+        dict(delay="uniform", attack="laggard", sample=1),
+        dict(delay="uniform", attack="forge_flood", sample=2),
+    ],
+)
+def test_parity_message_sampling_new_families(kwargs):
+    """Sampled wire provenance (send/deliver instants included) stays identical.
+
+    The laggard cell pins the no-draw rule (explicit delays bypass the
+    network RNG); the forge_flood cell pins the adversary-stream interleaving.
+    """
+    sample = kwargs.pop("sample")
+    event, vector = run_both(cell(9, sample=sample, **kwargs))
+    assert event.message_samples is not None
+    assert_results_identical(event, vector, f"sampling {kwargs}")
+
+
+def test_new_families_resolve_to_vector_under_auto(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    for scenario in (
+        echo_cell(7),
+        cell(7, delay="uniform"),
+        cell(7, attack="forge_flood"),
+        echo_cell(7, attack="forge_flood", delay="uniform"),
+    ):
+        result = run_scenario(scenario, trace_level="metrics")
+        assert result.kernel_provenance is not None, scenario.name
+        assert result.kernel_provenance.resolved == "auto"
+        assert result.kernel_provenance.vector_lanes == 1, scenario.name
+
+
+# -- replayed RNG streams ----------------------------------------------------------------
+
+
+def test_replayed_rng_streams_pin_fault_and_network_layers():
+    """The vector kernel replays these exact streams; a reseed must fail here."""
+    scenario = cell(8, attack="forge_flood", delay="uniform")
+    handles = build_cluster(scenario, trace_level="metrics")
+    # Network RNG: one stream seeded scenario.seed + 1, consumed per send.
+    assert handles.sim.network.rng.getstate() == random.Random(scenario.seed + 1).getstate()
+    # Each flooding adversary replays random.Random(seed + pid).
+    for proc in handles.faulty:
+        assert proc._rng.getstate() == random.Random(scenario.seed + proc.pid).getstate()
+    # The uniform policy draws one unit sample per message, scaled into
+    # [tmin, tdel] by the network (no clamp on the scaled value).
+    probe, mirror = random.Random(7), random.Random(7)
+    raw = handles.sim.network.policy.delay(0, 1, None, 0.0, probe)
+    assert raw == mirror.random()
+    assert handles.sim.network._choose_delay(0, 1, None) == (
+        scenario.params.tmin
+        + random.Random(scenario.seed + 1).random()
+        * (scenario.params.tdel - scenario.params.tmin)
+    )
+
+
 # -- lane batching -----------------------------------------------------------------------
 
 
-def test_lane_batched_equals_serial_replications():
-    base = cell(7, rounds=6)
+@pytest.mark.parametrize(
+    "base_kwargs",
+    [
+        dict(),
+        dict(algorithm="echo"),
+        dict(delay="uniform"),
+        dict(algorithm="echo", attack="forge_flood", delay="uniform"),
+    ],
+)
+def test_lane_batched_equals_serial_replications(base_kwargs):
+    base = cell(7, rounds=6, **base_kwargs)
     event = run_scenario(
         dataclasses.replace(base, kernel="event", replications=5, shards=1, name=""),
         trace_level="metrics",
@@ -162,17 +312,27 @@ def test_lane_batched_equals_serial_replications():
         dataclasses.replace(base, kernel="vector", replications=5, shards=1, name=""),
         trace_level="metrics",
     )
-    assert_results_identical(event, vector, "lane batching")
+    assert_results_identical(event, vector, f"lane batching {base_kwargs}")
     assert event.shard_horizons == vector.shard_horizons
+    assert vector.kernel_provenance is not None
+    assert vector.kernel_provenance.vector_lanes == 5
 
 
-def test_run_shard_lane_fold_order():
-    base = cell(7, rounds=6, kernel="vector")
+@pytest.mark.parametrize(
+    "base_kwargs",
+    [dict(), dict(algorithm="echo"), dict(delay="uniform", attack="forge_flood")],
+)
+def test_run_shard_lane_fold_order(base_kwargs):
+    base = cell(7, rounds=6, kernel="vector", **base_kwargs)
     lane = run_shard(dataclasses.replace(base, replications=4), 0, (0, 1, 2, 3))
     serial = run_shard(
         dataclasses.replace(base, replications=4, kernel="event"), 0, (0, 1, 2, 3)
     )
     assert lane.summary == serial.summary
+    assert lane.vector_lanes == 4
+    assert lane.fallback_lanes == 0
+    assert serial.vector_lanes == 0
+    assert serial.ineligible_lanes == 4
 
 
 # -- selection, fallback and eligibility -------------------------------------------------
@@ -195,27 +355,72 @@ def test_fallback_note_recorded_in_summary():
     scenario = cell(7, kernel="vector", clock="random", replications=2, shards=1)
     outcome = run_shard(scenario, 0, (0, 1))
     notes = [note for note in outcome.summary.notes if note.startswith(FALLBACK_NOTE_PREFIX)]
-    assert len(notes) == 2  # one per replication that fell back
+    # One deduplicated note per distinct reason, annotated with the lane count.
+    assert len(notes) == 1
+    assert notes[0].endswith("(2 lanes)")
+    assert outcome.ineligible_lanes == 2
+    assert outcome.ineligible_reason is not None
+
+
+def test_dynamic_fallback_notes_deduped_and_counted():
+    # Statically eligible (honest = 4 >= f+1 = 3) but the echo acceptance
+    # threshold 2f+1 = 5 is out of reach, so every lane falls back
+    # dynamically when its event heap drains.
+    scenario = cell(
+        7, algorithm="echo", attack="silent", actual_faults=3, rounds=3,
+        kernel="vector", replications=2, shards=1,
+    )
+    assert kernel_ineligibility(scenario, "metrics") is None
+    outcome = run_shard(scenario, 0, (0, 1))
+    notes = [note for note in outcome.summary.notes if note.startswith(FALLBACK_NOTE_PREFIX)]
+    assert len(notes) == 1
+    assert notes[0].endswith("(2 lanes)")
+    assert outcome.fallback_lanes == 2
+    assert outcome.vector_lanes == 0
+    assert len(outcome.fallback_reasons) == 1
+    # And the lanes the event loop re-ran still fold float-identically.
+    serial = run_shard(dataclasses.replace(scenario, kernel="event"), 0, (0, 1))
+    assert outcome.summary.notes != serial.summary.notes  # provenance differs
+    compact_lane = dataclasses.replace(outcome.summary.compact(), notes=())
+    compact_serial = dataclasses.replace(serial.summary.compact(), notes=())
+    assert compact_lane == compact_serial
 
 
 def test_auto_ineligible_records_no_note():
     scenario = cell(7, kernel="auto", clock="random", replications=2, shards=1)
     outcome = run_shard(scenario, 0, (0, 1))
     assert not any(note.startswith(FALLBACK_NOTE_PREFIX) for note in outcome.summary.notes)
+    assert outcome.ineligible_lanes == 2
 
 
 def test_eligibility_reasons():
     assert kernel_ineligibility(cell(7), "metrics") is None
     assert "full" in kernel_ineligibility(cell(7), "full")
-    assert "delay_mode" in kernel_ineligibility(cell(7, delay="uniform"), "metrics")
+    # PR 7 widened the whitelist: echo, uniform delays and forge_flood are
+    # served now; the regenerated reason strings must never claim otherwise.
+    assert kernel_ineligibility(cell(7, delay="uniform"), "metrics") is None
+    assert kernel_ineligibility(echo_cell(7, attack=None), "metrics") is None
+    assert kernel_ineligibility(cell(7, attack="forge_flood"), "metrics") is None
+    assert kernel_ineligibility(
+        echo_cell(10, attack="forge_flood", delay="uniform"), "metrics"
+    ) is None
+    reason = kernel_ineligibility(cell(7, delay="min"), "metrics")
+    assert "delay_mode" in reason and "'uniform'" in reason
+    reason = kernel_ineligibility(cell(7, attack="replay"), "metrics")
+    assert "attack" in reason and "'forge_flood'" in reason
     assert "not vectorized" in kernel_ineligibility(
         cell(7, attack=None, use_startup=True), "metrics"
     )
     assert "joiner" in kernel_ineligibility(
         cell(7, joiner_count=1, join_time=2.0), "metrics"
     )
-    echo = dataclasses.replace(cell(7, attack=None), algorithm="echo", name="")
-    assert "algorithm" in kernel_ineligibility(echo, "metrics")
+    lw = dataclasses.replace(cell(7, attack=None), algorithm="lundelius_welch", name="")
+    reason = kernel_ineligibility(lw, "metrics")
+    assert "algorithm" in reason and "'echo'" in reason
+    # Out-of-bound echo configurations raise in the event loop's tracker;
+    # the vector layer must refuse statically rather than mask the error.
+    bad_echo = cell(7, algorithm="echo", f=3)
+    assert "n > 3f" in kernel_ineligibility(bad_echo, "metrics")
 
 
 def test_resolve_kernel_env_and_field(monkeypatch):
@@ -258,3 +463,20 @@ def test_mirrored_constants_match_fault_layer():
     for proc in handles.faulty:
         assert proc.rounds == EAGER_MAX_ROUND
         assert proc.early_factor == EAGER_FACTOR
+
+    flood = cell(8, attack="forge_flood")
+    handles = build_cluster(flood, trace_level="metrics")
+    assert handles.faulty
+    for proc in handles.faulty:
+        assert proc.interval == FLOOD_INTERVAL
+        assert proc.rounds == FLOOD_MAX_ROUND
+
+    from repro.broadcast.authenticated import SignatureTracker
+    from repro.broadcast.echo import EchoTracker
+    from repro.crypto.signatures import KeyStore
+
+    keystore = KeyStore.generate(4, seed=0)
+    sig_tracker = SignatureTracker(keystore, threshold=2, content_factory=lambda k: ("round", k))
+    assert sig_tracker.max_round_lookahead == TRACKER_LOOKAHEAD
+    echo_tracker = EchoTracker(n=4, f=1)
+    assert echo_tracker.max_round_lookahead == TRACKER_LOOKAHEAD
