@@ -1,0 +1,23 @@
+"""Benchmark E15: fleet churn and autoscaling never change results.
+
+The assertion layer over the E15 tables -- the bare CLI renders them but
+only fails on table-generation errors, so the churn-invariance and
+elasticity claims are gated here (and in ``tests/test_fleet.py`` and the
+BENCH_PR8 recovery grid).
+"""
+
+from conftest import run_and_print
+
+
+def test_e15_fleet(benchmark):
+    churn, autoscale = run_and_print(benchmark, "E15")
+    assert all(churn.column("completed")), "the sweep must complete despite continuous worker murder"
+    assert all(churn.column("== serial")), "fleet churn must not change any measured value"
+    assert all(killed >= 2 for killed in churn.column("workers killed")), (
+        "the schedule must kill every initial worker at least once"
+    )
+    assert all(r >= 1 for r in churn.column("respawns")), "recovery must respawn, not just shrink"
+    assert all(autoscale.column("completed"))
+    assert all(autoscale.column("== serial")), "autoscaling must not change any measured value"
+    assert all(up >= 1 for up in autoscale.column("scale-ups")), "backlog must trigger a scale-up"
+    assert all(down >= 1 for down in autoscale.column("scale-downs")), "idle workers must be reaped"

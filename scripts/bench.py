@@ -1,24 +1,28 @@
-"""Write BENCH_PR7.json: the tracked perf baseline of the execution stack.
+"""Write BENCH_PR8.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-6 script) times a fixed
+The canonical benchmark (successor of the PR-7 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
 plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
 the sharded backend), a backend-scaling grid (the same replicated cell on the
-``pool`` and ``subprocess`` executor backends at 1/2/4 workers), a kernel grid
-(the pure-Python event loop vs the batched NumPy vector kernel, single-run and
-lane-batched, at the two largest E9 cells), a kernel *family* grid (the
-families the PR-7 whitelist widening admitted: the echo algorithm, uniform
-delays and the randomized forge_flood attack, event loop vs the exact-replay
-engine) and every reproduction experiment end to end -- recording, via the
-experiments' result observer, which fraction of the E1-E14 scenario cells is
-statically vector-eligible under the current whitelist vs the PR-6 one.
-CI's perf-smoke job runs it with ``--quick --gate`` and uploads the JSON as
-an artifact, so the bench trajectory is versioned alongside the code.
+``pool`` and ``subprocess`` executor backends at 1/2/4 workers), a *recovery*
+grid (the replicated cell as eight chunks on a two-worker self-healing
+subprocess fleet under scripted chaos schedules that SIGKILL 0/1/3 workers
+mid-sweep -- wall time, respawn counts and float parity against serial), a
+kernel grid (the pure-Python event loop vs the batched NumPy vector kernel,
+single-run and lane-batched, at the two largest E9 cells), a kernel *family*
+grid (the families the PR-7 whitelist widening admitted: the echo algorithm,
+uniform delays and the randomized forge_flood attack, event loop vs the
+exact-replay engine) and every reproduction experiment end to end --
+recording, via the experiments' result observer, which fraction of the E1-E15
+scenario cells is statically vector-eligible under the current whitelist vs
+the PR-6 one.  CI's perf-smoke job runs it with ``--quick --gate`` and
+uploads the JSON as an artifact, so the bench trajectory is versioned
+alongside the code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR7.json]
+    python scripts/bench.py [--quick] [--output BENCH_PR8.json]
                             [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
@@ -55,6 +59,7 @@ from repro.experiments.common import (
 )
 from repro.runner.config import configure as configure_runner
 from repro.runner.core import SweepRunner
+from repro.runner.exec import ChaosController, ChaosSchedule, SubprocessWorkerExecutor
 from repro.sim.kernel import kernel_ineligibility
 from repro.workloads.scenarios import _measure_streamed, _resolve_check, build_cluster, run_scenario
 
@@ -82,6 +87,24 @@ SHARD_GATE_MIN_CORES = 4
 #: cores and is softened by :data:`GATE_TOLERANCE` against CI noise.
 KERNEL_SPEEDUP_TARGET = 5.0
 KERNEL_GATE_MIN_CORES = 4
+
+#: The recovery contract: with respawn on, a sweep that loses workers to a
+#: scripted kill schedule must finish within this factor of the no-churn
+#: wall time (softened by :data:`GATE_TOLERANCE` against CI noise).  Value
+#: parity against the serial fold is gated unconditionally -- churn may cost
+#: time but can never move a float.
+RECOVERY_SLOWDOWN_LIMIT = 1.5
+
+#: Aggressive fleet timings for the recovery grid's executors: losses are
+#: detected within ~2s and replacements arrive within ~0.1s, so the churned
+#: cells measure recovery, not default production backoffs.
+_RECOVERY_FLEET = dict(
+    heartbeat_interval=0.1,
+    heartbeat_timeout=2.0,
+    respawn_backoff=0.05,
+    respawn_backoff_cap=0.5,
+    monitor_period=0.05,
+)
 
 
 def _pr6_statically_eligible(scenario, trace_level: str) -> bool:
@@ -391,6 +414,79 @@ def time_executor_grid(quick: bool, repeats: int) -> dict:
     }
 
 
+def time_recovery_grid(quick: bool, repeats: int) -> dict:
+    """Self-healing recovery: the same sweep under 0/1/3 injected worker kills.
+
+    Every cell runs the replicated largest system as eight shard chunks on a
+    two-worker subprocess fleet with aggressive recovery timings; the chaos
+    schedule SIGKILLs a live worker after the 1st (and 3rd, and 5th) completed
+    chunk.  Parity against the serial fold is gated unconditionally -- churn
+    can cost wall clock but can never move a float -- and with respawn on,
+    the churned cells must stay within :data:`RECOVERY_SLOWDOWN_LIMIT` of the
+    no-churn cell (softened by the usual noise tolerance): recovery is
+    measured in requeued chunks and respawn backoff, not in lost sweeps.
+    """
+    n = 24 if quick else 36
+    rounds = 6 if quick else 10
+    shards = 8
+    base = dataclasses.replace(
+        adversarial_scenario(
+            default_params(n, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=800 + n,
+        ),
+        kernel="event",  # the recovery grid measures the event-loop wire path
+    )
+    scenario = dataclasses.replace(base, replications=shards, shards=shards, name="")
+    serial = run_scenario(
+        dataclasses.replace(base, replications=shards, shards=1, name=""), trace_level="metrics"
+    )
+    grid: dict = {}
+    for kills in (0, 1, 3):
+        schedule_spec = ",".join(f"kill@{1 + 2 * index}" for index in range(kills))
+        best_wall = None
+        best_result = None
+        best_stats: dict = {}
+        for _ in range(max(1, repeats)):
+            # Fresh executor per repeat: each chaos schedule murders workers
+            # once, so reusing the fleet would give later repeats a head start.
+            executor = SubprocessWorkerExecutor(2, **_RECOVERY_FLEET)
+            with SweepRunner(jobs=2, cache=None, executor=executor, chunk_size=1) as runner:
+                start = time.perf_counter()
+                if kills:
+                    schedule = ChaosSchedule.parse(schedule_spec, seed=42 + kills)
+                    with ChaosController(executor, schedule):
+                        result = runner.run(scenario, trace_level="metrics")
+                else:
+                    result = runner.run(scenario, trace_level="metrics")
+                wall = time.perf_counter() - start
+                stats = runner.executor_stats()
+            if best_wall is None or wall < best_wall:
+                best_wall, best_result, best_stats = wall, result, stats
+        label = f"kills={kills}"
+        grid[label] = _result_cell(best_wall, best_result)
+        grid[label]["fleet"] = {
+            key: best_stats[key] for key in ("workers_lost", "respawns", "retries", "joins")
+        }
+        grid[label]["parity"] = {"values_exact_vs_serial": results_exactly_equal(best_result, serial)}
+    no_churn = max(grid["kills=0"]["wall_time_s"], 1e-9)
+    for kills in (1, 3):
+        grid[f"kills={kills}"]["slowdown_vs_no_churn"] = round(
+            grid[f"kills={kills}"]["wall_time_s"] / no_churn, 3
+        )
+    return {
+        "n": n,
+        "rounds": rounds,
+        "shards": shards,
+        "workers": 2,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+    }
+
+
 def time_kernel_grid(quick: bool, repeats: int) -> dict:
     """Event loop vs vector kernel at the two largest E9 cells, parity gated.
 
@@ -584,6 +680,36 @@ def check_executor_gate(executor_grid: dict) -> list[str]:
     return failures
 
 
+def check_recovery_gate(recovery_grid: dict) -> list[str]:
+    """Churned sweeps must equal serial float-for-float and recover by respawn.
+
+    Value parity is gated unconditionally.  Every killed cell must report at
+    least one respawn (recovery must replace workers, not just shrink), and
+    its wall time must stay within :data:`RECOVERY_SLOWDOWN_LIMIT` of the
+    no-churn cell, softened by :data:`GATE_TOLERANCE`.
+    """
+    failures = []
+    for label, entry in recovery_grid["grid"].items():
+        for name, ok in entry["parity"].items():
+            if not ok:
+                failures.append(f"recovery {label}: parity check {name} failed")
+        kills = int(label.split("=")[1])
+        if kills:
+            if entry["fleet"]["respawns"] < 1:
+                failures.append(
+                    f"recovery {label}: expected at least one respawn, "
+                    f"saw {entry['fleet']['respawns']}"
+                )
+            slowdown = entry["slowdown_vs_no_churn"]
+            limit = RECOVERY_SLOWDOWN_LIMIT * GATE_TOLERANCE
+            if slowdown > limit:
+                failures.append(
+                    f"recovery {label}: slowdown x{slowdown} above x{limit:.3f} "
+                    f"(limit x{RECOVERY_SLOWDOWN_LIMIT}, tolerance x{GATE_TOLERANCE})"
+                )
+    return failures
+
+
 def check_gate(horizon_grid: dict) -> list[str]:
     """Adaptive-horizon metrics runs must be at least as fast as static ones."""
     failures = []
@@ -633,7 +759,7 @@ def check_shard_gate(shard_grid: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR7.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR8.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
         "--gate",
@@ -644,7 +770,9 @@ def main() -> int:
         "static-horizon runs, sharded runs are value-identical to the unsharded fold "
         "(and, on multi-core runners, at least 1.5x faster at 4 shards), the subprocess "
         "executor backend is value-identical to the pool backend and the serial path at "
-        "every worker count, the vector kernel is value-identical to the event loop and "
+        "every worker count, sweeps under scripted worker kills recover by respawn, stay "
+        "value-identical to serial and finish within 1.5x of the no-churn wall time, "
+        "the vector kernel is value-identical to the event loop and "
         "actually serves the kernel grid and the widened family grid (and, on multi-core "
         "runners, at least 5x faster on the largest cells), the E-grid vector-eligibility "
         "coverage is strictly above the PR-6 whitelist's, and every value-parity check is "
@@ -658,11 +786,12 @@ def main() -> int:
     horizon_grid = time_horizon_grid(args.quick, args.repeats)
     shard_grid = time_shard_grid(args.quick, args.repeats)
     executor_grid = time_executor_grid(args.quick, args.repeats)
+    recovery_grid = time_recovery_grid(args.quick, args.repeats)
     kernel_grid = time_kernel_grid(args.quick, args.repeats)
     kernel_family_grid = time_kernel_family_grid(args.quick, args.repeats)
     experiments, kernel_coverage = time_experiments(args.quick)
     summary = {
-        "schema": "bench/7",
+        "schema": "bench/8",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -671,6 +800,7 @@ def main() -> int:
         "horizon_grid": horizon_grid,
         "shard_grid": shard_grid,
         "executor_grid": executor_grid,
+        "recovery_grid": recovery_grid,
         "kernel_grid": kernel_grid,
         "kernel_family_grid": kernel_family_grid,
     }
@@ -701,6 +831,13 @@ def main() -> int:
             + (f" (x{overhead} vs pool)" if overhead is not None else "")
             + f", parity {all(entry['parity'].values())}"
         )
+    for label, entry in recovery_grid["grid"].items():
+        slowdown = entry.get("slowdown_vs_no_churn")
+        print(
+            f"  recovery {label}: {entry['wall_time_s']}s"
+            + (f" (x{slowdown} vs no churn)" if slowdown is not None else " (no churn)")
+            + f", {entry['fleet']['respawns']} respawns, parity {all(entry['parity'].values())}"
+        )
     for label, entry in kernel_grid["grid"].items():
         print(
             f"  kernel {label}: event {entry['event']['wall_time_s']}s, "
@@ -727,6 +864,7 @@ def main() -> int:
             check_gate(horizon_grid)
             + check_shard_gate(shard_grid)
             + check_executor_gate(executor_grid)
+            + check_recovery_gate(recovery_grid)
             + check_kernel_gate(kernel_grid)
             + check_kernel_family_gate(kernel_family_grid)
             + check_coverage_gate(kernel_coverage)
@@ -738,7 +876,9 @@ def main() -> int:
         print(
             "perf gate: adaptive >= static on the largest cell, sharded == unsharded "
             "float-exact, shard speedup within contract, subprocess == pool == serial "
-            "float-exact at every worker count, vector == event float-exact with the "
+            "float-exact at every worker count, churned sweeps respawn and stay "
+            "float-exact within the recovery wall-time limit, vector == event "
+            "float-exact with the "
             "kernel speedup within contract on both grids, and E-grid eligibility "
             "coverage strictly above the PR-6 whitelist"
         )

@@ -5,7 +5,7 @@ The CLI exposes the library's main entry points without writing any Python:
 * ``repro bounds``       -- print the analytic guarantees for a parameterisation,
 * ``repro run``          -- run one scenario (optionally many sharded
   replications of it) and print the measured guarantees,
-* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E14,
+* ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E15,
 * ``repro list-attacks`` -- list the registered Byzantine strategies,
 * ``repro list-experiments`` -- list the reproduced experiments.
 
@@ -26,6 +26,7 @@ from .experiments import EXPERIMENTS
 from .faults.strategies import available_attacks
 from .runner.config import configure as configure_runner
 from .runner.config import get_runner
+from .runner.exec import SSHConfigError, ssh_hosts_from_env
 from .workloads.scenarios import ALL_ALGORITHMS, CLOCK_MODES, DELAY_MODES, TRACE_LEVELS, Scenario
 
 
@@ -66,6 +67,27 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker count for the chosen executor backend (overrides --jobs)",
     )
     parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="let the subprocess/ssh fleet autoscale between --min-workers and --max-workers "
+        "(spawn while the backlog exceeds the live capacity, reap idle workers); "
+        "default: REPRO_AUTOSCALE",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=_positive_int,
+        default=None,
+        dest="min_workers",
+        help="autoscale floor (implies --autoscale; default 1)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=None,
+        dest="max_workers",
+        help="autoscale ceiling (implies --autoscale; default: the worker count)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         dest="no_cache",
@@ -80,13 +102,40 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _configure_runner(args: argparse.Namespace) -> None:
-    configure_runner(
+    runner = configure_runner(
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
         executor=args.executor,
         workers=args.workers,
+        autoscale=True if args.autoscale else None,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
     )
+    if runner.executor_spec == "ssh":
+        # Validate eagerly: a missing host list should be one clear sentence
+        # and exit code 2 (main() maps SSHConfigError), not a traceback from
+        # the middle of a sweep.
+        ssh_hosts_from_env()
+
+
+def _fleet_summary(stats: dict) -> Optional[str]:
+    """One provenance line from an executor's cumulative scheduler counters."""
+    if not stats:
+        return None
+    order = (
+        "tasks",
+        "retries",
+        "workers_lost",
+        "steals",
+        "respawns",
+        "quarantines",
+        "joins",
+        "scale_ups",
+        "scale_downs",
+    )
+    parts = [f"{stats[key]} {key.replace('_', ' ')}" for key in order if stats.get(key)]
+    return ", ".join(parts) if parts else "idle"
 
 
 def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
@@ -160,12 +209,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Full traces keep every message already; sampling is a metrics feature.
         trace_level = "metrics"
         print("note: --sample-messages forces --trace-level metrics", file=sys.stderr)
-    result = get_runner().run(scenario, trace_level=trace_level)
+    runner = get_runner()
+    if args.chaos:
+        if not runner.distributed:
+            print(
+                "error: --chaos drives the fleet scheduler; use --executor subprocess or ssh",
+                file=sys.stderr,
+            )
+            return 2
+        from .runner.exec import ChaosController, ChaosSchedule
+
+        schedule = ChaosSchedule.parse(args.chaos, seed=args.chaos_seed)
+        with ChaosController(runner.executor, schedule) as chaos:
+            result = runner.run(scenario, trace_level=trace_level)
+        fired = ", ".join(f"{action}@{after}->pid {pid}" for action, after, pid in chaos.fired)
+        print(f"chaos: {fired or 'no events fired'}", file=sys.stderr)
+    else:
+        result = runner.run(scenario, trace_level=trace_level)
+    fleet = _fleet_summary(runner.executor_stats())
     if args.json:
+        if fleet is not None:
+            print(f"fleet: {fleet}", file=sys.stderr)
         include_trace = args.include_trace and result.trace is not None
         print(result_to_json(result, include_trace=include_trace))
         return 0 if result.guarantees_hold else 1
     table = Table(title=f"Scenario {scenario.name}", headers=["quantity", "value"])
+    if fleet is not None:
+        table.add_row("fleet", fleet)
     if scenario.replications > 1:
         table.add_row("replications", scenario.replications)
         table.add_row("shard tasks", result.shard_count)
@@ -358,13 +428,27 @@ def build_parser() -> argparse.ArgumentParser:
         "-- measured values are float-identical across kernels",
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--chaos",
+        default=None,
+        help="scripted chaos schedule fired against the worker fleet while the scenario runs, "
+        "e.g. 'kill@1,wedge@3' (after N completed chunks, kill/wedge/partition a worker); "
+        "needs --executor subprocess or ssh -- results are float-identical regardless",
+    )
+    run.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        dest="chaos_seed",
+        help="seed for the chaos schedule's victim selection (default 0)",
+    )
     run.add_argument("--json", action="store_true", help="emit the result as JSON")
     run.add_argument("--include-trace", action="store_true", dest="include_trace",
                      help="include the full trace in the JSON output")
     run.set_defaults(func=_cmd_run)
 
-    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E14")
-    experiment.add_argument("id", help="experiment id (E1..E14) or 'all'")
+    experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E15")
+    experiment.add_argument("id", help="experiment id (E1..E15) or 'all'")
     experiment.add_argument("--quick", action="store_true", help="smaller grids (used by the test suite)")
     experiment.add_argument(
         "--stream",
@@ -383,7 +467,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SSHConfigError as exc:
+        # Misconfiguration, not a failed experiment: one clear sentence and
+        # the usage-error exit code, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -161,6 +161,12 @@ class SweepRunner:
         :class:`~repro.runner.exec.base.Executor` instance.  Spawned
         backends size themselves from ``jobs``; results are identical
         across backends by construction.
+    executor_options:
+        Fleet-policy keyword arguments forwarded to the spawned protocol
+        backend (``autoscale``, ``min_workers``, ``max_workers``,
+        ``respawn``, ...).  Only meaningful with the ``subprocess``/``ssh``
+        specs; the pool backend rejects them, and an executor *instance*
+        carries its own policy already.
     """
 
     def __init__(
@@ -169,6 +175,7 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
         executor: ExecutorSpec = None,
+        executor_options: Optional[dict] = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
@@ -180,11 +187,25 @@ class SweepRunner:
         self.cache = cache
         self.chunk_size = chunk_size
         self.executor_spec = executor
+        self.executor_options = dict(executor_options) if executor_options else {}
+        #: Scheduler counters absorbed from spec-spawned backends this runner
+        #: has already dropped (see :meth:`executor_stats`).
+        self._stats_total: dict = {}
         if isinstance(executor, Executor):
+            if self.executor_options:
+                raise ValueError(
+                    "executor_options were given alongside a ready Executor instance; "
+                    "configure the instance directly instead"
+                )
             self._executor: Optional[Executor] = executor
         else:
             if executor is not None and executor not in EXECUTOR_SPECS:
                 raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_SPECS}")
+            if self.executor_options and executor in (None, "pool"):
+                raise ValueError(
+                    f"the pool executor does not support fleet options "
+                    f"{sorted(self.executor_options)}; use executor='subprocess' or 'ssh'"
+                )
             self._executor = None
 
     # -- execution backend -------------------------------------------------
@@ -212,13 +233,45 @@ class SweepRunner:
         """
         if isinstance(self.executor_spec, Executor):
             return self.executor_spec.worker_count
-        return self.jobs
+        capacity = self.jobs
+        max_workers = self.executor_options.get("max_workers")
+        if max_workers is not None:
+            # An autoscaling fleet may grow past ``jobs``; size the
+            # submission window for the ceiling so backlog exists to scale on.
+            capacity = max(capacity, max_workers)
+        return capacity
 
     def _ensure_executor(self) -> Executor:
         """The persistent execution backend (created lazily, reused across sweeps)."""
         if self._executor is None:
-            self._executor = make_executor(self.executor_spec, workers=self.jobs)
+            self._executor = make_executor(
+                self.executor_spec, workers=self.jobs, **self.executor_options
+            )
         return self._executor
+
+    @property
+    def executor(self) -> Executor:
+        """The live execution backend, spawning it lazily if needed.
+
+        The public seam chaos harnesses and fleet observers hook: the
+        instance returned is the one sweeps submit to (until :meth:`close`
+        drops a spec-spawned backend).
+        """
+        return self._ensure_executor()
+
+    def executor_stats(self) -> dict:
+        """Cumulative scheduler counters across every backend this runner ran.
+
+        Spec-named backends are dropped by :meth:`close` (the next sweep
+        respawns); their counters are absorbed here first, so a
+        close/respawn cycle -- or an :class:`ExecutorFailure` teardown --
+        never zeroes the provenance a finished sweep reports.
+        """
+        totals = dict(self._stats_total)
+        if self._executor is not None:
+            for key, value in self._executor.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def close(self) -> None:
         """Shut down the execution backend, reaping any worker processes.
@@ -231,6 +284,10 @@ class SweepRunner:
         if self._executor is not None:
             self._executor.close()
             if not isinstance(self.executor_spec, Executor):
+                # The instance is about to be dropped: bank its counters so
+                # executor_stats() stays cumulative across the respawn.
+                for key, value in self._executor.stats().items():
+                    self._stats_total[key] = self._stats_total.get(key, 0) + value
                 self._executor = None
 
     def __enter__(self) -> "SweepRunner":

@@ -19,10 +19,17 @@ backends ship:
                           repro.worker``; configured via ``REPRO_SSH_HOSTS``.
 ========================  ====================================================
 
+The protocol backends are a self-healing elastic fleet: lost workers
+respawn with backoff, crash-looping slots are quarantined and re-probed,
+late joiners steal from the longest backlog, and an optional autoscaling
+policy sizes the fleet between ``min_workers`` and ``max_workers`` (see the
+``repro.runner.exec.remote`` module docstring for the slot state machine).
+
 Because every task in this system is a pure function of its payload, backend
 choice can never change a measured value -- only where and how reliably the
-work runs.  ``tests/test_executors.py`` and experiment E14 assert that
-invariance float-for-float, including across injected worker crashes.
+work runs.  ``tests/test_executors.py``, ``tests/test_fleet.py`` and
+experiments E14/E15 assert that invariance float-for-float, including across
+injected worker crashes and continuous fleet churn.
 """
 
 from .base import (
@@ -34,9 +41,16 @@ from .base import (
     RemoteTaskError,
     make_executor,
 )
+from .faultinject import ChaosController, ChaosEvent, ChaosSchedule
 from .local import LocalPoolExecutor
 from .protocol import ProtocolError, read_frame, write_frame
-from .remote import ProtocolExecutor, SSHConfigError, SSHExecutor, SubprocessWorkerExecutor
+from .remote import (
+    ProtocolExecutor,
+    SSHConfigError,
+    SSHExecutor,
+    SubprocessWorkerExecutor,
+    ssh_hosts_from_env,
+)
 
 __all__ = [
     "EXECUTOR_SPECS",
@@ -51,6 +65,10 @@ __all__ = [
     "SubprocessWorkerExecutor",
     "SSHExecutor",
     "SSHConfigError",
+    "ssh_hosts_from_env",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosSchedule",
     "ProtocolError",
     "read_frame",
     "write_frame",

@@ -7,12 +7,15 @@ between a parent and one worker is deliberately small:
 parent -> worker::
 
     ("task", task_id, fn, payload)   run fn(payload), answer with the task_id
+    ("probe",)                       liveness probe: answer with a pong from
+                                     the main loop (not the heartbeat thread)
     ("shutdown",)                    drain and exit cleanly
 
 worker -> parent::
 
     ("hello", pid)                   handshake: the worker's own pid
     ("heartbeat",)                   periodic liveness beacon while alive
+    ("pong", pid)                    probe answer, proving the main loop turns
     ("result", task_id, value)       fn returned value
     ("error", task_id, exc, info)    fn raised: the pickled exception when it
                                      pickles, else None plus (type, message,

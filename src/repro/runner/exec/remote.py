@@ -1,4 +1,4 @@
-"""Remote protocol executors: worker processes + a fault-tolerant scheduler.
+"""Remote protocol executors: a self-healing, elastic worker fleet.
 
 Both backends here run the length-prefixed pickle protocol of
 :mod:`repro.runner.exec.protocol` against long-lived ``repro.worker``
@@ -9,31 +9,60 @@ shared scheduler in :class:`ProtocolExecutor` provides the fault tolerance
 the local pool never needed:
 
 * **liveness detection** -- a per-worker reader thread sees the pipe EOF the
-  instant a worker dies, and a monitor thread enforces a heartbeat deadline
+  instant a worker dies, and a fleet thread enforces a heartbeat deadline
   (workers beat from a daemon thread, so a *wedged* worker -- alive but
-  silent -- is detected and killed, not just a dead one);
+  silent -- is detected and killed, not just a dead one).  A worker silent
+  for half the deadline is marked *suspect* and sent a ``probe`` frame; any
+  frame it produces clears the suspicion.
 * **bounded retries with worker exclusion** -- a chunk that was in flight on
-  a lost worker is requeued on the surviving workers, never on one that
-  already failed it (each task carries its own excluded-worker set), and
-  after ``max_attempts`` losses (or when no eligible worker survives) its
-  future fails with a clear :class:`~repro.runner.exec.base.ExecutorFailure`;
+  a lost worker is requeued on the surviving workers, never on the same
+  worker *incarnation* that already failed it (each task carries its own
+  excluded-incarnation set, so a respawned replacement in the same slot is
+  eligible again), and after ``max_attempts`` losses its future fails with a
+  clear :class:`~repro.runner.exec.base.ExecutorFailure`.
 * **work-stealing rebalancing** -- tasks are assigned to the least-loaded
   eligible worker's queue at submission, and a worker that drains its queue
-  steals the newest eligible task from the longest backlog, so an uneven
-  drain (stragglers, retries piling onto survivors) self-balances.
+  takes the oldest parked task or steals the newest eligible task from the
+  longest backlog, so an uneven drain self-balances.
+* **respawn** (``respawn=True``, the default) -- a lost worker's *slot* is
+  refilled after a capped exponential backoff with jitter.  Tasks that have
+  no eligible live worker are *parked* instead of failed and dispatch to the
+  replacement the moment it completes its handshake, so a fleet that loses
+  every worker recovers instead of degrading monotonically.  A slot that
+  loses :attr:`crash_loop_threshold` workers within
+  :attr:`crash_loop_window` seconds is **quarantined**: it stops thrashing
+  and is re-probed on a growing backoff schedule -- the spawn-deadline
+  handshake doubles as the liveness probe, so an unreachable SSH host
+  rejoins the rotation mid-sweep the first time a probe spawn says hello.
+* **autoscaling** (``autoscale=True``) -- a policy loop sizes the fleet
+  between ``min_workers`` and ``max_workers``: it grows one slot per tick
+  while the backlog exceeds ``scale_backlog_factor`` x the live capacity,
+  and retires a worker that has been idle past ``idle_grace`` seconds.
+
+The per-slot lifecycle is a small state machine (documented in
+``docs/architecture.md``)::
+
+    spawning -> live <-> suspect
+       ^         |
+       |         v
+    (rejoin)   lost --K losses in T--> quarantined --probe ok--> (rejoin)
+                                       retired  (autoscale reap; terminal
+                                                until a scale-up revives it)
 
 Tasks that *raise* on a live worker are not retried: every task in this
 system is a deterministic pure function of its payload, so a task error
 would simply repeat -- it propagates to the future exactly as the local
 pool would propagate it.  Only worker *loss* triggers retry, and because
 tasks are pure, a retried chunk returns float-for-float what the first
-attempt would have.
+attempt would have -- elasticity and recovery are pure throughput, never a
+result risk.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import random
 import shlex
 import subprocess
 import sys
@@ -60,6 +89,22 @@ MAX_ATTEMPTS = 3
 #: handshake yet: interpreter start-up and package import must not trip a
 #: tight heartbeat deadline on a loaded machine.
 SPAWN_DEADLINE = 30.0
+#: Default base delay before a lost worker's slot is respawned; doubles per
+#: recent loss on that slot up to :data:`RESPAWN_BACKOFF_CAP`, plus jitter.
+RESPAWN_BACKOFF = 0.25
+RESPAWN_BACKOFF_CAP = 15.0
+#: A slot that loses this many workers within :data:`CRASH_LOOP_WINDOW`
+#: seconds is quarantined instead of respawned again.
+CRASH_LOOP_THRESHOLD = 3
+CRASH_LOOP_WINDOW = 30.0
+#: First re-probe delay for a quarantined slot; doubles per failed probe up
+#: to :data:`QUARANTINE_BACKOFF_CAP`.
+QUARANTINE_BACKOFF = 5.0
+QUARANTINE_BACKOFF_CAP = 120.0
+#: Autoscale policy defaults: grow while ``backlog > factor x live``, retire
+#: a worker idle longer than the grace.
+SCALE_BACKLOG_FACTOR = 2.0
+IDLE_GRACE = 10.0
 
 
 class _Task:
@@ -72,9 +117,11 @@ class _Task:
         self.fn = fn
         self.payload = payload
         self.future: Future = Future()
-        #: Workers this task was lost on (never rescheduled there).
+        #: Worker incarnations (wids) this task was lost on -- never
+        #: rescheduled there.  A respawned replacement has a fresh wid, so
+        #: requeued chunks are eligible on it.
         self.excluded: set[int] = set()
-        #: Workers this task was dispatched to and lost with.
+        #: How many worker incarnations this task was dispatched to and lost.
         self.attempts = 0
         #: Whether the future already transitioned to RUNNING (first
         #: dispatch); a retry redispatch must not transition it again.
@@ -87,12 +134,26 @@ class _Task:
 
 
 class _Worker:
-    """Parent-side handle of one protocol worker process."""
+    """Parent-side handle of one protocol worker *incarnation*."""
 
-    __slots__ = ("index", "proc", "reader", "write_lock", "alive", "current", "queue", "last_seen", "remote_pid")
+    __slots__ = (
+        "wid",
+        "slot",
+        "proc",
+        "reader",
+        "write_lock",
+        "alive",
+        "current",
+        "queue",
+        "last_seen",
+        "remote_pid",
+        "born_late",
+        "idle_since",
+    )
 
-    def __init__(self, index: int, proc: subprocess.Popen) -> None:
-        self.index = index
+    def __init__(self, wid: int, slot: "_Slot", proc: subprocess.Popen, born_late: bool) -> None:
+        self.wid = wid
+        self.slot = slot
         self.proc = proc
         self.reader: Optional[threading.Thread] = None
         self.write_lock = threading.Lock()
@@ -101,18 +162,45 @@ class _Worker:
         self.queue: deque[_Task] = deque()
         self.last_seen = time.monotonic()
         self.remote_pid: Optional[int] = None
+        #: Whether this incarnation joined after the initial fleet spawn
+        #: (respawn, quarantine probe, or scale-up).  Late joiners receive
+        #: work only after their handshake, so a probe spawn against an
+        #: unreachable host never burns a task's retry budget.
+        self.born_late = born_late
+        self.idle_since: Optional[float] = None
 
     def load(self) -> int:
         return len(self.queue) + (1 if self.current is not None else 0)
 
 
+class _Slot:
+    """One position in the fleet, hosting successive worker incarnations."""
+
+    __slots__ = ("index", "state", "worker", "loss_times", "probe_failures", "next_attempt")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: One of: spawning, live, suspect, lost, quarantined, retired.
+        self.state = "lost"
+        self.worker: Optional[_Worker] = None
+        #: Monotonic timestamps of recent worker losses (crash-loop window).
+        self.loss_times: deque[float] = deque()
+        #: Consecutive failed quarantine probes (drives the probe backoff).
+        self.probe_failures = 0
+        #: When the fleet thread may respawn / re-probe this slot.
+        self.next_attempt: Optional[float] = None
+
+
 class ProtocolExecutor(Executor):
-    """Shared scheduler over spawn-command-defined protocol workers.
+    """Self-healing elastic scheduler over spawn-command-defined workers.
 
     Workers spawn lazily on the first submit and persist across sweeps;
     :meth:`close` reaps every process (shutdown frame, then escalating to
     kill) and resets the executor so the next submit respawns -- the same
-    lifecycle the local pool backend has.
+    lifecycle the local pool backend has.  Scheduler counters
+    (:meth:`stats`) are cumulative for the lifetime of the instance: they
+    survive :meth:`close` and every respawn cycle, so post-sweep provenance
+    is never zeroed by mid-sweep recovery.
     """
 
     def __init__(
@@ -121,24 +209,82 @@ class ProtocolExecutor(Executor):
         max_attempts: int = MAX_ATTEMPTS,
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         heartbeat_timeout: Optional[float] = None,
+        respawn: bool = True,
+        respawn_backoff: float = RESPAWN_BACKOFF,
+        respawn_backoff_cap: float = RESPAWN_BACKOFF_CAP,
+        crash_loop_threshold: int = CRASH_LOOP_THRESHOLD,
+        crash_loop_window: float = CRASH_LOOP_WINDOW,
+        quarantine_backoff: float = QUARANTINE_BACKOFF,
+        quarantine_backoff_cap: float = QUARANTINE_BACKOFF_CAP,
+        autoscale: Optional[bool] = None,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        scale_backlog_factor: float = SCALE_BACKLOG_FACTOR,
+        idle_grace: float = IDLE_GRACE,
+        spawn_deadline: float = SPAWN_DEADLINE,
+        monitor_period: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        if autoscale is None:
+            # Scale bounds imply the policy: asking for a min/max *is* asking
+            # for elasticity.
+            autoscale = min_workers is not None or max_workers is not None
+        if autoscale:
+            min_workers = 1 if min_workers is None else min_workers
+            max_workers = max(workers, min_workers) if max_workers is None else max_workers
+            if min_workers < 1:
+                raise ValueError(f"min_workers must be positive, got {min_workers}")
+            if max_workers < min_workers:
+                raise ValueError(
+                    f"max_workers ({max_workers}) must be at least min_workers ({min_workers})"
+                )
+        else:
+            min_workers = max_workers = workers
         self.workers = workers
         self.max_attempts = max_attempts
         self.heartbeat_interval = heartbeat_interval
         if heartbeat_timeout is None and heartbeat_interval > 0:
             heartbeat_timeout = HEARTBEAT_TIMEOUT_FACTOR * heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.respawn = respawn
+        self.respawn_backoff = respawn_backoff
+        self.respawn_backoff_cap = respawn_backoff_cap
+        self.crash_loop_threshold = crash_loop_threshold
+        self.crash_loop_window = crash_loop_window
+        self.quarantine_backoff = quarantine_backoff
+        self.quarantine_backoff_cap = quarantine_backoff_cap
+        self.autoscale = autoscale
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.scale_backlog_factor = scale_backlog_factor
+        self.idle_grace = idle_grace
+        self.spawn_deadline = spawn_deadline
+        self.monitor_period = monitor_period
         self._lock = threading.Lock()
-        self._workers: list[_Worker] = []
+        self._slots: list[_Slot] = []
+        self._parked: deque[_Task] = deque()
         self._started = False
         self._task_ids = itertools.count()
-        self._monitor_thread: Optional[threading.Thread] = None
-        self._monitor_stop = threading.Event()
-        self._stats = {"tasks": 0, "retries": 0, "workers_lost": 0, "steals": 0}
+        self._wids = itertools.count()
+        self._fleet_thread: Optional[threading.Thread] = None
+        self._fleet_stop = threading.Event()
+        #: Backoff jitter only de-synchronizes respawn stampedes; it needs no
+        #: reproducibility, but a fixed seed keeps runs comparable.
+        self._jitter = random.Random(0x5EEDF1EE7)
+        self._stats = {
+            "tasks": 0,
+            "retries": 0,
+            "workers_lost": 0,
+            "steals": 0,
+            "respawns": 0,
+            "quarantines": 0,
+            "joins": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
+        }
 
     # -- spawning ----------------------------------------------------------
 
@@ -148,72 +294,123 @@ class ProtocolExecutor(Executor):
     def _spawn_env(self) -> Optional[dict]:
         return None
 
-    def _spawn_worker(self, index: int) -> _Worker:
+    def _spawn_worker(self, slot: _Slot, born_late: bool) -> _Worker:
         proc = subprocess.Popen(
-            self._spawn_command(index),
+            self._spawn_command(slot.index),
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             stderr=None,  # workers log to the parent's stderr
             env=self._spawn_env(),
         )
-        worker = _Worker(index, proc)
+        worker = _Worker(next(self._wids), slot, proc, born_late)
         worker.reader = threading.Thread(
-            target=self._read_loop, args=(worker,), name=f"repro-exec-reader-{index}", daemon=True
+            target=self._read_loop,
+            args=(worker,),
+            name=f"repro-exec-reader-{slot.index}.{worker.wid}",
+            daemon=True,
         )
         worker.reader.start()
         return worker
+
+    def _initial_fleet_size(self) -> int:
+        # An autoscaling fleet starts at its floor and earns its workers from
+        # backlog pressure; a fixed fleet spawns at full strength.
+        return self.min_workers if self.autoscale else self.workers
 
     def _ensure_started_locked(self) -> None:
         if self._started:
             return
         self._started = True
-        self._monitor_stop = threading.Event()
-        self._workers = [self._spawn_worker(index) for index in range(self.workers)]
-        if self.heartbeat_timeout is not None and self.heartbeat_interval > 0:
-            self._monitor_thread = threading.Thread(
-                target=self._monitor_loop, args=(self._monitor_stop,), name="repro-exec-monitor", daemon=True
-            )
-            self._monitor_thread.start()
+        self._fleet_stop = threading.Event()
+        self._slots = [_Slot(index) for index in range(self._initial_fleet_size())]
+        for slot in self._slots:
+            slot.worker = self._spawn_worker(slot, born_late=False)
+            slot.state = "spawning"
+        self._fleet_thread = threading.Thread(
+            target=self._fleet_loop, args=(self._fleet_stop,), name="repro-exec-fleet", daemon=True
+        )
+        self._fleet_thread.start()
 
     # -- submission and scheduling -----------------------------------------
 
     @property
     def worker_count(self) -> int:
-        return self.workers
+        """The capacity ceiling callers should size submission windows by."""
+        return self.max_workers if self.autoscale else self.workers
 
     def submit(self, fn: Callable, payload) -> Future:
         task = _Task(next(self._task_ids), fn, payload)
+        failure: Optional[str] = None
+        assignments: Sequence[tuple[_Worker, _Task]] = ()
         with self._lock:
             self._ensure_started_locked()
             self._stats["tasks"] += 1
-            if not self._eligible_locked(task):
-                self._fail_locked(
-                    task,
-                    f"cannot run task {task.label}: no live workers "
-                    f"({self._stats['workers_lost']} lost); close() resets the backend",
-                )
-                return task.future
-            self._enqueue_locked(task)
-            assignments = self._dispatch_locked()
+            failure = self._requeue_locked(task)
+            if failure is None:
+                assignments = self._dispatch_locked()
+        if failure is not None:
+            self._fail(task, failure)
+            return task.future
         self._send_assignments(assignments)
         return task.future
 
-    def _eligible_locked(self, task: _Task) -> list[_Worker]:
-        return [w for w in self._workers if w.alive and w.index not in task.excluded]
+    def _dispatchable_locked(self) -> list[_Worker]:
+        """Workers that may be assigned tasks right now.
 
-    def _enqueue_locked(self, task: _Task) -> None:
-        target = min(self._eligible_locked(task), key=lambda w: (w.load(), w.index))
-        target.queue.append(task)
+        Late joiners (respawns, probes, scale-ups) only become dispatchable
+        after their handshake -- a probe spawn against a dead host must not
+        hold tasks hostage until the spawn deadline.
+        """
+        workers = []
+        for slot in self._slots:
+            worker = slot.worker
+            if worker is None or not worker.alive or slot.state == "retired":
+                continue
+            if worker.born_late and worker.remote_pid is None:
+                continue
+            workers.append(worker)
+        return workers
+
+    def _eligible_locked(self, task: _Task) -> list[_Worker]:
+        return [w for w in self._dispatchable_locked() if w.wid not in task.excluded]
+
+    def _requeue_locked(self, task: _Task) -> Optional[str]:
+        """Queue ``task`` on the least-loaded eligible worker.
+
+        With respawn enabled a task with no eligible worker is *parked* (it
+        dispatches when a replacement joins); otherwise the failure message
+        to put on its future is returned.
+        """
+        eligible = self._eligible_locked(task)
+        if eligible:
+            target = min(eligible, key=lambda w: (w.load(), w.slot.index))
+            target.queue.append(task)
+            return None
+        if self.respawn and self._started:
+            self._parked.append(task)
+            return None
+        return (
+            f"cannot run task {task.label}: no live workers "
+            f"({self._stats['workers_lost']} lost, respawn disabled); "
+            f"close() resets the backend"
+        )
+
+    def _unpark_locked(self, worker: _Worker) -> Optional[_Task]:
+        for task in self._parked:
+            if worker.wid not in task.excluded:
+                self._parked.remove(task)
+                return task
+        return None
 
     def _steal_locked(self, thief: _Worker) -> Optional[_Task]:
-        for victim in sorted(self._workers, key=lambda w: len(w.queue), reverse=True):
-            if victim is thief or not victim.alive or not victim.queue:
+        for victim in sorted(self._slots, key=lambda s: len(s.worker.queue) if s.worker else 0, reverse=True):
+            if victim.worker is None or victim.worker is thief or not victim.worker.alive:
                 continue
             # Steal the newest eligible backlog entry (classic work stealing:
             # the victim keeps the work it is about to reach).
-            for task in reversed(victim.queue):
-                if thief.index not in task.excluded:
-                    victim.queue.remove(task)
+            for task in reversed(victim.worker.queue):
+                if thief.wid not in task.excluded:
+                    victim.worker.queue.remove(task)
                     self._stats["steals"] += 1
                     return task
         return None
@@ -221,9 +418,12 @@ class ProtocolExecutor(Executor):
     def _dispatch_locked(self) -> list[tuple[_Worker, _Task]]:
         """Pair idle workers with runnable tasks; caller sends outside the lock."""
         assignments: list[tuple[_Worker, _Task]] = []
-        for worker in self._workers:
-            while worker.alive and worker.current is None:
-                task = worker.queue.popleft() if worker.queue else self._steal_locked(worker)
+        now = time.monotonic()
+        for worker in self._dispatchable_locked():
+            while worker.current is None:
+                task = worker.queue.popleft() if worker.queue else None
+                if task is None:
+                    task = self._unpark_locked(worker) or self._steal_locked(worker)
                 if task is None:
                     break
                 if not task.started:
@@ -232,6 +432,11 @@ class ProtocolExecutor(Executor):
                     task.started = True
                 worker.current = task
                 assignments.append((worker, task))
+            if worker.current is None and not worker.queue:
+                if worker.idle_since is None:
+                    worker.idle_since = now
+            else:
+                worker.idle_since = None
         return assignments
 
     def _send_assignments(self, assignments: Sequence[tuple[_Worker, _Task]]) -> None:
@@ -279,7 +484,10 @@ class ProtocolExecutor(Executor):
         except InvalidStateError:
             pass  # cancelled in flight; nobody is waiting for this result
 
-    def _fail_locked(self, task: _Task, message: str) -> None:
+    def _fail(self, task: _Task, message: str) -> None:
+        """Fail a task's future.  Never call while holding the scheduler lock:
+        ``set_exception`` runs done-callbacks synchronously, and a callback
+        (the chaos harness, a waiting sweep) may re-enter the executor."""
         try:
             task.future.set_exception(ExecutorFailure(message))
         except InvalidStateError:
@@ -300,13 +508,24 @@ class ProtocolExecutor(Executor):
             if frame is None:
                 break
             tag = frame[0]
+            task = None
+            assignments: list = []
             with self._lock:
                 worker.last_seen = time.monotonic()
+                slot = worker.slot
+                if worker.alive and slot.state == "suspect":
+                    slot.state = "live"  # any frame clears the suspicion
                 if tag == "hello":
                     worker.remote_pid = frame[1]
-                task = None
-                assignments: list = []
-                if tag in ("result", "error"):
+                    if worker.alive and slot.state == "spawning":
+                        slot.state = "live"
+                        slot.probe_failures = 0
+                        if worker.born_late:
+                            self._stats["joins"] += 1
+                    # The handshake makes a late joiner dispatchable: hand it
+                    # parked work, or let it steal from the longest backlog.
+                    assignments = self._dispatch_locked()
+                elif tag in ("result", "error"):
                     task = worker.current
                     if task is not None and task.task_id == frame[1]:
                         worker.current = None
@@ -319,56 +538,85 @@ class ProtocolExecutor(Executor):
                 self._send_assignments(assignments)
         self._lose_worker(worker, reason)
 
+    def _loss_backoff_locked(self, slot: _Slot, now: float) -> None:
+        """Record a loss on ``slot`` and schedule its respawn / quarantine."""
+        slot.loss_times.append(now)
+        while slot.loss_times and now - slot.loss_times[0] > self.crash_loop_window:
+            slot.loss_times.popleft()
+        recent = len(slot.loss_times)
+        if recent >= self.crash_loop_threshold:
+            if slot.state != "quarantined":
+                self._stats["quarantines"] += 1
+            slot.state = "quarantined"
+            slot.probe_failures += 1
+            delay = min(
+                self.quarantine_backoff_cap,
+                self.quarantine_backoff * (2.0 ** (slot.probe_failures - 1)),
+            )
+        else:
+            slot.state = "lost"
+            delay = min(self.respawn_backoff_cap, self.respawn_backoff * (2.0 ** (recent - 1)))
+        slot.next_attempt = now + delay + self._jitter.uniform(0.0, delay / 2.0)
+
     def _lose_worker(self, worker: _Worker, reason: str) -> None:
         failures: list[tuple[_Task, str]] = []
         with self._lock:
             if not worker.alive:
                 return
             worker.alive = False
-            self._stats["workers_lost"] += 1
+            slot = worker.slot
+            retired = slot.state == "retired"
+            if slot.worker is worker:
+                slot.worker = None
             in_flight = worker.current
             worker.current = None
             orphans = list(worker.queue)
             worker.queue.clear()
+            if not retired:
+                self._stats["workers_lost"] += 1
+                if self.respawn and self._started:
+                    self._loss_backoff_locked(slot, time.monotonic())
+                else:
+                    slot.state = "lost"
+                    slot.next_attempt = None
             if in_flight is not None:
                 in_flight.attempts += 1
-                in_flight.excluded.add(worker.index)
+                in_flight.excluded.add(worker.wid)
                 if in_flight.attempts >= self.max_attempts:
                     failures.append(
                         (
                             in_flight,
                             f"task {in_flight.label} was lost with {in_flight.attempts} worker(s) "
-                            f"(last: worker {worker.index}, {reason}); "
+                            f"(last: slot {slot.index}, {reason}); "
                             f"retry budget of {self.max_attempts} attempts exhausted",
                         )
                     )
-                elif not self._eligible_locked(in_flight):
-                    failures.append(
-                        (
-                            in_flight,
-                            f"task {in_flight.label} was in flight on worker {worker.index} ({reason}) "
-                            f"and no surviving worker can take it "
-                            f"({self._stats['workers_lost']} of {self.workers} workers lost)",
+                else:
+                    message = self._requeue_locked(in_flight)
+                    if message is None:
+                        self._stats["retries"] += 1
+                    else:
+                        failures.append(
+                            (
+                                in_flight,
+                                f"task {in_flight.label} was in flight on slot {slot.index} "
+                                f"({reason}) and no surviving worker can take it "
+                                f"({self._stats['workers_lost']} workers lost)",
+                            )
                         )
-                    )
-                else:
-                    self._stats["retries"] += 1
-                    self._enqueue_locked(in_flight)
             for task in orphans:
-                if self._eligible_locked(task):
-                    self._enqueue_locked(task)
-                else:
+                message = self._requeue_locked(task)
+                if message is not None:
                     failures.append(
                         (
                             task,
                             f"no surviving worker can run queued task {task.label} "
-                            f"after worker {worker.index} died ({reason})",
+                            f"after slot {slot.index} lost its worker ({reason})",
                         )
                     )
             assignments = self._dispatch_locked()
         for task, message in failures:
-            with self._lock:
-                self._fail_locked(task, message)
+            self._fail(task, message)
         self._send_assignments(assignments)
         try:
             worker.proc.kill()
@@ -376,39 +624,215 @@ class ProtocolExecutor(Executor):
             pass
         worker.proc.wait()
 
-    def _monitor_loop(self, stop: threading.Event) -> None:
-        period = max(0.05, (self.heartbeat_timeout or 1.0) / 4.0)
-        # Workers that have not completed their handshake are still paying
-        # interpreter start-up; only the post-hello silence deadline is tight.
-        spawn_deadline = max(self.heartbeat_timeout, SPAWN_DEADLINE)
+    # -- the fleet thread: health, respawn, autoscale ------------------------
+
+    def _fleet_period(self) -> float:
+        if self.monitor_period is not None:
+            return self.monitor_period
+        candidates = [0.25]
+        if self.heartbeat_timeout is not None and self.heartbeat_interval > 0:
+            candidates.append(self.heartbeat_timeout / 4.0)
+        if self.respawn:
+            candidates.append(max(self.respawn_backoff / 2.0, 0.02))
+        if self.autoscale:
+            candidates.append(max(self.idle_grace / 4.0, 0.02))
+        return max(0.02, min(candidates))
+
+    def _fleet_loop(self, stop: threading.Event) -> None:
+        period = self._fleet_period()
         while not stop.wait(period):
-            now = time.monotonic()
+            self._check_heartbeats()
+            if self.respawn:
+                self._respawn_due(stop)
+            if self.autoscale:
+                self._autoscale_tick(stop)
+
+    def _check_heartbeats(self) -> None:
+        if self.heartbeat_timeout is None or self.heartbeat_interval <= 0:
+            return
+        now = time.monotonic()
+        stale: list[_Worker] = []
+        probes: list[_Worker] = []
+        with self._lock:
+            for slot in self._slots:
+                worker = slot.worker
+                if worker is None or not worker.alive:
+                    continue
+                # Workers that have not completed their handshake are still
+                # paying interpreter start-up; only the post-hello silence
+                # deadline is tight.
+                deadline = (
+                    self.heartbeat_timeout
+                    if worker.remote_pid is not None
+                    else max(self.heartbeat_timeout, self.spawn_deadline)
+                )
+                silence = now - worker.last_seen
+                if silence > deadline:
+                    stale.append(worker)
+                elif worker.remote_pid is not None and silence > deadline / 2.0 and slot.state == "live":
+                    slot.state = "suspect"
+                    probes.append(worker)
+        for worker in probes:
+            # An actively-probed suspect either answers (any frame clears the
+            # state) or stays silent until the full deadline kills it.
+            try:
+                with worker.write_lock:
+                    write_frame(worker.proc.stdin, ("probe",))
+            except Exception:
+                self._lose_worker(worker, "write to suspect worker failed")
+        for worker in stale:
+            # Kill the wedged process; its reader thread sees EOF and the
+            # normal loss path (retry, exclusion, respawn) takes over.
+            try:
+                worker.proc.kill()
+            except OSError:
+                pass
+
+    def _respawn_due(self, stop: threading.Event) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if not self._started:
+                return
+            due = [
+                slot
+                for slot in self._slots
+                if slot.worker is None
+                and slot.state in ("lost", "quarantined")
+                and slot.next_attempt is not None
+                and slot.next_attempt <= now
+            ]
+            for slot in due:
+                slot.next_attempt = None  # claimed by this tick
+        for slot in due:
+            if stop.is_set():
+                return
+            self._attach_replacement(slot, counted_as="respawns")
+
+    def _attach_replacement(self, slot: _Slot, counted_as: str) -> None:
+        """Spawn a late-joining worker into ``slot`` (respawn, probe, scale-up)."""
+        try:
+            worker = self._spawn_worker(slot, born_late=True)
+        except Exception:
+            # The spawn itself failed (fork/exec error): treat it like an
+            # instant loss so the backoff/quarantine machinery applies.
             with self._lock:
-                stale = [
-                    w
-                    for w in self._workers
-                    if w.alive
-                    and now - w.last_seen > (self.heartbeat_timeout if w.remote_pid is not None else spawn_deadline)
-                ]
-            for worker in stale:
-                # Kill the wedged process; its reader thread sees EOF and the
-                # normal loss path (retry, exclusion, accounting) takes over.
-                try:
-                    worker.proc.kill()
-                except OSError:
-                    pass
+                self._loss_backoff_locked(slot, time.monotonic())
+            return
+        reap = False
+        with self._lock:
+            if not self._started or slot.state == "retired":
+                reap = True
+            else:
+                slot.worker = worker
+                slot.state = "spawning"
+                self._stats[counted_as] += 1
+        if reap:
+            worker.alive = False
+            try:
+                worker.proc.kill()
+            except OSError:
+                pass
+            worker.proc.wait()
+
+    def _autoscale_tick(self, stop: threading.Event) -> None:
+        now = time.monotonic()
+        grow_slot: Optional[_Slot] = None
+        shutdown_worker: Optional[_Worker] = None
+        with self._lock:
+            if not self._started:
+                return
+            active = [s for s in self._slots if s.state != "retired"]
+            live = self._dispatchable_locked()
+            backlog = len(self._parked) + sum(len(w.queue) for w in live)
+            if backlog > self.scale_backlog_factor * max(1, len(live)) and len(active) < self.max_workers:
+                # Revive a retired slot if one exists, else open a new one.
+                for slot in self._slots:
+                    if slot.state == "retired":
+                        grow_slot = slot
+                        break
+                else:
+                    grow_slot = _Slot(len(self._slots))
+                    self._slots.append(grow_slot)
+                grow_slot.state = "lost"
+                grow_slot.loss_times.clear()
+                grow_slot.probe_failures = 0
+                grow_slot.next_attempt = None
+            elif len(live) > self.min_workers:
+                for worker in live:
+                    if (
+                        worker.current is None
+                        and not worker.queue
+                        and worker.idle_since is not None
+                        and now - worker.idle_since > self.idle_grace
+                        and worker.slot.state == "live"
+                    ):
+                        # Retire before shutting down so the coming EOF reads
+                        # as an expected exit, not a loss to respawn.
+                        worker.slot.state = "retired"
+                        worker.slot.next_attempt = None
+                        self._stats["scale_downs"] += 1
+                        shutdown_worker = worker
+                        break
+        if grow_slot is not None and not stop.is_set():
+            with self._lock:
+                self._stats["scale_ups"] += 1
+            self._attach_replacement(grow_slot, counted_as="joins")
+            with self._lock:
+                # _attach_replacement counts the handshake via born_late;
+                # undo the double-credit (joins is bumped again on hello).
+                self._stats["joins"] -= 1
+        if shutdown_worker is not None:
+            try:
+                with shutdown_worker.write_lock:
+                    write_frame(shutdown_worker.proc.stdin, ("shutdown",))
+            except Exception:
+                self._lose_worker(shutdown_worker, "write to retiring worker failed")
+
+    # -- manual elasticity ---------------------------------------------------
+
+    def grow(self, count: int = 1) -> None:
+        """Open ``count`` new fleet slots and spawn late-joining workers.
+
+        The manual form of a scale-up: the new workers handshake and
+        immediately take parked work or steal from the longest backlog.
+        ``max_workers`` is raised if needed, so a grown fleet stays grown.
+        """
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        slots = []
+        with self._lock:
+            self._ensure_started_locked()
+            for _ in range(count):
+                slot = _Slot(len(self._slots))
+                self._slots.append(slot)
+                slots.append(slot)
+            active = sum(1 for s in self._slots if s.state != "retired")
+            self.max_workers = max(self.max_workers, active)
+            if not self.autoscale:
+                self.workers = max(self.workers, active)
+        for slot in slots:
+            self._attach_replacement(slot, counted_as="joins")
+            with self._lock:
+                self._stats["joins"] -= 1  # credited on hello instead
 
     # -- lifecycle and introspection ----------------------------------------
 
     def close(self) -> None:
+        # Stop the fleet thread first, outside the lock: a tick in progress
+        # may be spawning, and joining it here guarantees no new worker is
+        # born after the teardown below collects the living ones.
+        self._fleet_stop.set()
+        fleet = self._fleet_thread
+        if fleet is not None:
+            fleet.join(timeout=10)
         with self._lock:
-            workers = self._workers
-            self._workers = []
+            slots = self._slots
+            self._slots = []
             self._started = False
-            monitor = self._monitor_thread
-            self._monitor_thread = None
-            self._monitor_stop.set()
-            leftovers: list[_Task] = []
+            self._fleet_thread = None
+            workers = [slot.worker for slot in slots if slot.worker is not None]
+            leftovers: list[_Task] = list(self._parked)
+            self._parked.clear()
             for worker in workers:
                 worker.alive = False
                 if worker.current is not None:
@@ -416,8 +840,8 @@ class ProtocolExecutor(Executor):
                     worker.current = None
                 leftovers.extend(worker.queue)
                 worker.queue.clear()
-            for task in leftovers:
-                self._fail_locked(task, f"executor closed with task {task.label} outstanding")
+        for task in leftovers:
+            self._fail(task, f"executor closed with task {task.label} outstanding")
         for worker in workers:
             if worker.proc.poll() is None:
                 try:
@@ -438,25 +862,66 @@ class ProtocolExecutor(Executor):
         for worker in workers:
             if worker.reader is not None:
                 worker.reader.join(timeout=5)
-        if monitor is not None:
-            monitor.join(timeout=5)
+
+    def _live_workers_locked(self) -> list[_Worker]:
+        return [
+            slot.worker
+            for slot in self._slots
+            if slot.worker is not None and slot.worker.alive
+        ]
 
     def worker_pids(self) -> list[int]:
         with self._lock:
-            return [w.proc.pid for w in self._workers if w.alive]
+            return [w.proc.pid for w in self._live_workers_locked()]
 
     def busy_worker_pids(self) -> list[int]:
         """PIDs of live workers currently running a task (crash-injection hook)."""
         with self._lock:
-            return [w.proc.pid for w in self._workers if w.alive and w.current is not None]
+            return [w.proc.pid for w in self._live_workers_locked() if w.current is not None]
+
+    def live_worker_count(self) -> int:
+        """How many worker processes are alive right now (fleet observability)."""
+        with self._lock:
+            return len(self._live_workers_locked())
+
+    def slot_states(self) -> list[str]:
+        """The per-slot lifecycle states (see the module docstring's machine)."""
+        with self._lock:
+            return [slot.state for slot in self._slots]
+
+    def partition_worker(self, pid: int) -> bool:
+        """Chaos hook: sever the control channel to the worker with ``pid``.
+
+        Closing the parent side of the worker's stdin simulates a network
+        partition on a transport the scheduler can observe: the worker sees
+        EOF and exits, the parent sees the pipe close, and the ordinary loss
+        path (requeue, respawn) takes over.  Returns whether a live worker
+        with that pid was found.
+        """
+        with self._lock:
+            target = next((w for w in self._live_workers_locked() if w.proc.pid == pid), None)
+        if target is None:
+            return False
+        try:
+            with target.write_lock:
+                target.proc.stdin.close()
+        except OSError:
+            pass
+        return True
 
     def stats(self) -> dict:
+        """Cumulative scheduler counters for the lifetime of this instance.
+
+        Never reset -- not by :meth:`close`, not by a respawn cycle -- so the
+        numbers a sweep reports as provenance include everything that
+        happened on the way, mid-sweep recovery included.
+        """
         with self._lock:
             return dict(self._stats)
 
     def __repr__(self) -> str:
         with self._lock:
-            alive = sum(1 for w in self._workers if w.alive)
+            alive = len(self._live_workers_locked())
         return f"{type(self).__name__}(workers={self.workers}, alive={alive}, stats={self.stats()})"
 
 
@@ -468,10 +933,11 @@ def _package_search_path() -> str:
 class SubprocessWorkerExecutor(ProtocolExecutor):
     """N long-lived local worker subprocesses speaking the stdio protocol.
 
-    The full remote wire format -- framing, heartbeats, retry scheduling --
-    exercised entirely on localhost, so distribution bugs surface in CI
-    rather than on a cluster.  Workers inherit the parent's environment plus
-    a ``PYTHONPATH`` entry for this package, and run tasks one at a time.
+    The full remote wire format -- framing, heartbeats, retry scheduling,
+    respawn and autoscaling -- exercised entirely on localhost, so
+    distribution bugs surface in CI rather than on a cluster.  Workers
+    inherit the parent's environment plus a ``PYTHONPATH`` entry for this
+    package, and run tasks one at a time.
     """
 
     def _spawn_command(self, index: int) -> list[str]:
@@ -489,6 +955,22 @@ class SSHConfigError(ExecutorError):
     """The SSH backend was requested without any configured hosts."""
 
 
+def ssh_hosts_from_env() -> list[str]:
+    """The ``REPRO_SSH_HOSTS`` host list; raises :class:`SSHConfigError` when unset.
+
+    Shared by :class:`SSHExecutor` and the CLI's early validation, so a
+    misconfigured ``--executor ssh`` fails with one clear sentence before
+    any sweep starts.
+    """
+    raw = os.environ.get("REPRO_SSH_HOSTS", "")
+    hosts = [h.strip() for h in raw.split(",") if h.strip()]
+    if not hosts:
+        raise SSHConfigError(
+            "the ssh executor needs hosts: pass hosts=[...] or set REPRO_SSH_HOSTS=host1,host2"
+        )
+    return hosts
+
+
 class SSHExecutor(ProtocolExecutor):
     """Protocol workers spawned as ``ssh host python -m repro.worker``.
 
@@ -497,13 +979,20 @@ class SSHExecutor(ProtocolExecutor):
     it).  ``workers`` controls how many of the configured hosts are used:
     the list is cycled when more workers than hosts are requested and
     truncated when fewer (the runner passes its ``jobs``, so ``--executor
-    ssh --workers 4`` uses four host entries).  ``REPRO_SSH_PYTHON`` selects
+    ssh --workers 4`` uses four host entries); an autoscaling fleet whose
+    ``max_workers`` exceeds the host list cycles it again, stacking extra
+    workers onto the existing hosts.  ``REPRO_SSH_PYTHON`` selects
     the remote interpreter (default ``python3``) and
     ``REPRO_SSH_PYTHONPATH``, when set, is exported on the remote side so a
     checkout-only deployment works without installation.
     The ``repro`` package (same version) must be importable on every host;
     because the wire format is identical to the subprocess backend, anything
     proven on localhost holds across machines.
+
+    Host health falls out of the fleet machinery: an unreachable host's
+    slot crash-loops into quarantine (the ssh spawn dies or times out at
+    the spawn deadline), is re-probed on a growing backoff, and rejoins
+    the rotation the first time a probe spawn completes the handshake.
 
     CI has no hosts configured, so requesting this backend there raises
     :class:`SSHConfigError` -- tests skip on that signal.
@@ -517,8 +1006,7 @@ class SSHExecutor(ProtocolExecutor):
         **kwargs,
     ) -> None:
         if hosts is None:
-            raw = os.environ.get("REPRO_SSH_HOSTS", "")
-            hosts = [h.strip() for h in raw.split(",") if h.strip()]
+            hosts = ssh_hosts_from_env()
         hosts = list(hosts)
         if not hosts:
             raise SSHConfigError(
@@ -537,4 +1025,5 @@ class SSHExecutor(ProtocolExecutor):
         remote_path = os.environ.get("REPRO_SSH_PYTHONPATH")
         if remote_path:
             remote = f"env PYTHONPATH={shlex.quote(remote_path)} {remote}"
-        return ["ssh", "-o", "BatchMode=yes", self.hosts[index], remote]
+        # Autoscaled slots beyond the configured host list cycle it again.
+        return ["ssh", "-o", "BatchMode=yes", self.hosts[index % len(self.hosts)], remote]

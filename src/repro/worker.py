@@ -72,6 +72,13 @@ def serve(in_stream, out_stream, heartbeat: float = HEARTBEAT_INTERVAL) -> int:
             frame = read_frame(in_stream)
             if frame is None or frame[0] == "shutdown":
                 return 0
+            if frame[0] == "probe":
+                # Liveness probe from a parent whose heartbeat deadline we are
+                # approaching: answer immediately on the main thread, so a
+                # wedged task (which would also wedge this loop) stays
+                # detectable even though the heartbeat thread keeps beating.
+                send(("pong", os.getpid()))
+                continue
             tag, task_id, fn, payload = frame
             if tag != "task":
                 raise RuntimeError(f"worker received unexpected frame tag {tag!r}")

@@ -16,7 +16,16 @@ from repro.analysis.serialize import (
 )
 from repro.cli import main
 from repro.core.params import params_for
+from repro.runner import reset_runner
 from repro.workloads.scenarios import Scenario, run_scenario
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_runner():
+    # CLI commands install the process-wide default runner; drop it after
+    # each test so a configured backend (ssh!) cannot leak into other suites.
+    yield
+    reset_runner()
 
 
 @pytest.fixture(scope="module")
@@ -141,6 +150,37 @@ def test_cli_list_experiments(capsys):
 def test_cli_requires_a_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_ssh_without_hosts_exits_2_with_one_line_error(capsys, monkeypatch):
+    """A missing REPRO_SSH_HOSTS is a usage error: one clear sentence on
+    stderr and exit code 2, never an SSHConfigError traceback."""
+    monkeypatch.delenv("REPRO_SSH_HOSTS", raising=False)
+    assert main(["run", "--executor", "ssh", "--rounds", "3"]) == 2
+    captured = capsys.readouterr()
+    assert "REPRO_SSH_HOSTS" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
+    # `repro experiment` fails the same way (before any experiment runs).
+    assert main(["experiment", "E3", "--quick", "--executor", "ssh"]) == 2
+    assert "REPRO_SSH_HOSTS" in capsys.readouterr().err
+
+
+def test_cli_chaos_requires_protocol_backend(capsys):
+    assert main(["run", "--rounds", "3", "--chaos", "kill@1"]) == 2
+    assert "subprocess" in capsys.readouterr().err
+
+
+def test_cli_run_chaos_kill_schedule_completes_with_fleet_provenance(capsys):
+    code = main([
+        "run", "--executor", "subprocess", "--workers", "2",
+        "--replications", "4", "--shards", "4", "--rounds", "4",
+        "--chaos", "kill@1", "--chaos-seed", "3", "--no-cache",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "fleet" in captured.out  # provenance row with the scheduler counters
+    assert "chaos: kill@1" in captured.err
+    assert "respawn" in captured.out or "workers lost" in captured.out
 
 
 def test_cli_experiment_failure_exits_nonzero(capsys, monkeypatch):

@@ -225,7 +225,10 @@ def test_killed_worker_mid_task_retries_on_survivor(tmp_path):
 
 
 def test_crash_loop_exhausts_workers_with_clear_error(tmp_path):
-    with SubprocessWorkerExecutor(2, **FAST) as executor:
+    # respawn=False pins the legacy shrink-only mode: with self-healing on,
+    # the fleet would replace the dead workers and the task would fail on its
+    # retry budget instead (covered in tests/test_fleet.py).
+    with SubprocessWorkerExecutor(2, respawn=False, **FAST) as executor:
         future = executor.submit(faultinject.exit_task, 1)
         with pytest.raises(ExecutorFailure, match="no surviving worker"):
             future.result(timeout=60)
@@ -233,7 +236,7 @@ def test_crash_loop_exhausts_workers_with_clear_error(tmp_path):
         with pytest.raises(ExecutorFailure, match="no live workers"):
             executor.submit(faultinject.echo_task, 1).result(timeout=60)
     # close() resets the backend: the executor is usable again.
-    with SubprocessWorkerExecutor(2, **FAST) as executor:
+    with SubprocessWorkerExecutor(2, respawn=False, **FAST) as executor:
         assert executor.submit(faultinject.echo_task, "fresh").result(timeout=60) == "fresh"
 
 
@@ -338,7 +341,11 @@ def test_sweep_survives_worker_kill_mid_sweep_float_identical():
 
 def test_sweep_raises_clear_error_when_all_workers_die():
     scenarios = small_grid(count=8, rounds=6)
-    runner = SweepRunner(jobs=2, executor="subprocess", chunk_size=1)
+    # respawn=False pins the legacy shrink-only failure mode; the self-healing
+    # default finishes this sweep instead (tests/test_fleet.py asserts that).
+    runner = SweepRunner(
+        jobs=2, executor=SubprocessWorkerExecutor(2, respawn=False, **FAST), chunk_size=1
+    )
     try:
         fired = []
 

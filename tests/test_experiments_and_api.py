@@ -15,8 +15,8 @@ def run_tables(exp_id):
     return tables
 
 
-def test_registry_covers_e1_to_e14():
-    assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+def test_registry_covers_e1_to_e15():
+    assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
     for experiment in EXPERIMENTS.values():
         assert experiment.claim
 
