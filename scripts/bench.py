@@ -1,6 +1,6 @@
-"""Write BENCH_PR8.json: the tracked perf baseline of the execution stack.
+"""Write BENCH_PR9.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-7 script) times a fixed
+The canonical benchmark (successor of the PR-8 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
 plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
@@ -11,18 +11,19 @@ subprocess fleet under scripted chaos schedules that SIGKILL 0/1/3 workers
 mid-sweep -- wall time, respawn counts and float parity against serial), a
 kernel grid (the pure-Python event loop vs the batched NumPy vector kernel,
 single-run and lane-batched, at the two largest E9 cells), a kernel *family*
-grid (the families the PR-7 whitelist widening admitted: the echo algorithm,
-uniform delays and the randomized forge_flood attack, event loop vs the
-exact-replay engine) and every reproduction experiment end to end --
+grid (the families the PR-7 and PR-9 whitelist widenings admitted: the echo
+algorithm, uniform delays, the randomized forge_flood and ``random_*``
+attacks, drifting ``random``-mode clocks and zero-min ``min`` delays, event
+loop vs the vector engines) and every reproduction experiment end to end --
 recording, via the experiments' result observer, which fraction of the E1-E15
 scenario cells is statically vector-eligible under the current whitelist vs
-the PR-6 one.  CI's perf-smoke job runs it with ``--quick --gate`` and
-uploads the JSON as an artifact, so the bench trajectory is versioned
+the PR-6 and PR-7 ones.  CI's perf-smoke job runs it with ``--quick --gate``
+and uploads the JSON as an artifact, so the bench trajectory is versioned
 alongside the code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR8.json]
+    python scripts/bench.py [--quick] [--output BENCH_PR9.json]
                             [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
@@ -120,6 +121,23 @@ def _pr6_statically_eligible(scenario, trace_level: str) -> bool:
         scenario.algorithm == "auth"
         and scenario.delay_mode != "uniform"
         and scenario.attack != "forge_flood"
+        and _pr7_statically_eligible(scenario, trace_level)
+    )
+
+
+def _pr7_statically_eligible(scenario, trace_level: str) -> bool:
+    """Whether the PR-7 whitelist (pre-PR-9 widening) admitted this scenario.
+
+    PR 9 widened exactly three axes -- the ``random_*`` attack strategies,
+    the drifting ``random`` clock mode and the ``min`` delay mode -- so the
+    PR-7 whitelist is the current one minus those admissions.
+    """
+    if kernel_ineligibility(scenario, trace_level) is not None:
+        return False
+    return (
+        scenario.attack not in ("random_silence", "random_two_faced", "random_laggard")
+        and scenario.clock_mode != "random"
+        and scenario.delay_mode != "min"
     )
 
 
@@ -127,9 +145,9 @@ def time_experiments(quick: bool) -> tuple[dict, dict]:
     """Time every experiment and record the E-grid vector-eligibility coverage.
 
     The passive result observer sees every scenario an experiment evaluates;
-    each is classified against the current static whitelist and the PR-6 one,
-    so the summary carries a coverage stat the gate can hold strictly above
-    the pre-widening baseline.
+    each is classified against the current static whitelist and the PR-6 and
+    PR-7 ones, so the summary carries a coverage stat the gate can hold
+    strictly above the pre-widening (PR-7) baseline.
     """
     timings = {}
     observed: list = []
@@ -154,13 +172,18 @@ def time_experiments(quick: bool) -> tuple[dict, dict]:
     pr6_eligible = sum(
         1 for scenario, level in observed if _pr6_statically_eligible(scenario, level)
     )
+    pr7_eligible = sum(
+        1 for scenario, level in observed if _pr7_statically_eligible(scenario, level)
+    )
     total = len(observed)
     coverage = {
         "total_cells": total,
         "eligible_cells": eligible,
         "pr6_eligible_cells": pr6_eligible,
+        "pr7_eligible_cells": pr7_eligible,
         "coverage": round(eligible / total, 4) if total else 0.0,
         "pr6_coverage": round(pr6_eligible / total, 4) if total else 0.0,
+        "pr7_coverage": round(pr7_eligible / total, 4) if total else 0.0,
     }
     return timings, coverage
 
@@ -554,30 +577,41 @@ def time_kernel_grid(quick: bool, repeats: int) -> dict:
     }
 
 
-#: The families the PR-7 widening admitted, each raced event vs vector:
-#: label -> (algorithm, attack, delay_mode).
+#: The families the PR-7 and PR-9 widenings admitted, each raced event vs
+#: vector: label -> (algorithm, attack, delay_mode, clock_mode).
 KERNEL_FAMILY_CELLS = {
-    "echo": ("echo", "skew_max", "targeted"),
-    "uniform": ("auth", "skew_max", "uniform"),
-    "forge_flood": ("auth", "forge_flood", "targeted"),
-    "echo-uniform-flood": ("echo", "forge_flood", "uniform"),
+    "echo": ("echo", "skew_max", "targeted", "extreme"),
+    "uniform": ("auth", "skew_max", "uniform", "extreme"),
+    "forge_flood": ("auth", "forge_flood", "targeted", "extreme"),
+    "echo-uniform-flood": ("echo", "forge_flood", "uniform", "extreme"),
+    "random-silence": ("auth", "random_silence", "targeted", "extreme"),
+    "random-two-faced": ("auth", "random_two_faced", "targeted", "extreme"),
+    "drifting": ("auth", "two_faced", "targeted", "random"),
+    "min-delay": ("auth", "skew_max", "min", "extreme"),
+    "laggard-drift-min": ("auth", "random_laggard", "min", "random"),
 }
 
 
 def time_kernel_family_grid(quick: bool, repeats: int) -> dict:
-    """Event loop vs the exact-replay engine on the PR-7 widened families.
+    """Event loop vs the vector engines on the PR-7/PR-9 widened families.
 
-    One cell per newly eligible family (echo broadcast, uniform delays, the
-    randomized forge_flood attack, and all three combined) at two system
+    One cell per newly eligible family -- PR 7's echo broadcast, uniform
+    delays and randomized forge_flood, plus PR 9's ``random_*`` attack
+    strategies, drifting (``random``-mode) clocks and zero-min ``min``
+    delays, including a cell stacking all three PR-9 axes -- at two system
     sizes.  ``vector_served`` reads the result's kernel provenance, so a
     silent fallback -- value-identical by design -- still fails the gate.
     Parity is gated unconditionally; the x5 speedup floor applies to each
-    family's largest cell on multi-core runners.
+    family's largest cell on multi-core runners.  The quick sizes top out
+    at ``n = 20`` (not 16 like the kernel grid): the drifting and stacked
+    PR-9 cells pay a per-lane Python cost reconstructing clock
+    trajectories, so the smallest cells sit near the gate floor and the
+    largest needs the event loop's O(n^2) growth for a stable margin.
     """
     rounds = 5 if quick else 10
-    sizes = [10, 16] if quick else [16, 28]
+    sizes = [10, 20] if quick else [16, 28]
     grid: dict = {}
-    for label, (algorithm, attack, delay_mode) in KERNEL_FAMILY_CELLS.items():
+    for label, (algorithm, attack, delay_mode, clock_mode) in KERNEL_FAMILY_CELLS.items():
         for n in sizes:
             base = dataclasses.replace(
                 adversarial_scenario(
@@ -588,6 +622,7 @@ def time_kernel_family_grid(quick: bool, repeats: int) -> dict:
                     seed=100 + n,
                 ),
                 delay_mode=delay_mode,
+                clock_mode=clock_mode,
             )
             entry: dict = {}
             results: dict = {}
@@ -639,12 +674,12 @@ def check_kernel_family_gate(family_grid: dict) -> list[str]:
 
 
 def check_coverage_gate(coverage: dict) -> list[str]:
-    """The widened whitelist must cover strictly more E-grid cells than PR 6."""
-    if coverage["eligible_cells"] <= coverage["pr6_eligible_cells"]:
+    """The widened whitelist must cover strictly more E-grid cells than PR 7."""
+    if coverage["eligible_cells"] <= coverage["pr7_eligible_cells"]:
         return [
             f"kernel coverage: {coverage['eligible_cells']}/{coverage['total_cells']} "
-            f"eligible cells is not strictly above the PR-6 whitelist's "
-            f"{coverage['pr6_eligible_cells']}"
+            f"eligible cells is not strictly above the PR-7 whitelist's "
+            f"{coverage['pr7_eligible_cells']}"
         ]
     return []
 
@@ -759,7 +794,7 @@ def check_shard_gate(shard_grid: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR8.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR9.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
         "--gate",
@@ -775,7 +810,7 @@ def main() -> int:
         "the vector kernel is value-identical to the event loop and "
         "actually serves the kernel grid and the widened family grid (and, on multi-core "
         "runners, at least 5x faster on the largest cells), the E-grid vector-eligibility "
-        "coverage is strictly above the PR-6 whitelist's, and every value-parity check is "
+        "coverage is strictly above the PR-7 whitelist's, and every value-parity check is "
         "float-exact",
     )
     args = parser.parse_args()
@@ -791,7 +826,7 @@ def main() -> int:
     kernel_family_grid = time_kernel_family_grid(args.quick, args.repeats)
     experiments, kernel_coverage = time_experiments(args.quick)
     summary = {
-        "schema": "bench/8",
+        "schema": "bench/9",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -856,7 +891,8 @@ def main() -> int:
     print(
         f"  kernel coverage: {kernel_coverage['eligible_cells']}/"
         f"{kernel_coverage['total_cells']} E-grid cells vector-eligible "
-        f"(PR-6 whitelist: {kernel_coverage['pr6_eligible_cells']})"
+        f"(PR-7 whitelist: {kernel_coverage['pr7_eligible_cells']}, "
+        f"PR-6: {kernel_coverage['pr6_eligible_cells']})"
     )
 
     if args.gate:
@@ -880,7 +916,7 @@ def main() -> int:
             "float-exact within the recovery wall-time limit, vector == event "
             "float-exact with the "
             "kernel speedup within contract on both grids, and E-grid eligibility "
-            "coverage strictly above the PR-6 whitelist"
+            "coverage strictly above the PR-7 whitelist"
         )
     return 0
 

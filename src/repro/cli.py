@@ -5,6 +5,9 @@ The CLI exposes the library's main entry points without writing any Python:
 * ``repro bounds``       -- print the analytic guarantees for a parameterisation,
 * ``repro run``          -- run one scenario (optionally many sharded
   replications of it) and print the measured guarantees,
+* ``repro kernel``       -- explain which simulation kernel serves a scenario
+  (resolved selection, static eligibility verdict with the reason, and with
+  ``--run`` the per-lane provenance breakdown of an actual run),
 * ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E15,
 * ``repro list-attacks`` -- list the registered Byzantine strategies,
 * ``repro list-experiments`` -- list the reproduced experiments.
@@ -258,6 +261,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.guarantees_hold else 1
 
 
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    """Explain the kernel policy for one scenario without grepping notes.
+
+    Prints the resolved selection (field -> ``REPRO_KERNEL`` env -> auto),
+    the static eligibility verdict with the whitelist-derived reason, and --
+    when ``--run`` is given -- the per-lane :class:`KernelProvenance`
+    breakdown of an actual metrics-level run.
+    """
+    from .sim.kernel import kernel_ineligibility, resolve_kernel
+
+    authenticated = args.algorithm == "auth"
+    params = _params_from_args(args, authenticated=authenticated)
+    scenario = Scenario(
+        params=params,
+        algorithm=args.algorithm,
+        attack=args.attack,
+        actual_faults=args.actual_faults,
+        rounds=args.rounds,
+        clock_mode=args.clock_mode,
+        delay_mode=args.delay_mode,
+        replications=args.replications,
+        shards=args.shards,
+        kernel=args.kernel,
+        seed=args.seed,
+    )
+    resolved = resolve_kernel(scenario)
+    reason = kernel_ineligibility(scenario, "metrics")
+    table = Table(title=f"Kernel policy for {scenario.name}", headers=["quantity", "value"])
+    table.add_row("resolved kernel", resolved)
+    table.add_row("static verdict", "eligible" if reason is None else "ineligible")
+    if reason is not None:
+        table.add_row("reason", reason)
+    if resolved == "event":
+        table.add_row("serves", "event loop (selected)")
+    elif reason is None:
+        table.add_row("serves", "vector kernel (may fall back per lane)")
+    elif resolved == "vector":
+        table.add_row("serves", "event loop, with a recorded fallback note")
+    else:
+        table.add_row("serves", "event loop")
+    print(table.render())
+    if not args.run:
+        return 0
+    _configure_runner(args)
+    result = get_runner().run(scenario, trace_level="metrics")
+    print()
+    if result.kernel_provenance is None:
+        print("run provenance: not recorded")
+    else:
+        print(f"run provenance: {result.kernel_provenance.describe()}")
+    return 0 if result.guarantees_hold else 1
+
+
 def _experiment_provenance_line(parts: list) -> Optional[str]:
     """Fold the kernel provenance of one experiment's results into one line."""
     if not parts:
@@ -446,6 +502,45 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--include-trace", action="store_true", dest="include_trace",
                      help="include the full trace in the JSON output")
     run.set_defaults(func=_cmd_run)
+
+    kernel = sub.add_parser(
+        "kernel",
+        help="explain which simulation kernel serves a scenario (and why)",
+    )
+    _add_param_arguments(kernel)
+    kernel.add_argument("--algorithm", choices=list(ALL_ALGORITHMS), default="auth")
+    kernel.add_argument("--attack", default="eager", help="adversary strategy (see list-attacks); default eager")
+    kernel.add_argument("--actual-faults", type=int, default=None, dest="actual_faults",
+                        help="how many processes actually misbehave (default: f)")
+    kernel.add_argument("--rounds", type=int, default=10)
+    kernel.add_argument("--clock-mode", choices=list(CLOCK_MODES), default="extreme", dest="clock_mode")
+    kernel.add_argument("--delay-mode", choices=list(DELAY_MODES), default="targeted", dest="delay_mode")
+    kernel.add_argument(
+        "--kernel",
+        choices=["auto", "event", "vector"],
+        default=None,
+        help="selection to explain (default: REPRO_KERNEL or auto)",
+    )
+    kernel.add_argument("--seed", type=int, default=0)
+    kernel.add_argument(
+        "--replications",
+        type=_positive_int,
+        default=1,
+        help="replications for --run (each is one provenance lane)",
+    )
+    kernel.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="shard tasks for --run (default: one per core)",
+    )
+    kernel.add_argument(
+        "--run",
+        action="store_true",
+        help="also run the scenario (metrics level) and print the per-lane provenance breakdown",
+    )
+    _add_runner_arguments(kernel)
+    kernel.set_defaults(func=_cmd_kernel)
 
     experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E15")
     experiment.add_argument("id", help="experiment id (E1..E15) or 'all'")

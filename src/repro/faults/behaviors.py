@@ -204,6 +204,133 @@ class TwoFacedEcho(EchoSyncProcess):
         self.multicast(self.context.fast_group, payload)
 
 
+#: Per-broadcast drop probability of the ``random_silence`` strategy, and the
+#: probability with which ``random_two_faced`` favours the fast group.  The
+#: vector kernel's exact-replay engine mirrors these values (and each
+#: behaviour's exact draw table) to replay the ``Random(seed + pid)`` streams
+#: draw-for-draw; ``tests/test_kernel_parity.py`` pins the two copies equal.
+RANDOM_DROP_PROBABILITY = 0.5
+RANDOM_FAST_BIAS = 0.5
+
+
+class RandomSilenceAuth(AuthSyncProcess):
+    """Participates correctly but drops each of its own broadcasts at random.
+
+    Draw table (replayed by the vector kernel): exactly one ``random()`` per
+    broadcast attempt, drawn before the halt check and regardless of whether
+    the broadcast is then sent or dropped.
+    """
+
+    faulty = True
+
+    def __init__(self, pid, params, keystore, secret_key, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, keystore, secret_key, **kwargs)
+        self.context = context
+        self._rng = random.Random(context.seed + pid)
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self._rng.random() < RANDOM_DROP_PROBABILITY:
+            return
+        super().broadcast(payload)
+
+
+class RandomSilenceEcho(EchoSyncProcess):
+    """Echo-variant random silence: one ``random()`` per broadcast attempt."""
+
+    faulty = True
+
+    def __init__(self, pid, params, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, **kwargs)
+        self.context = context
+        self._rng = random.Random(context.seed + pid)
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self._rng.random() < RANDOM_DROP_PROBABILITY:
+            return
+        super().broadcast(payload)
+
+
+class RandomTwoFacedAuth(AuthSyncProcess):
+    """Two-faced participant whose favoured half is re-flipped per broadcast.
+
+    Draw table (replayed by the vector kernel): exactly one ``random()`` per
+    broadcast, drawn before any network-delay draws for the chosen group.
+    """
+
+    faulty = True
+
+    def __init__(self, pid, params, keystore, secret_key, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, keystore, secret_key, **kwargs)
+        self.context = context
+        self._rng = random.Random(context.seed + pid)
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        group = (
+            self.context.fast_group
+            if self._rng.random() < RANDOM_FAST_BIAS
+            else self.context.slow_group
+        )
+        self.multicast(group or self.context.honest_pids, payload)
+
+
+class RandomTwoFacedEcho(EchoSyncProcess):
+    """Echo-variant coin-flipped two-faced participant."""
+
+    faulty = True
+
+    def __init__(self, pid, params, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, **kwargs)
+        self.context = context
+        self._rng = random.Random(context.seed + pid)
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        group = (
+            self.context.fast_group
+            if self._rng.random() < RANDOM_FAST_BIAS
+            else self.context.slow_group
+        )
+        self.multicast(group or self.context.honest_pids, payload)
+
+
+class RandomLaggardAuth(AuthSyncProcess):
+    """Participates correctly with an independent in-bounds random delay per message.
+
+    Draw table (replayed by the vector kernel): one ``uniform(tmin, tdel)``
+    per destination, in ``other_peers()`` (ascending pid) order; the explicit
+    delay bypasses the network's delay policy (and its RNG) entirely.
+    """
+
+    faulty = True
+
+    def __init__(self, pid, params, keystore, secret_key, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, keystore, secret_key, **kwargs)
+        self.context = context
+        self._rng = random.Random(context.seed + pid)
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self.halted:
+            return
+        for pid in self.other_peers():
+            self.send(pid, payload, delay=self._rng.uniform(self.params.tmin, self.params.tdel))
+
+
+class RandomLaggardEcho(EchoSyncProcess):
+    """Echo-variant random laggard: correct content, random in-bounds delays."""
+
+    faulty = True
+
+    def __init__(self, pid, params, context: AdversaryContext, **kwargs) -> None:
+        super().__init__(pid, params, **kwargs)
+        self.context = context
+        self._rng = random.Random(context.seed + pid)
+
+    def broadcast(self, payload: object) -> None:  # type: ignore[override]
+        if self.halted:
+            return
+        for pid in self.other_peers():
+            self.send(pid, payload, delay=self._rng.uniform(self.params.tmin, self.params.tdel))
+
+
 class LaggardAuth(AuthSyncProcess):
     """Participates correctly but delivers everything at the latest allowed moment.
 

@@ -14,6 +14,9 @@ Strategies within the resilience bound (the guarantees must survive them):
 ``two_faced``       participate correctly but only toward half of the honest processes
 ``alternating``     two-faced with the favoured half switching every round
 ``laggard``         participate correctly but always at the maximum allowed delay
+``random_silence``  participate correctly but drop each own broadcast at random
+``random_two_faced`` two-faced with the favoured half coin-flipped per broadcast
+``random_laggard``  participate correctly with a random in-bounds delay per message
 ``forge_flood``     spam forged signatures, bogus proofs and garbage
 ``replay``          replay every observed message later
 ``skew_max``        eager support combined with two-faced sends (worst observed skew)
@@ -44,6 +47,12 @@ from .behaviors import (
     ForgeAndFlood,
     LaggardAuth,
     LaggardEcho,
+    RandomLaggardAuth,
+    RandomLaggardEcho,
+    RandomSilenceAuth,
+    RandomSilenceEcho,
+    RandomTwoFacedAuth,
+    RandomTwoFacedEcho,
     ReplayAttacker,
     RushingCabalLeader,
     SilentFaulty,
@@ -59,6 +68,9 @@ TOLERATED_ATTACKS = (
     "two_faced",
     "alternating",
     "laggard",
+    "random_silence",
+    "random_two_faced",
+    "random_laggard",
     "forge_flood",
     "replay",
     "skew_max",
@@ -115,6 +127,24 @@ def _make_laggard(pid, context, algorithm, keystore):
     return LaggardEcho(pid, context.params)
 
 
+def _make_random_silence(pid, context, algorithm, keystore):
+    if algorithm == AUTH and keystore is not None:
+        return RandomSilenceAuth(pid, context=context, **_auth_kwargs(context, pid, keystore))
+    return RandomSilenceEcho(pid, context.params, context=context)
+
+
+def _make_random_two_faced(pid, context, algorithm, keystore):
+    if algorithm == AUTH and keystore is not None:
+        return RandomTwoFacedAuth(pid, context=context, **_auth_kwargs(context, pid, keystore))
+    return RandomTwoFacedEcho(pid, context.params, context=context)
+
+
+def _make_random_laggard(pid, context, algorithm, keystore):
+    if algorithm == AUTH and keystore is not None:
+        return RandomLaggardAuth(pid, context=context, **_auth_kwargs(context, pid, keystore))
+    return RandomLaggardEcho(pid, context.params, context=context)
+
+
 def _make_forge_flood(pid, context, algorithm, keystore):
     return ForgeAndFlood(pid, context)
 
@@ -149,6 +179,9 @@ _REGISTRY: dict[str, StrategyFactory] = {
     "two_faced": _make_two_faced,
     "alternating": _make_alternating,
     "laggard": _make_laggard,
+    "random_silence": _make_random_silence,
+    "random_two_faced": _make_random_two_faced,
+    "random_laggard": _make_random_laggard,
     "forge_flood": _make_forge_flood,
     "replay": _make_replay,
     "skew_max": _make_skew_max,

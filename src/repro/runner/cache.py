@@ -58,7 +58,11 @@ from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, re
 #: (``kernel_provenance``); the vector whitelist widened to echo, uniform
 #: delays and the forge_flood attack, changing which runs the vector engine
 #: serves under ``"auto"``.
-SCHEMA_VERSION = 7
+#: 8: the vector whitelist widened again -- the ``random_*`` attack
+#: strategies, drifting (``random``-mode) clocks and ``min`` delays --
+#: changing which runs ``"auto"`` resolves to the vector engine (results
+#: stay float-identical; only provenance and notes depend on the engine).
+SCHEMA_VERSION = 8
 
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the

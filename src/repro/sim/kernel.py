@@ -28,7 +28,7 @@ Contract
   refuses (lane by lane) whenever an execution leaves the regime where that
   derivation is proven -- again with an ``on_note`` naming the reason.
 
-The result cache keys on the resolved kernel (cache schema v7), so switching
+The result cache keys on the resolved kernel (cache schema v8), so switching
 kernels never serves a result recorded under the other engine even though the
 two are float-identical by construction -- parity is *enforced* by tests and
 the bench gate (``tests/test_kernel_parity.py``, ``scripts/bench.py
@@ -57,22 +57,28 @@ FALLBACK_NOTE_PREFIX = "vector kernel fallback:"
 ELIGIBLE_ALGORITHMS = frozenset(["auth", "echo"])
 
 #: Attacks whose faulty behaviour the vector evaluator models exactly --
-#: deterministic ones, plus ``forge_flood``, whose per-adversary
-#: ``random.Random(seed + pid)`` stream the evaluator replays draw for draw.
+#: deterministic ones, plus the randomized ones (``forge_flood`` and the
+#: ``random_*`` strategies) whose per-adversary ``random.Random(seed + pid)``
+#: streams the evaluator replays draw for draw through per-behaviour replay
+#: tables.
 ELIGIBLE_ATTACKS = frozenset(
     [None, "silent", "crash", "eager", "two_faced", "laggard", "skew_max",
-     "forge_flood"]
+     "forge_flood", "random_silence", "random_two_faced", "random_laggard"]
 )
 
-#: Clock assignments with closed-form timer inversion (fixed-rate clocks).
-ELIGIBLE_CLOCK_MODES = frozenset(["extreme", "nominal"])
+#: Clock assignments the vector layer inverts exactly: fixed-rate clocks
+#: (closed form) and drifting (``random``) clocks, whose piecewise-linear
+#: trajectories are reconstructed from ``Random(seed)`` up front and
+#: inverted by a vectorized segment walk over the precomputed breakpoints.
+ELIGIBLE_CLOCK_MODES = frozenset(["extreme", "nominal", "random"])
 
 #: Delay policies the vector layer reproduces exactly: the deterministic
 #: per-(sender, destination) ones, plus ``uniform``, whose network RNG the
 #: evaluator consumes in the event loop's exact global send order.  ``"min"``
-#: with ``tmin = 0`` collapses whole rounds into zero-delay cascades the
-#: lockstep order derivation does not cover, so it stays on the event loop.
-ELIGIBLE_DELAY_MODES = frozenset(["max", "midpoint", "targeted", "uniform"])
+#: (zero-delay cascades, even with ``tmin = 0``) is served by the
+#: exact-replay engine, whose (time, creation-seq) heap resolves the
+#: cascades with the event loop's exact discipline.
+ELIGIBLE_DELAY_MODES = frozenset(["max", "midpoint", "targeted", "uniform", "min"])
 
 
 def _eligible_names(eligible) -> str:
@@ -109,7 +115,7 @@ def resolve_kernel(scenario) -> str:
 
     ``Scenario.kernel`` wins when set; otherwise the ``REPRO_KERNEL``
     environment variable; otherwise ``"auto"``.  The result cache keys on
-    this resolved value (schema v7), so an environment override changes the
+    this resolved value (schema v8), so an environment override changes the
     cache identity exactly like the explicit field does.
     """
     kernel = getattr(scenario, "kernel", None)
@@ -150,7 +156,10 @@ def kernel_ineligibility(scenario, trace_level: str) -> Optional[str]:
             f"(only benign or {_eligible_names(ELIGIBLE_ATTACKS)})"
         )
     if getattr(scenario, "clock_mode", None) not in ELIGIBLE_CLOCK_MODES:
-        return f"clock_mode {getattr(scenario, 'clock_mode', None)!r} needs the event loop (drifting clocks)"
+        return (
+            f"clock_mode {getattr(scenario, 'clock_mode', None)!r} needs the "
+            f"event loop (only {_eligible_names(ELIGIBLE_CLOCK_MODES)})"
+        )
     if getattr(scenario, "delay_mode", None) not in ELIGIBLE_DELAY_MODES:
         return (
             f"delay_mode {getattr(scenario, 'delay_mode', None)!r} needs the "

@@ -7,20 +7,26 @@ seam (:func:`_finalize_lane`: batch-level statistics, index-stepped message
 sampling, recorder replay):
 
 * the **lockstep array path** (phases 1/2 below) serves the authenticated
-  algorithm under deterministic attacks and deterministic delay modes, all
-  lanes of a replication block as NumPy array rows;
+  algorithm under deterministic attacks and deterministic non-zero delay
+  modes -- including drifting (``random``-mode) clocks, whose piecewise
+  rate trajectories are reconstructed up front and inverted by a
+  vectorized segment walk (:class:`_DriftTables`) -- all lanes of a
+  replication block as NumPy array rows;
 * the **exact-replay path** (:class:`_ExactReplay`) serves the echo
-  algorithm, the ``uniform`` delay mode and the randomized ``forge_flood``
-  adversary: a lean per-lane discrete replay that mirrors the event queue's
-  ``(time, seq)`` ordering by construction -- sequence numbers are allocated
-  in the event loop's exact push order, the network RNG
-  (``random.Random(seed + 1)``) is consumed in the exact global send order,
-  and each flood adversary's ``random.Random(seed + pid)`` stream is
-  replayed draw for draw.  Being order-exact by construction, it needs none
-  of the tie-breaking guards of the array path; its speed comes from
-  eliminating the event loop's per-message constants (envelope/event
-  allocation, handler dispatch, signature verification, per-message recorder
-  calls) rather than from arrays.
+  algorithm, the ``uniform`` and ``min`` delay modes, and every randomized
+  adversary (``forge_flood`` plus the ``random_*`` strategies): a lean
+  per-lane discrete replay that mirrors the event queue's ``(time, seq)``
+  ordering by construction -- sequence numbers are allocated in the event
+  loop's exact push order (which is what resolves ``min``-mode zero-delay
+  cascades exactly), the network RNG (``random.Random(seed + 1)``) is
+  consumed in the exact global send order, and each randomized adversary's
+  ``random.Random(seed + pid)`` stream is replayed draw for draw through a
+  per-behaviour draw table (see :meth:`_ExactReplay._broadcast`).  Being
+  order-exact by construction, it needs none of the tie-breaking guards of
+  the array path; its speed comes from eliminating the event loop's
+  per-message constants (envelope/event allocation, handler dispatch,
+  signature verification, per-message recorder calls) rather than from
+  arrays.
 
 The lockstep array path evaluates a whole run round by round:
 
@@ -64,7 +70,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Optional
 
-from .clocks import FixedRateClock, spread_offsets
+from .clocks import FixedRateClock, drifting_clock, spread_offsets
 from .kernel import numpy_or_none
 from .network import NetworkStats
 from .recorder import MessageSample, OnlineMetricsRecorder, OnlineMetricsSummary
@@ -80,8 +86,17 @@ CRASH_PERIODS = 2.5
 #: ``ForgeAndFlood``'s tick interval and ``randint`` round ceiling.
 FLOOD_INTERVAL = 0.05
 FLOOD_MAX_ROUND = 200
+#: ``random_silence``'s per-broadcast drop probability and
+#: ``random_two_faced``'s fast-group bias (``RANDOM_DROP_PROBABILITY`` /
+#: ``RANDOM_FAST_BIAS`` in :mod:`repro.faults.behaviors`).
+RANDOM_DROP_PROBABILITY = 0.5
+RANDOM_FAST_BIAS = 0.5
 #: Default ``max_round_lookahead`` of both broadcast trackers.
 TRACKER_LOOKAHEAD = 1000
+
+#: Faulty roles whose behaviour consumes a per-adversary RNG stream; each
+#: declares its exact draw table in :meth:`_ExactReplay._broadcast`.
+_RANDOM_ROLES = frozenset(["random_silence", "random_two_faced", "random_laggard"])
 
 _SIG = "SignedRound"
 _BUNDLE = "SignatureBundle"
@@ -139,7 +154,10 @@ class _Round:
 def _faulty_roles(attack: Optional[str], faulty_pids: list) -> dict:
     if attack in (None, "silent"):
         return {pid: "silent" for pid in faulty_pids}
-    if attack in ("crash", "eager", "two_faced", "laggard"):
+    if attack in (
+        "crash", "eager", "two_faced", "laggard",
+        "random_silence", "random_two_faced", "random_laggard",
+    ):
         return {pid: attack for pid in faulty_pids}
     if attack == "skew_max":
         return {
@@ -174,13 +192,17 @@ class _Layout:
         # AdversaryContext.build: fast group = first half of the honest ids.
         half = max(1, len(self.honest_pids) // 2)
         self.fast_group = self.honest_pids[:half]
+        self.slow_group = self.honest_pids[half:]
         self.fast_set = frozenset(self.fast_group)
         # Actors drive timers/acceptances: honest plus protocol-following
         # faulty roles.  Eager signers only inject signatures; silent ones
         # only occupy network slots.
         self.actor_pids = list(self.honest_pids) + [
             pid for pid in faulty_pids
-            if self.roles[pid] in ("crash", "two_faced", "laggard")
+            if self.roles[pid] in (
+                "crash", "two_faced", "laggard",
+                "random_silence", "random_two_faced", "random_laggard",
+            )
         ]
         self.A = len(self.actor_pids)
         self.actor_col = {pid: i for i, pid in enumerate(self.actor_pids)}
@@ -188,12 +210,16 @@ class _Layout:
         self.E = len(self.eager_pids)
         self.S = self.A + self.E
         self.flood_pids = [pid for pid in faulty_pids if self.roles[pid] == "flood"]
+        self.random_pids = [
+            pid for pid in faulty_pids if self.roles[pid] in _RANDOM_ROLES
+        ]
         # The lockstep array path (phases 1/2) covers exactly the regime it
         # was proven in; everything else eligible goes through _ExactReplay.
         self.lockstep = (
             self.algorithm == "auth"
-            and self.delay_mode != "uniform"
+            and self.delay_mode not in ("uniform", "min")
             and not self.flood_pids
+            and not self.random_pids
         )
         self.crash_time = (
             CRASH_PERIODS * params.period
@@ -227,13 +253,37 @@ class _Layout:
             else:
                 dest_list = [d for d in all_pids if d != pid]
             self.dests[pid] = tuple(dest_list)
-            if self.delay_mode == "uniform" and role != "laggard":
+            if (
+                self.delay_mode == "uniform"
+                and role not in ("laggard", "random_laggard")
+            ):
                 # Drawn per message from the network RNG at emit time.
+                self.delays[pid] = None
+            elif role == "random_laggard":
+                # Drawn per message from the adversary RNG at emit time.
                 self.delays[pid] = None
             else:
                 self.delays[pid] = tuple(
                     self._pair_delay(role, d) for d in dest_list
                 )
+        # random_two_faced multicasts to a coin-flipped group per broadcast;
+        # precompute both (dests, delays) variants.  multicast falls back to
+        # every honest pid when the chosen group is empty (h == 1).
+        self.rtf_tables = {}
+        for pid in self.random_pids:
+            if self.roles[pid] != "random_two_faced":
+                continue
+            variants = []
+            for group in (self.fast_group, self.slow_group or self.honest_pids):
+                dests = tuple(group)
+                if self.delay_mode == "uniform":
+                    delays = None
+                else:
+                    delays = tuple(
+                        self._pair_delay("random_two_faced", d) for d in dests
+                    )
+                variants.append((dests, delays))
+            self.rtf_tables[pid] = tuple(variants)
         if not self.lockstep:
             self.D = None
             self.M = None
@@ -256,6 +306,8 @@ class _Layout:
         # deterministic policy (and the laggard's explicit delay=tdel).
         if role == "laggard":
             return min(self.tdel, max(self.tmin, self.tdel))
+        if self.delay_mode == "min":
+            return min(self.tdel, max(self.tmin, 0.0))
         if self.delay_mode == "max":
             return min(self.tdel, max(self.tmin, float("inf")))
         if self.delay_mode == "midpoint":
@@ -266,7 +318,107 @@ class _Layout:
         raise LaneFallback(f"delay_mode {self.delay_mode!r} is not deterministic")
 
 
-def _phase1(layout: _Layout, scenarios: list) -> list:
+def _honest_drifting_clocks(layout: _Layout, scenario) -> list:
+    """Reconstruct the honest drifting clocks exactly as ``_honest_clock``.
+
+    ``drifting_clock`` consumes ``Random(seed * 1009 + index)`` draw for
+    draw (one ``uniform(lo, hi)`` per segment), so the returned
+    :class:`~repro.sim.clocks.PiecewiseLinearClock` objects are the same
+    objects -- float for float -- the event loop builds.
+    """
+    params = layout.params
+    offsets = _lane_offsets_list(layout, scenario)
+    horizon = scenario.horizon()
+    return [
+        drifting_clock(
+            params.rho,
+            offset=offsets[i],
+            seed=scenario.seed * 1009 + i,
+            segment_length=max(params.period, 4.0 * params.tdel),
+            horizon=horizon * 1.2 + 1.0,
+        )
+        for i in range(layout.h)
+    ]
+
+
+class _DriftTables:
+    """Vectorized segment-walk read/invert over precomputed drift breakpoints.
+
+    Each honest process's piecewise-linear rate trajectory is reconstructed
+    up front (:func:`_honest_drifting_clocks`) and laid out as
+    ``(lane, actor, segment)`` arrays; ``read``/``invert`` then mirror
+    :class:`~repro.sim.clocks.PiecewiseLinearClock`'s ``bisect_right``
+    segment selection with ``searchsorted`` / cumulative comparison, using
+    exactly the same float expressions per segment.  Faulty actor columns
+    keep ``FixedRateClock(1.0, 0.0)``'s closed forms via the honest-column
+    mask: a fixed-rate clock may *not* be rewritten as a multi-segment
+    piecewise table, because the accumulated ``value + rate * dt`` floats
+    differ from the closed form.
+    """
+
+    def __init__(self, layout: _Layout, scenarios: list) -> None:
+        np = layout.np
+        self.np = np
+        self.clocks = [_honest_drifting_clocks(layout, sc) for sc in scenarios]
+        starts = list(self.clocks[0][0]._starts)
+        for lane in self.clocks:
+            for clock in lane:
+                if list(clock._starts) != starts:
+                    raise LaneFallback(
+                        "drifting-clock segment boundaries are not lane-uniform"
+                    )
+        L, A, K = len(scenarios), layout.A, len(starts)
+        self.starts = np.array(starts, dtype=float)
+        # Faulty columns carry inert identity segments (rate 1, value ==
+        # start); their outputs are replaced by the fixed-rate closed form.
+        rates = np.ones((L, A, K), dtype=float)
+        values = np.tile(self.starts, (L, A, 1))
+        for l, lane in enumerate(self.clocks):
+            for i, clock in enumerate(lane):
+                rates[l, i, :] = clock._rates
+                values[l, i, :] = clock._values
+        self.rates = rates
+        self.values = values
+        self.honest = np.arange(A) < layout.h
+
+    def _tables(self, lane):
+        if lane is None:
+            return self.rates, self.values
+        return self.rates[lane], self.values[lane]
+
+    def invert(self, hw, lane=None):
+        # PiecewiseLinearClock.invert: local <= offset -> 0.0, else segment
+        # i = bisect_right(values, local) - 1, starts[i] + (local - v) / r.
+        np = self.np
+        rates, values = self._tables(lane)
+        idx = (values <= hw[..., None]).sum(axis=-1) - 1
+        idx = np.clip(idx, 0, values.shape[-1] - 1)
+        v = np.take_along_axis(values, idx[..., None], axis=-1)[..., 0]
+        r = np.take_along_axis(rates, idx[..., None], axis=-1)[..., 0]
+        drift = np.where(
+            hw <= values[..., 0], 0.0, self.starts[idx] + (hw - v) / r
+        )
+        # FixedRateClock(1.0, 0.0).invert: local <= 0 -> 0.0 else local.
+        fixed = np.where(hw <= 0.0, 0.0, hw)
+        return np.where(self.honest[: drift.shape[-1]], drift, fixed)
+
+    def read(self, t, lane=None):
+        # PiecewiseLinearClock.read: t <= 0 -> offset, else segment
+        # i = bisect_right(starts, t) - 1, values[i] + rates[i] * (t - s).
+        np = self.np
+        rates, values = self._tables(lane)
+        idx = np.searchsorted(self.starts, t, side="right") - 1
+        idx = np.clip(idx, 0, len(self.starts) - 1)
+        v = np.take_along_axis(values, idx[..., None], axis=-1)[..., 0]
+        r = np.take_along_axis(rates, idx[..., None], axis=-1)[..., 0]
+        drift = np.where(
+            t <= 0.0, values[..., 0], v + r * (t - self.starts[idx])
+        )
+        # FixedRateClock(1.0, 0.0).read: offset + rate * t == t, exactly.
+        return np.where(self.honest[: drift.shape[-1]], drift, t)
+
+
+def _phase1(layout: _Layout, scenarios: list, drift=None) -> list:
     """Lockstep round evaluation for all lanes; returns per-lane round lists.
 
     Entries are either ``list[_Round]`` or a :class:`LaneFallback` instance
@@ -305,7 +457,10 @@ def _phase1(layout: _Layout, scenarios: list) -> list:
         kP = k * layout.P
         tgt = kP + layout.alpha
         hw = kP - adj
-        inv = np.where(hw <= offs, 0.0, (hw - offs) / rates[None, :])
+        if drift is not None:
+            inv = drift.invert(hw)
+        else:
+            inv = np.where(hw <= offs, 0.0, (hw - offs) / rates[None, :])
         T = np.maximum(inv, arm)
         has_eager = E > 0 and k <= EAGER_MAX_ROUND
         te = max(0.0, EAGER_FACTOR * k * layout.P) if has_eager else None
@@ -332,7 +487,10 @@ def _phase1(layout: _Layout, scenarios: list) -> list:
                 continue
             results[l].append(rd)
             # Advance lane state with the same float expressions set_to uses.
-            reading = offs[l] + rates * rd.Acc
+            if drift is not None:
+                reading = drift.read(rd.Acc, lane=l)
+            else:
+                reading = offs[l] + rates * rd.Acc
             rd.before = reading + adj[l]
             rd.adj_after = np.where(rd.valid, tgt - reading, adj[l])
             adj[l] = rd.adj_after
@@ -471,6 +629,8 @@ class _LaneAssembly:
         self.seq = 0
         self.rank = [pid - layout.n for pid in layout.actor_pids]
         self.next_rank = 0
+        #: ``(_DriftTables, lane_index)`` when the lane runs drifting clocks.
+        self._drift = None
 
     # -- batch creation -------------------------------------------------------
 
@@ -507,7 +667,11 @@ class _LaneAssembly:
         adj = final.adj_after
         hw = kP - adj
         offs = self._offs
-        inv = np.where(hw <= offs, 0.0, (hw - offs) / layout.rates)
+        if self._drift is not None:
+            tables, lane = self._drift
+            inv = tables.invert(hw, lane=lane)
+        else:
+            inv = np.where(hw <= offs, 0.0, (hw - offs) / layout.rates)
         T_next = np.maximum(inv, final.Acc)
         armed = final.valid
         if bool((armed & (T_next <= t_star)).any()):
@@ -708,14 +872,15 @@ class _LaneAssembly:
     # -- replay ---------------------------------------------------------------
 
     def _replay(self, t_star) -> LaneOutcome:
+        clocks = self._drift[0].clocks[self._drift[1]] if self._drift else None
         return _finalize_lane(
             self.layout, self._lane_offsets, self.batches, self.emissions,
-            t_star, self.mergeable, self.sample_messages,
+            t_star, self.mergeable, self.sample_messages, clocks=clocks,
         )
 
 
 def _finalize_lane(layout, lane_offsets, batches, emissions, t_star,
-                   mergeable, sample_messages) -> LaneOutcome:
+                   mergeable, sample_messages, clocks=None) -> LaneOutcome:
     """Shared finalization of one served lane (both vector engines).
 
     Computes the network statistics arithmetically from the batch layout,
@@ -768,7 +933,9 @@ def _finalize_lane(layout, lane_offsets, batches, emissions, t_star,
         sample_messages=sample_messages,
     )
     for i, pid in enumerate(layout.honest_pids):
-        if layout.clock_mode == "nominal":
+        if clocks is not None:
+            clock = clocks[i]  # reconstructed drifting clock, same floats
+        elif layout.clock_mode == "nominal":
             clock = FixedRateClock(rate=1.0, offset=lane_offsets[i])
         else:
             rate = params.max_rate if i % 2 == 0 else params.min_rate
@@ -847,16 +1014,22 @@ class _ExactReplay:
 
         # Per-process clock functions as pure Python floats (H(t) = offset
         # + rate * t), mirroring build_cluster's assignment: honest clocks
-        # by index parity, faulty clocks at rate 1 / offset 0.
+        # by index parity under "extreme", faulty clocks at rate 1 /
+        # offset 0.  Drifting ("random") honest clocks are reconstructed
+        # as the exact PiecewiseLinearClock objects instead.
         self.lane_offsets = _lane_offsets_list(layout, scenario)
         self.offs = [0.0] * self.n
         self.rate = [1.0] * self.n
         for pid in layout.honest_pids:
             self.offs[pid] = self.lane_offsets[pid]
-            if layout.clock_mode != "nominal":
+            if layout.clock_mode == "extreme":
                 self.rate[pid] = (
                     params.max_rate if pid % 2 == 0 else params.min_rate
                 )
+        self.clocks = (
+            _honest_drifting_clocks(layout, scenario)
+            if layout.clock_mode == "random" else None
+        )
 
         # Protocol state (the trackers' observable state, as plain sets).
         self.cur = [1] * self.n
@@ -875,7 +1048,10 @@ class _ExactReplay:
         self.net_rng = (
             Random(scenario.seed + 1) if layout.delay_mode == "uniform" else None
         )
-        self.adv_rng = {pid: Random(scenario.seed + pid) for pid in layout.flood_pids}
+        self.adv_rng = {
+            pid: Random(scenario.seed + pid)
+            for pid in layout.flood_pids + layout.random_pids
+        }
         self.honest_list = list(layout.honest_pids)
 
         self.heap: list = []
@@ -895,21 +1071,72 @@ class _ExactReplay:
 
     def _arm_timer(self, pid: int, k: int) -> None:
         # ClockSyncProcess.schedule_round -> set_logical_timer ->
-        # set_timer_local: invert the fixed-rate clock, clamp to now.
+        # set_timer_local: invert the process clock, clamp to now.
         hw = k * self.P - self.adj[pid]
-        offs = self.offs[pid]
-        real = 0.0 if hw <= offs else (hw - offs) / self.rate[pid]
+        if self.clocks is not None and pid < self.h:
+            real = self.clocks[pid].invert(hw)
+        else:
+            offs = self.offs[pid]
+            real = 0.0 if hw <= offs else (hw - offs) / self.rate[pid]
         if real < self.now:
             real = self.now
         self._push((real, self.seq, _EV_TIMER, pid, k))
         self.seq += 1
 
+    def _broadcast(self, sender: int, kind: str, round_: int, deliver: bool,
+                   payload=None) -> None:
+        """A protocol-level ``broadcast`` call, routed through the sender's
+        behaviour override when it has one.
+
+        This is the per-behaviour replay table: each randomized behaviour
+        documents its exact draw sequence in
+        :mod:`repro.faults.behaviors`, and the matching branch here
+        consumes the mirrored ``Random(seed + pid)`` stream draw for draw.
+        """
+        role = self.layout.roles.get(sender, "honest")
+        if role == "random_silence":
+            # RandomSilence*.broadcast: one drop draw per broadcast.  A
+            # dropped broadcast never reaches the network: no batch, no
+            # stats, no seqs, no network-RNG draws.
+            if self.adv_rng[sender].random() < RANDOM_DROP_PROBABILITY:
+                return
+            self._emit(sender, kind, round_, deliver, payload)
+        elif role == "random_two_faced":
+            # RandomTwoFaced*.broadcast: one bias draw picks the favoured
+            # group, then a plain multicast to it.
+            pick = (
+                0 if self.adv_rng[sender].random() < RANDOM_FAST_BIAS else 1
+            )
+            dests, delays = self.layout.rtf_tables[sender][pick]
+            self._emit(
+                sender, kind, round_, deliver, payload,
+                dests=dests, delays=delays,
+            )
+        elif role == "random_laggard":
+            # RandomLaggard*.broadcast: one uniform(tmin, tdel) draw per
+            # peer in ascending-pid order, passed as an explicit delay --
+            # which skips the network RNG but still crosses Network.send's
+            # min(tdel, max(tmin, .)) clamp.
+            rng = self.adv_rng[sender]
+            dests = self.layout.dests[sender]
+            tmin, tdel = self.tmin, self.tdel
+            delays = tuple(
+                min(tdel, max(tmin, rng.uniform(tmin, tdel))) for _ in dests
+            )
+            self._emit(
+                sender, kind, round_, deliver, payload,
+                dests=dests, delays=delays,
+            )
+        else:
+            self._emit(sender, kind, round_, deliver, payload)
+
     def _emit(self, sender: int, kind: str, round_: int, deliver: bool,
-              payload=None) -> None:
+              payload=None, *, dests=None, delays=None) -> None:
         """One broadcast/multicast: stats batch + (relevant) delivery pushes."""
         layout = self.layout
-        dests = layout.dests[sender]
-        delays = layout.delays[sender]
+        if dests is None:
+            dests = layout.dests[sender]
+            delays = layout.delays[sender]
         if delays is None:
             # Network._choose_delay under UniformDelay: one unit draw per
             # message in destination order, scaled into [tmin, tdel].
@@ -980,7 +1207,7 @@ class _ExactReplay:
         state = self.est[pid].get(round_)
         if state is None or state[2]:
             return
-        self._emit(pid, _ECHO, round_, deliver=True)
+        self._broadcast(pid, _ECHO, round_, deliver=True)
         state[2] = True
         state[1].add(pid)
         self._echo_apply(pid, round_, self._echo_eval(state))
@@ -991,7 +1218,7 @@ class _ExactReplay:
         self.broadcasted[pid].add(k)
         if self.is_echo:
             # EchoSyncProcess.announce_round: broadcast init, then count own.
-            self._emit(pid, _INIT, k, deliver=True)
+            self._broadcast(pid, _INIT, k, deliver=True)
             state = self._echo_state(pid, k)
             if state is not None:
                 state[0].add(pid)
@@ -1000,7 +1227,7 @@ class _ExactReplay:
             # AuthSyncProcess.announce_round: record own signature, then
             # broadcast it, then check the threshold.
             self._auth_add(pid, k, pid)
-            self._emit(pid, _SIG, k, deliver=True)
+            self._broadcast(pid, _SIG, k, deliver=True)
             self._try_accept(pid)
 
     def _try_accept(self, pid: int) -> None:
@@ -1027,7 +1254,10 @@ class _ExactReplay:
         # advance the round and re-arm the timer.
         now = self.now
         tgt = k * self.P + self.alpha
-        reading = self.offs[pid] + self.rate[pid] * now
+        if self.clocks is not None and pid < self.h:
+            reading = self.clocks[pid].read(now)
+        else:
+            reading = self.offs[pid] + self.rate[pid] * now
         before = reading + self.adj[pid]
         adj_after = tgt - reading
         self.adj[pid] = adj_after
@@ -1040,7 +1270,7 @@ class _ExactReplay:
                 self.broadcasted[pid].add(k)
                 self._auth_add(pid, k, pid)
             proof = tuple(sorted(self.sigs[pid].get(k, ())))[: self.f + 1]
-            self._emit(pid, _BUNDLE, k, deliver=True, payload=proof)
+            self._broadcast(pid, _BUNDLE, k, deliver=True, payload=proof)
         new_round = k + 1
         self.cur[pid] = new_round
         if new_round > self.floor[pid]:
@@ -1146,7 +1376,7 @@ class _ExactReplay:
                 return _finalize_lane(
                     self.layout, self.lane_offsets, self.batches,
                     self.emissions, self.now, self.mergeable,
-                    self.sample_messages,
+                    self.sample_messages, clocks=self.clocks,
                 )
 
     def _deliver(self, dest: int, kind_code: int, sender: int, round_,
@@ -1227,8 +1457,8 @@ def run_lanes(scenarios, *, mergeable: bool = False,
                 outcomes[i] = LaneOutcome(fallback=f"vector evaluation error: {exc!r}")
             continue
         if not layout.lockstep:
-            # Echo, uniform delays, and randomized attacks run per lane on
-            # the exact-replay engine (no cross-lane lockstep arrays).
+            # Echo, uniform/min delays, and randomized attacks run per lane
+            # on the exact-replay engine (no cross-lane lockstep arrays).
             for pos, i in enumerate(indices):
                 try:
                     outcomes[i] = _ExactReplay(
@@ -1242,7 +1472,11 @@ def run_lanes(scenarios, *, mergeable: bool = False,
                     )
             continue
         try:
-            lane_rounds = _phase1(layout, group)
+            drift = (
+                _DriftTables(layout, group)
+                if layout.clock_mode == "random" else None
+            )
+            lane_rounds = _phase1(layout, group, drift)
         except LaneFallback as fb:
             for i in indices:
                 outcomes[i] = LaneOutcome(fallback=fb.reason)
@@ -1262,6 +1496,8 @@ def run_lanes(scenarios, *, mergeable: bool = False,
                 )
                 assembly._offs = _lane_offs(layout, group[pos])
                 assembly._lane_offsets = _lane_offsets_list(layout, group[pos])
+                if drift is not None:
+                    assembly._drift = (drift, pos)
                 outcomes[i] = assembly.run()
             except LaneFallback as fb:
                 outcomes[i] = LaneOutcome(fallback=fb.reason)

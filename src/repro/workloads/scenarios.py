@@ -770,6 +770,17 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
             outcomes = run_lanes(
                 reps, mergeable=True, sample_messages=scenario.sample_messages
             )
+            # Cache-identity guard: the result cache keys on the *static*
+            # resolution, so a lane that dynamically fell back to the event
+            # loop must still present the same resolved kernel and the same
+            # (absent) static reason -- dynamic fallback never forks cache
+            # identity.  Both inputs are pure functions of the scenario, so
+            # a violation here means a mid-run mutation or a policy/
+            # mechanism split, which must fail loudly rather than poison
+            # the cache.
+            assert resolve_kernel(scenario) == resolved and (
+                kernel_ineligibility(reps[0], "metrics") is None
+            ), "dynamic fallback changed the static kernel resolution"
 
     # Kernel accounting up front, so fallback notes are recorded once per
     # distinct reason (with a lane count) rather than once per lane.

@@ -29,11 +29,18 @@ from repro.sim.vectorized import (
     EAGER_MAX_ROUND,
     FLOOD_INTERVAL,
     FLOOD_MAX_ROUND,
+    RANDOM_DROP_PROBABILITY,
+    RANDOM_FAST_BIAS,
     TRACKER_LOOKAHEAD,
+    LaneOutcome,
+    _honest_drifting_clocks,
+    _Layout,
     run_lanes,
 )
+from repro.sim.clocks import rate_bounds, spread_offsets
 from repro.workloads.scenarios import (
     Scenario,
+    _honest_clock,
     build_cluster,
     run_scenario,
     run_shard,
@@ -259,11 +266,100 @@ def test_new_families_resolve_to_vector_under_auto(monkeypatch):
         cell(7, delay="uniform"),
         cell(7, attack="forge_flood"),
         echo_cell(7, attack="forge_flood", delay="uniform"),
+        cell(7, attack="random_silence"),
+        cell(7, clock="random"),
+        cell(7, delay="min"),
+        echo_cell(7, attack="random_laggard", clock="random", delay="min"),
     ):
         result = run_scenario(scenario, trace_level="metrics")
         assert result.kernel_provenance is not None, scenario.name
         assert result.kernel_provenance.resolved == "auto"
         assert result.kernel_provenance.vector_lanes == 1, scenario.name
+
+
+# -- random_* attacks, drifting clocks and min delays ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "attack", ["random_silence", "random_two_faced", "random_laggard"]
+)
+@pytest.mark.parametrize("algorithm", ["auth", "echo"])
+def test_parity_random_attacks(attack, algorithm):
+    event, vector = run_both(cell(9, attack=attack, algorithm=algorithm))
+    assert_results_identical(event, vector, f"{algorithm} {attack}")
+
+
+@pytest.mark.parametrize(
+    "attack", ["random_silence", "random_two_faced", "random_laggard"]
+)
+@pytest.mark.parametrize("delay", ["uniform", "min"])
+def test_parity_random_attacks_random_delays(attack, delay):
+    """Adversary draws interleave with network draws (or zero-delay cascades)."""
+    event, vector = run_both(cell(9, attack=attack, delay=delay))
+    assert_results_identical(event, vector, f"{attack} delay={delay}")
+
+
+@pytest.mark.parametrize("delay", ["max", "midpoint", "targeted"])
+def test_parity_drifting_clocks_lockstep(delay):
+    # auth + deterministic attack + deterministic delays: the lockstep array
+    # path, with the segment-walk inversion replacing the closed form.
+    event, vector = run_both(
+        cell(9, attack="two_faced", clock="random", delay=delay)
+    )
+    assert_results_identical(event, vector, f"drifting lockstep delay={delay}")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(algorithm="echo"),
+        dict(delay="uniform"),
+        dict(delay="min"),
+        dict(attack="forge_flood"),
+        dict(algorithm="echo", attack="forge_flood", delay="uniform"),
+    ],
+)
+def test_parity_drifting_clocks_exact_replay(kwargs):
+    event, vector = run_both(cell(9, clock="random", **kwargs))
+    assert_results_identical(event, vector, f"drifting replay {kwargs}")
+
+
+@pytest.mark.parametrize("seed", [0, 5, 42])
+def test_parity_drifting_seed_sweep(seed):
+    event, vector = run_both(cell(8, clock="random", seed=seed, rounds=6))
+    assert_results_identical(event, vector, f"drifting seed={seed}")
+
+
+@pytest.mark.parametrize("algorithm", ["auth", "echo"])
+@pytest.mark.parametrize("attack", [None, "crash", "eager", "two_faced", "laggard"])
+def test_parity_min_delay_zero_tmin(algorithm, attack):
+    # cell() sets tmin = 0, so every policy delay collapses to 0.0 and whole
+    # rounds run as zero-delay cascades resolved purely by creation-seq order.
+    event, vector = run_both(cell(9, attack=attack, delay="min", algorithm=algorithm))
+    assert_results_identical(event, vector, f"min {algorithm} attack={attack}")
+
+
+def test_parity_min_delay_message_sampling():
+    event, vector = run_both(cell(9, delay="min", attack="eager", sample=2))
+    assert event.message_samples is not None
+    assert_results_identical(event, vector, "min sampling")
+
+
+def test_parity_randomized_cross_product_grid():
+    """random_* x drifting x {uniform, min} x {auth, echo}, randomized cells."""
+    picker = random.Random(2026)
+    attacks = ["random_silence", "random_two_faced", "random_laggard"]
+    for _ in range(6):
+        kwargs = dict(
+            attack=picker.choice(attacks),
+            clock=picker.choice(["random", "extreme", "nominal"]),
+            delay=picker.choice(["uniform", "min"]),
+            algorithm=picker.choice(["auth", "echo"]),
+            seed=picker.randrange(1000),
+            rounds=5,
+        )
+        event, vector = run_both(cell(picker.choice([7, 9, 10]), **kwargs))
+        assert_results_identical(event, vector, f"cross-product {kwargs}")
 
 
 # -- replayed RNG streams ----------------------------------------------------------------
@@ -288,6 +384,41 @@ def test_replayed_rng_streams_pin_fault_and_network_layers():
         + random.Random(scenario.seed + 1).random()
         * (scenario.params.tdel - scenario.params.tmin)
     )
+
+
+@pytest.mark.parametrize(
+    "attack", ["random_silence", "random_two_faced", "random_laggard"]
+)
+def test_random_behavior_streams_pin_fault_layer(attack):
+    """Each random_* adversary consumes random.Random(seed + pid); the vector
+    kernel replays exactly that stream through its per-behaviour draw table,
+    so the seeding discipline is load-bearing."""
+    scenario = cell(9, attack=attack)
+    handles = build_cluster(scenario, trace_level="metrics")
+    assert handles.faulty
+    for proc in handles.faulty:
+        assert proc._rng.getstate() == random.Random(scenario.seed + proc.pid).getstate()
+
+
+def test_drift_rate_trajectory_pins_clock_layer():
+    """The kernel rebuilds the event loop's drifting clocks float for float."""
+    scenario = cell(7, clock="random")
+    layout = _Layout(scenario, numpy_or_none())
+    rebuilt = _honest_drifting_clocks(layout, scenario)
+    offsets = spread_offsets(
+        len(scenario.honest_pids),
+        scenario.params.initial_offset_spread,
+        seed=scenario.seed + 13,
+    )
+    lo, hi = rate_bounds(scenario.params.rho)
+    for index, clock in enumerate(rebuilt):
+        oracle = _honest_clock(scenario, index, offsets[index])
+        assert list(clock._starts) == list(oracle._starts)
+        assert list(clock._rates) == list(oracle._rates)
+        assert list(clock._values) == list(oracle._values)
+        # ... and the trajectory is Random(seed * 1009 + index) draw for draw.
+        mirror = random.Random(scenario.seed * 1009 + index)
+        assert list(clock._rates) == [mirror.uniform(lo, hi) for _ in clock._rates]
 
 
 # -- lane batching -----------------------------------------------------------------------
@@ -339,7 +470,7 @@ def test_run_shard_lane_fold_order(base_kwargs):
 
 
 def test_ineligible_scenario_falls_back_with_note():
-    scenario = cell(7, kernel="vector", clock="random")  # drifting clocks
+    scenario = cell(7, kernel="vector", attack="replay")  # not vectorized
     reason = kernel_ineligibility(scenario, "metrics")
     assert reason is not None
     handles = build_cluster(scenario, trace_level="metrics")
@@ -352,7 +483,7 @@ def test_ineligible_scenario_falls_back_with_note():
 
 
 def test_fallback_note_recorded_in_summary():
-    scenario = cell(7, kernel="vector", clock="random", replications=2, shards=1)
+    scenario = cell(7, kernel="vector", attack="replay", replications=2, shards=1)
     outcome = run_shard(scenario, 0, (0, 1))
     notes = [note for note in outcome.summary.notes if note.startswith(FALLBACK_NOTE_PREFIX)]
     # One deduplicated note per distinct reason, annotated with the lane count.
@@ -387,7 +518,7 @@ def test_dynamic_fallback_notes_deduped_and_counted():
 
 
 def test_auto_ineligible_records_no_note():
-    scenario = cell(7, kernel="auto", clock="random", replications=2, shards=1)
+    scenario = cell(7, kernel="auto", attack="replay", replications=2, shards=1)
     outcome = run_shard(scenario, 0, (0, 1))
     assert not any(note.startswith(FALLBACK_NOTE_PREFIX) for note in outcome.summary.notes)
     assert outcome.ineligible_lanes == 2
@@ -396,18 +527,32 @@ def test_auto_ineligible_records_no_note():
 def test_eligibility_reasons():
     assert kernel_ineligibility(cell(7), "metrics") is None
     assert "full" in kernel_ineligibility(cell(7), "full")
-    # PR 7 widened the whitelist: echo, uniform delays and forge_flood are
-    # served now; the regenerated reason strings must never claim otherwise.
+    # PRs 7 and 9 widened the whitelist: echo, uniform/min delays, drifting
+    # clocks, forge_flood and the random_* strategies are served now; the
+    # regenerated reason strings must never claim otherwise.
     assert kernel_ineligibility(cell(7, delay="uniform"), "metrics") is None
     assert kernel_ineligibility(echo_cell(7, attack=None), "metrics") is None
     assert kernel_ineligibility(cell(7, attack="forge_flood"), "metrics") is None
     assert kernel_ineligibility(
         echo_cell(10, attack="forge_flood", delay="uniform"), "metrics"
     ) is None
-    reason = kernel_ineligibility(cell(7, delay="min"), "metrics")
-    assert "delay_mode" in reason and "'uniform'" in reason
+    assert kernel_ineligibility(cell(7, delay="min"), "metrics") is None
+    assert kernel_ineligibility(cell(7, clock="random"), "metrics") is None
+    for attack in ("random_silence", "random_two_faced", "random_laggard"):
+        assert kernel_ineligibility(cell(7, attack=attack), "metrics") is None
     reason = kernel_ineligibility(cell(7, attack="replay"), "metrics")
     assert "attack" in reason and "'forge_flood'" in reason
+    assert "'random_silence'" in reason  # reason strings stay set-derived
+    # The clock_mode reason is regenerated from ELIGIBLE_CLOCK_MODES too
+    # (it used to hardcode "drifting clocks"); probe with a duck-typed
+    # scenario carrying a clock mode no Scenario can hold.
+    import types
+
+    bogus_clock = types.SimpleNamespace(
+        algorithm="auth", attack=None, clock_mode="quartz"
+    )
+    reason = kernel_ineligibility(bogus_clock, "metrics")
+    assert "clock_mode" in reason and "'random'" in reason and "'extreme'" in reason
     assert "not vectorized" in kernel_ineligibility(
         cell(7, attack=None, use_startup=True), "metrics"
     )
@@ -439,9 +584,30 @@ def test_scenario_rejects_unknown_kernel():
         cell(5, kernel="numpy")
 
 
+def test_dynamic_fallback_preserves_cache_key(monkeypatch):
+    """Fallback must never fork cache identity: the cache keys on the static
+    resolution, so a lane that dynamically fell back has to produce the exact
+    cache key a served lane would (run_shard asserts the same invariant)."""
+    import repro.workloads.scenarios as scenarios_module
+    from repro.runner.cache import cache_key
+
+    scenario = cell(7, kernel="vector", replications=2, shards=1)
+    key_before = cache_key(scenario, check_guarantees=True, trace_level="metrics")
+
+    def forced_fallback(lane_scenarios, **kwargs):
+        return [LaneOutcome(fallback="forced by test") for _ in lane_scenarios]
+
+    monkeypatch.setattr(scenarios_module, "run_lanes", forced_fallback)
+    outcome = run_shard(scenario, 0, (0, 1))
+    assert outcome.fallback_lanes == 2
+    assert outcome.vector_lanes == 0
+    key_after = cache_key(scenario, check_guarantees=True, trace_level="metrics")
+    assert key_before == key_after
+
+
 def test_run_lanes_reports_fallback_without_recording():
-    # An out-of-regime lane (drifting clocks never reach run_lanes through
-    # run_scenario, but calling directly must refuse, not guess).
+    # An out-of-regime lane (the crash instant coincides with a round-1
+    # timer) must refuse without touching a recorder, not guess.
     scenario = cell(7, delay="max", attack="crash", spread=0.0, clock="nominal")
     outcomes = run_lanes([scenario, dataclasses.replace(scenario, seed=9)])
     for outcome in outcomes:
@@ -470,6 +636,11 @@ def test_mirrored_constants_match_fault_layer():
     for proc in handles.faulty:
         assert proc.interval == FLOOD_INTERVAL
         assert proc.rounds == FLOOD_MAX_ROUND
+
+    from repro.faults import behaviors
+
+    assert behaviors.RANDOM_DROP_PROBABILITY == RANDOM_DROP_PROBABILITY
+    assert behaviors.RANDOM_FAST_BIAS == RANDOM_FAST_BIAS
 
     from repro.broadcast.authenticated import SignatureTracker
     from repro.broadcast.echo import EchoTracker
