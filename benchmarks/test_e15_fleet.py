@@ -3,7 +3,7 @@
 The assertion layer over the E15 tables -- the bare CLI renders them but
 only fails on table-generation errors, so the churn-invariance and
 elasticity claims are gated here (and in ``tests/test_fleet.py`` and the
-BENCH_PR9 recovery grid).
+BENCH_PR10 recovery grid).
 """
 
 from conftest import run_and_print

@@ -1,6 +1,6 @@
-"""Write BENCH_PR9.json: the tracked perf baseline of the execution stack.
+"""Write BENCH_PR10.json: the tracked perf baseline of the execution stack.
 
-The canonical benchmark (successor of the PR-8 script) times a fixed
+The canonical benchmark (successor of the PR-9 script) times a fixed
 experiment grid three ways -- full trace (historical poll), metrics-only with
 the static per-event round poll, and metrics-only with the adaptive horizon --
 plus a shard-scaling grid (1/2/4 shards of a replicated largest cell through
@@ -14,7 +14,11 @@ single-run and lane-batched, at the two largest E9 cells), a kernel *family*
 grid (the families the PR-7 and PR-9 whitelist widenings admitted: the echo
 algorithm, uniform delays, the randomized forge_flood and ``random_*``
 attacks, drifting ``random``-mode clocks and zero-min ``min`` delays, event
-loop vs the vector engines) and every reproduction experiment end to end --
+loop vs the vector engines), a *telemetry* cell (the largest lane-batched
+kernel cell run untraced and then with span tracing and the metrics registry
+fully enabled -- float parity gated unconditionally, the traced wall clock
+held within a few percent of untraced) and every reproduction experiment end
+to end --
 recording, via the experiments' result observer, which fraction of the E1-E15
 scenario cells is statically vector-eligible under the current whitelist vs
 the PR-6 and PR-7 ones.  CI's perf-smoke job runs it with ``--quick --gate``
@@ -23,7 +27,7 @@ alongside the code.
 
 Usage::
 
-    python scripts/bench.py [--quick] [--output BENCH_PR9.json]
+    python scripts/bench.py [--quick] [--output BENCH_PR10.json]
                             [--repeats N] [--gate]
 
 Timings always run against a cold result cache (caching is disabled for the
@@ -95,6 +99,13 @@ KERNEL_GATE_MIN_CORES = 4
 #: parity against the serial fold is gated unconditionally -- churn may cost
 #: time but can never move a float.
 RECOVERY_SLOWDOWN_LIMIT = 1.5
+
+#: The telemetry contract: with span tracing and the metrics registry fully
+#: enabled, the largest lane-batched kernel cell must finish within this
+#: factor of its untraced wall time (softened by :data:`GATE_TOLERANCE`
+#: against CI noise).  Value parity -- traced == untraced, float-for-float --
+#: is gated unconditionally: telemetry observes, it never participates.
+TELEMETRY_OVERHEAD_LIMIT = 1.05
 
 #: Aggressive fleet timings for the recovery grid's executors: losses are
 #: detected within ~2s and replacements arrive within ~0.1s, so the churned
@@ -577,6 +588,63 @@ def time_kernel_grid(quick: bool, repeats: int) -> dict:
     }
 
 
+def time_telemetry_grid(quick: bool, repeats: int) -> dict:
+    """Traced vs untraced on the largest lane-batched kernel cell.
+
+    The telemetry layer must be free to leave on: the same scenario is timed
+    with ``repro.obs`` fully off and then with span tracing plus the metrics
+    registry enabled, and the two results must be float-identical --
+    telemetry reads no simulated clock and consumes no seeded RNG stream, so
+    any drift is a bug, not noise.  The wall-clock ratio feeds
+    :func:`check_telemetry_gate`.
+    """
+    from repro import obs
+
+    n = 28 if quick else 42
+    rounds = 5 if quick else 12
+    replications = 8
+    scenario = dataclasses.replace(
+        adversarial_scenario(
+            default_params(n, authenticated=True),
+            "auth",
+            attack="skew_max",
+            rounds=rounds,
+            seed=100 + n,
+        ),
+        kernel="vector",
+        replications=replications,
+        shards=1,
+        name="",
+    )
+    untraced_wall, untraced = _best_of(repeats, lambda: run_scenario(scenario, trace_level="metrics"))
+    span_counts: list = []
+
+    def traced_run():
+        obs.enable()
+        try:
+            result = run_scenario(scenario, trace_level="metrics")
+            span_counts.append(len(obs.tracer().all_spans()))
+            return result
+        finally:
+            obs.disable()
+
+    traced_wall, traced = _best_of(repeats, traced_run)
+    entry = {
+        "untraced": _result_cell(untraced_wall, untraced),
+        "traced": _result_cell(traced_wall, traced),
+        "spans": max(span_counts),
+        "parity": {"traced_exact": results_exactly_equal(traced, untraced)},
+        "overhead_traced_over_untraced": round(traced_wall / max(untraced_wall, 1e-9), 3),
+    }
+    return {
+        "rounds": rounds,
+        "replications": replications,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "grid": {f"n={n}": entry},
+    }
+
+
 #: The families the PR-7 and PR-9 widenings admitted, each raced event vs
 #: vector: label -> (algorithm, attack, delay_mode, clock_mode).
 KERNEL_FAMILY_CELLS = {
@@ -705,6 +773,29 @@ def check_kernel_gate(kernel_grid: dict) -> list[str]:
     return failures
 
 
+def check_telemetry_gate(telemetry_grid: dict) -> list[str]:
+    """Traced runs must equal untraced float-exact and stay within the overhead limit.
+
+    Parity and span presence are gated unconditionally; the timing bound is
+    :data:`TELEMETRY_OVERHEAD_LIMIT`, softened by :data:`GATE_TOLERANCE`.
+    """
+    failures = []
+    for label, entry in telemetry_grid["grid"].items():
+        for name, ok in entry["parity"].items():
+            if not ok:
+                failures.append(f"telemetry {label}: parity check {name} failed")
+        if not entry["spans"]:
+            failures.append(f"telemetry {label}: traced run produced no spans")
+        limit = TELEMETRY_OVERHEAD_LIMIT * GATE_TOLERANCE
+        overhead = entry["overhead_traced_over_untraced"]
+        if overhead > limit:
+            failures.append(
+                f"telemetry {label}: traced x{overhead} over untraced exceeds x{limit:.3f} "
+                f"(limit x{TELEMETRY_OVERHEAD_LIMIT}, tolerance x{GATE_TOLERANCE})"
+            )
+    return failures
+
+
 def check_executor_gate(executor_grid: dict) -> list[str]:
     """Backend value parity is deterministic and gated unconditionally."""
     failures = []
@@ -794,7 +885,7 @@ def check_shard_gate(shard_grid: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
-    parser.add_argument("--output", default="BENCH_PR9.json", help="output path")
+    parser.add_argument("--output", default="BENCH_PR10.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3, help="runs per grid cell (best-of)")
     parser.add_argument(
         "--gate",
@@ -810,8 +901,9 @@ def main() -> int:
         "the vector kernel is value-identical to the event loop and "
         "actually serves the kernel grid and the widened family grid (and, on multi-core "
         "runners, at least 5x faster on the largest cells), the E-grid vector-eligibility "
-        "coverage is strictly above the PR-7 whitelist's, and every value-parity check is "
-        "float-exact",
+        "coverage is strictly above the PR-7 whitelist's, telemetry-enabled runs are "
+        "value-identical to untraced runs and within the telemetry overhead limit, and "
+        "every value-parity check is float-exact",
     )
     args = parser.parse_args()
 
@@ -824,9 +916,10 @@ def main() -> int:
     recovery_grid = time_recovery_grid(args.quick, args.repeats)
     kernel_grid = time_kernel_grid(args.quick, args.repeats)
     kernel_family_grid = time_kernel_family_grid(args.quick, args.repeats)
+    telemetry_grid = time_telemetry_grid(args.quick, args.repeats)
     experiments, kernel_coverage = time_experiments(args.quick)
     summary = {
-        "schema": "bench/9",
+        "schema": "bench/10",
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -838,6 +931,7 @@ def main() -> int:
         "recovery_grid": recovery_grid,
         "kernel_grid": kernel_grid,
         "kernel_family_grid": kernel_family_grid,
+        "telemetry_grid": telemetry_grid,
     }
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -888,6 +982,13 @@ def main() -> int:
             f"(x{entry['speedup_event_over_vector']}), "
             f"parity {all(entry['parity'].values())}"
         )
+    for label, entry in telemetry_grid["grid"].items():
+        print(
+            f"  telemetry {label}: untraced {entry['untraced']['wall_time_s']}s, "
+            f"traced {entry['traced']['wall_time_s']}s "
+            f"(x{entry['overhead_traced_over_untraced']}, {entry['spans']} spans), "
+            f"parity {all(entry['parity'].values())}"
+        )
     print(
         f"  kernel coverage: {kernel_coverage['eligible_cells']}/"
         f"{kernel_coverage['total_cells']} E-grid cells vector-eligible "
@@ -903,6 +1004,7 @@ def main() -> int:
             + check_recovery_gate(recovery_grid)
             + check_kernel_gate(kernel_grid)
             + check_kernel_family_gate(kernel_family_grid)
+            + check_telemetry_gate(telemetry_grid)
             + check_coverage_gate(kernel_coverage)
         )
         if failures:
@@ -915,7 +1017,8 @@ def main() -> int:
             "float-exact at every worker count, churned sweeps respawn and stay "
             "float-exact within the recovery wall-time limit, vector == event "
             "float-exact with the "
-            "kernel speedup within contract on both grids, and E-grid eligibility "
+            "kernel speedup within contract on both grids, traced == untraced "
+            "float-exact within the telemetry overhead limit, and E-grid eligibility "
             "coverage strictly above the PR-7 whitelist"
         )
     return 0

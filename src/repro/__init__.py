@@ -70,7 +70,7 @@ from .runner import (
 from .sim.recorder import OnlineMetricsSummary, merge_summaries
 from .workloads import Scenario, ScenarioResult, build_cluster, run_scenario
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

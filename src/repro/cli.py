@@ -9,10 +9,15 @@ The CLI exposes the library's main entry points without writing any Python:
   (resolved selection, static eligibility verdict with the reason, and with
   ``--run`` the per-lane provenance breakdown of an actual run),
 * ``repro experiment``   -- regenerate one (or all) of the reproduced tables E1..E15,
+* ``repro stats``        -- run one scenario with the metrics registry on and dump
+  every counter/gauge/histogram Prometheus-style,
 * ``repro list-attacks`` -- list the registered Byzantine strategies,
 * ``repro list-experiments`` -- list the reproduced experiments.
 
-Invoke as ``python -m repro <command> ...``.
+Invoke as ``python -m repro <command> ...``.  ``repro run`` grows the
+telemetry exports: ``--trace-out trace.json`` writes a Chrome-trace-viewer
+timeline of the run (parent and worker spans rebased onto one clock) and
+``--events-out spans.jsonl`` the same spans as a JSONL stream.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .analysis.report import Table, render_tables
 from .analysis.serialize import result_to_json
 from .core.bounds import AUTH, ECHO, theoretical_bounds
@@ -165,19 +171,99 @@ def _params_from_args(args: argparse.Namespace, authenticated: bool):
     )
 
 
-def _cmd_bounds(args: argparse.Namespace) -> int:
-    algorithm = ECHO if args.algorithm == "echo" else AUTH
-    params = _params_from_args(args, authenticated=algorithm == AUTH)
-    bounds = theoretical_bounds(params, algorithm)
-    table = Table(title=f"Analytic guarantees ({algorithm}, {params.describe()})", headers=["quantity", "value"])
-    for key, value in bounds.as_dict().items():
-        table.add_row(key, value)
-    print(table.render())
-    return 0
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """The full scenario description, shared by ``run`` and ``stats``."""
+    parser.add_argument("--algorithm", choices=list(ALL_ALGORITHMS), default="auth")
+    parser.add_argument("--attack", default="eager", help="adversary strategy (see list-attacks); default eager")
+    parser.add_argument("--actual-faults", type=int, default=None, dest="actual_faults",
+                        help="how many processes actually misbehave (default: f)")
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--clock-mode", choices=list(CLOCK_MODES), default="extreme", dest="clock_mode")
+    parser.add_argument("--delay-mode", choices=list(DELAY_MODES), default="targeted", dest="delay_mode")
+    parser.add_argument("--startup", action="store_true", help="start from scratch via the start-up protocol")
+    parser.add_argument("--boot-spread", type=float, default=0.0, dest="boot_spread")
+    parser.add_argument("--joiners", type=int, default=0, help="number of late joiners")
+    parser.add_argument("--join-time", type=float, default=0.0, dest="join_time")
+    parser.add_argument("--monotonic", action="store_true", help="suppress backward clock corrections")
+    parser.add_argument(
+        "--trace-level",
+        choices=list(TRACE_LEVELS),
+        default="full",
+        dest="trace_level",
+        help="observation depth: 'full' records the whole trace, 'metrics' streams scalar metrics in O(n) memory",
+    )
+    parser.add_argument(
+        "--adaptive-horizon",
+        choices=["auto", "on", "off"],
+        default="auto",
+        dest="adaptive_horizon",
+        help="halt as soon as the target round completes instead of polling the round per event "
+        "(auto: adaptive for metrics runs, historical for full traces)",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=0.0,
+        help="real time to keep simulating past target-round completion on adaptive runs (default 0)",
+    )
+    parser.add_argument(
+        "--abort-unreachable",
+        action="store_true",
+        dest="abort_unreachable",
+        help="end the run the moment the target round becomes unreachable (an honest crash "
+        "capped the completable rounds) instead of burning the full budget; changes the "
+        "measured end time of infeasible runs only",
+    )
+    parser.add_argument(
+        "--replications",
+        type=_positive_int,
+        default=1,
+        help="independent replications of the scenario (seeds seed..seed+R-1); the result is "
+        "the exact merge of the per-replication summaries (worst case over runs)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="shard tasks the replications split into across the worker pool "
+        "(default: one per core, REPRO_SHARDS overrides; never changes measured values)",
+    )
+    parser.add_argument(
+        "--sample-messages",
+        type=_positive_int,
+        default=None,
+        dest="sample_messages",
+        help="retain every K-th network message as a lightweight sample in the result "
+        "(message-level provenance; forces --trace-level metrics)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["auto", "event", "vector"],
+        default=None,
+        help="simulation kernel: 'event' (pure-Python event loop), 'vector' (batched NumPy "
+        "round evaluator; metrics-level runs only, falls back with a recorded note when "
+        "ineligible), 'auto' (vector exactly when eligible); default: REPRO_KERNEL or auto "
+        "-- measured values are float-identical across kernels",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        help="scripted chaos schedule fired against the worker fleet while the scenario runs, "
+        "e.g. 'kill@1,wedge@3' (after N completed chunks, kill/wedge/partition a worker); "
+        "needs --executor subprocess or ssh -- results are float-identical regardless",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        dest="chaos_seed",
+        help="seed for the chaos schedule's victim selection (default 0)",
+    )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    _configure_runner(args)
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Build the declarative scenario a ``run``/``stats`` invocation describes."""
     authenticated = args.algorithm == "auth"
     params = _params_from_args(args, authenticated=authenticated)
     scenario = Scenario(
@@ -203,6 +289,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.adaptive_horizon != "auto":
         scenario.adaptive_horizon = args.adaptive_horizon == "on"
+    return scenario
+
+
+def _resolve_trace_level(args: argparse.Namespace) -> str:
+    """The effective trace level, with the forcing notes ``run`` always printed."""
     trace_level = args.trace_level
     if args.replications > 1 and trace_level == "full":
         # Replicated runs merge streamed summaries; full traces do not merge.
@@ -212,24 +303,99 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Full traces keep every message already; sampling is a metrics feature.
         trace_level = "metrics"
         print("note: --sample-messages forces --trace-level metrics", file=sys.stderr)
-    runner = get_runner()
-    if args.chaos:
-        if not runner.distributed:
-            print(
-                "error: --chaos drives the fleet scheduler; use --executor subprocess or ssh",
-                file=sys.stderr,
-            )
-            return 2
-        from .runner.exec import ChaosController, ChaosSchedule
+    return trace_level
 
-        schedule = ChaosSchedule.parse(args.chaos, seed=args.chaos_seed)
-        with ChaosController(runner.executor, schedule) as chaos:
-            result = runner.run(scenario, trace_level=trace_level)
-        fired = ", ".join(f"{action}@{after}->pid {pid}" for action, after, pid in chaos.fired)
-        print(f"chaos: {fired or 'no events fired'}", file=sys.stderr)
-    else:
+
+def _run_with_chaos(args: argparse.Namespace, runner, scenario: Scenario, trace_level: str):
+    """Run via the shared runner, under the scripted chaos schedule when given.
+
+    Returns the result, or ``None`` when ``--chaos`` was requested on a
+    non-distributed backend (the caller exits 2).
+    """
+    if not args.chaos:
+        return runner.run(scenario, trace_level=trace_level)
+    if not runner.distributed:
+        print(
+            "error: --chaos drives the fleet scheduler; use --executor subprocess or ssh",
+            file=sys.stderr,
+        )
+        return None
+    from .runner.exec import ChaosController, ChaosSchedule
+
+    schedule = ChaosSchedule.parse(args.chaos, seed=args.chaos_seed)
+    with ChaosController(runner.executor, schedule) as chaos:
         result = runner.run(scenario, trace_level=trace_level)
+    fired = ", ".join(f"{action}@{after}->pid {pid}" for action, after, pid in chaos.fired)
+    print(f"chaos: {fired or 'no events fired'}", file=sys.stderr)
+    return result
+
+
+def _render_provenance(provenance) -> str:
+    """The one kernel-provenance line ``run`` and ``kernel --run`` both print.
+
+    Also folds the record into the metrics registry when one is installed --
+    under the ``provenance.*`` namespace, distinct from the live worker-side
+    ``kernel.*`` counters -- so ``repro stats`` reports the same breakdown
+    this renders.
+    """
+    if obs.metrics_enabled():
+        obs.registry().absorb_kernel_provenance(provenance, prefix="provenance")
+    return provenance.describe()
+
+
+def _export_telemetry(args: argparse.Namespace, runner) -> None:
+    """Write the ``--trace-out`` / ``--events-out`` exports for a traced run."""
+    from .obs.export import write_chrome_trace, write_jsonl
+
+    # Reap the fleet first so worker incarnation spans close cleanly instead
+    # of being flagged "open" in the export.
+    runner.close()
+    payload = obs.tracer().export_payload()
+    if args.trace_out is not None:
+        count = write_chrome_trace(args.trace_out, payload["spans"])
+        print(f"trace: {count} spans -> {args.trace_out}", file=sys.stderr)
+    if args.events_out is not None:
+        count = write_jsonl(args.events_out, payload["spans"])
+        print(f"events: {count} spans -> {args.events_out}", file=sys.stderr)
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    algorithm = ECHO if args.algorithm == "echo" else AUTH
+    params = _params_from_args(args, authenticated=algorithm == AUTH)
+    bounds = theoretical_bounds(params, algorithm)
+    table = Table(title=f"Analytic guarantees ({algorithm}, {params.describe()})", headers=["quantity", "value"])
+    for key, value in bounds.as_dict().items():
+        table.add_row(key, value)
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    exporting = args.trace_out is not None or args.events_out is not None
+    if not exporting:
+        return _run_and_report(args, exporting=False)
+    # Telemetry watches wall-clock scheduling only; the measured result is
+    # float-identical either way (pinned by tests and the bench gate).  The
+    # disable() makes enabling command-scoped, so in-process callers (the
+    # test suite drives main() directly) never leak an installed tracer.
+    obs.enable()
+    try:
+        return _run_and_report(args, exporting=True)
+    finally:
+        obs.disable()
+
+
+def _run_and_report(args: argparse.Namespace, exporting: bool) -> int:
+    _configure_runner(args)
+    scenario = _scenario_from_args(args)
+    trace_level = _resolve_trace_level(args)
+    runner = get_runner()
+    result = _run_with_chaos(args, runner, scenario, trace_level)
+    if result is None:
+        return 2
     fleet = _fleet_summary(runner.executor_stats())
+    if exporting:
+        _export_telemetry(args, runner)
     if args.json:
         if fleet is not None:
             print(f"fleet: {fleet}", file=sys.stderr)
@@ -246,7 +412,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.message_samples is not None:
         table.add_row("message samples retained", len(result.message_samples))
     if result.kernel_provenance is not None:
-        table.add_row("kernel", result.kernel_provenance.describe().removeprefix("kernel "))
+        table.add_row("kernel", _render_provenance(result.kernel_provenance).removeprefix("kernel "))
     table.add_row("completed round", result.completed_round)
     table.add_row("precision (worst skew, s)", result.precision)
     table.add_row("acceptance spread (s)", result.acceptance_spread)
@@ -310,7 +476,45 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     if result.kernel_provenance is None:
         print("run provenance: not recorded")
     else:
-        print(f"run provenance: {result.kernel_provenance.describe()}")
+        print(f"run provenance: {_render_provenance(result.kernel_provenance)}")
+    return 0 if result.guarantees_hold else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one scenario with the metrics registry on and dump it Prometheus-style.
+
+    Spans stay off (``trace=False``): this command is about the counters.  The
+    registry accumulates live worker-side counters (``kernel.*``, ``cache.*``,
+    ``fleet.queue_wait_s``/``probe_rtt_s`` histograms) during the run, then the
+    edge folds in the cumulative fleet scheduler counters and the run's kernel
+    provenance before rendering one Prometheus text exposition on stdout.
+    """
+    obs.enable(trace=False, metrics=True)
+    try:
+        return _stats_run(args)
+    finally:
+        obs.disable()
+
+
+def _stats_run(args: argparse.Namespace) -> int:
+    from .obs.export import render_prometheus
+
+    _configure_runner(args)
+    scenario = _scenario_from_args(args)
+    trace_level = _resolve_trace_level(args)
+    runner = get_runner()
+    result = _run_with_chaos(args, runner, scenario, trace_level)
+    if result is None:
+        return 2
+    registry = obs.registry()
+    registry.absorb_fleet_stats(runner.executor_stats())
+    if result.kernel_provenance is not None:
+        _render_provenance(result.kernel_provenance)
+    # The cache counters tick live in _count(); force the series to exist even
+    # when caching is disabled so the exposition always reports them.
+    for name in ("cache.hits", "cache.misses", "cache.stores"):
+        registry.inc(name, 0)
+    sys.stdout.write(render_prometheus(registry.snapshot()))
     return 0 if result.guarantees_hold else 1
 
 
@@ -327,6 +531,16 @@ def _experiment_provenance_line(parts: list) -> Optional[str]:
         merge_kernel_provenance(resolved, group).describe()
         for resolved, group in sorted(by_resolved.items())
     )
+
+
+def _cache_delta_line(before: Optional[dict], after: Optional[dict]) -> Optional[str]:
+    """One line of cache activity between two :class:`CacheStats` snapshots."""
+    if before is None or after is None:
+        return None
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    if not any(delta.values()):
+        return None
+    return ", ".join(f"{delta[key]} {key}" for key in ("hits", "misses", "stores"))
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -350,11 +564,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             provenance_parts.append(result.kernel_provenance)
 
     experiments_common.set_observer(observe)
+    runner = get_runner()
     failed: list[str] = []
     try:
         for exp_id in ids:
             experiment = EXPERIMENTS[exp_id]
             provenance_parts.clear()
+            cache_before = runner.cache.stats.as_dict() if runner.cache is not None else None
             try:
                 tables = experiment.run(quick=args.quick)
             except Exception as exc:
@@ -372,12 +588,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             provenance = _experiment_provenance_line(provenance_parts)
             if provenance is not None:
                 print(f"[{exp_id}] {provenance}")
+            cache_after = runner.cache.stats.as_dict() if runner.cache is not None else None
+            cache_line = _cache_delta_line(cache_before, cache_after)
+            if cache_line is not None:
+                print(f"[{exp_id}] cache: {cache_line}", file=sys.stderr)
             print(render_tables(tables))
             print()
     finally:
         experiments_common.set_observer(None)
         if args.stream:
             experiments_common.set_progress(None)
+    fleet = _fleet_summary(runner.executor_stats())
+    if fleet is not None:
+        print(f"fleet: {fleet}", file=sys.stderr)
     if failed:
         print(f"experiment(s) failed: {', '.join(failed)}", file=sys.stderr)
         return 1
@@ -411,96 +634,23 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one scenario and print the measured guarantees")
     _add_param_arguments(run)
     _add_runner_arguments(run)
-    run.add_argument("--algorithm", choices=list(ALL_ALGORITHMS), default="auth")
-    run.add_argument("--attack", default="eager", help="adversary strategy (see list-attacks); default eager")
-    run.add_argument("--actual-faults", type=int, default=None, dest="actual_faults",
-                     help="how many processes actually misbehave (default: f)")
-    run.add_argument("--rounds", type=int, default=10)
-    run.add_argument("--clock-mode", choices=list(CLOCK_MODES), default="extreme", dest="clock_mode")
-    run.add_argument("--delay-mode", choices=list(DELAY_MODES), default="targeted", dest="delay_mode")
-    run.add_argument("--startup", action="store_true", help="start from scratch via the start-up protocol")
-    run.add_argument("--boot-spread", type=float, default=0.0, dest="boot_spread")
-    run.add_argument("--joiners", type=int, default=0, help="number of late joiners")
-    run.add_argument("--join-time", type=float, default=0.0, dest="join_time")
-    run.add_argument("--monotonic", action="store_true", help="suppress backward clock corrections")
-    run.add_argument(
-        "--trace-level",
-        choices=list(TRACE_LEVELS),
-        default="full",
-        dest="trace_level",
-        help="observation depth: 'full' records the whole trace, 'metrics' streams scalar metrics in O(n) memory",
-    )
-    run.add_argument(
-        "--adaptive-horizon",
-        choices=["auto", "on", "off"],
-        default="auto",
-        dest="adaptive_horizon",
-        help="halt as soon as the target round completes instead of polling the round per event "
-        "(auto: adaptive for metrics runs, historical for full traces)",
-    )
-    run.add_argument(
-        "--grace",
-        type=float,
-        default=0.0,
-        help="real time to keep simulating past target-round completion on adaptive runs (default 0)",
-    )
-    run.add_argument(
-        "--abort-unreachable",
-        action="store_true",
-        dest="abort_unreachable",
-        help="end the run the moment the target round becomes unreachable (an honest crash "
-        "capped the completable rounds) instead of burning the full budget; changes the "
-        "measured end time of infeasible runs only",
-    )
-    run.add_argument(
-        "--replications",
-        type=_positive_int,
-        default=1,
-        help="independent replications of the scenario (seeds seed..seed+R-1); the result is "
-        "the exact merge of the per-replication summaries (worst case over runs)",
-    )
-    run.add_argument(
-        "--shards",
-        type=_positive_int,
-        default=None,
-        help="shard tasks the replications split into across the worker pool "
-        "(default: one per core, REPRO_SHARDS overrides; never changes measured values)",
-    )
-    run.add_argument(
-        "--sample-messages",
-        type=_positive_int,
-        default=None,
-        dest="sample_messages",
-        help="retain every K-th network message as a lightweight sample in the result "
-        "(message-level provenance; forces --trace-level metrics)",
-    )
-    run.add_argument(
-        "--kernel",
-        choices=["auto", "event", "vector"],
-        default=None,
-        help="simulation kernel: 'event' (pure-Python event loop), 'vector' (batched NumPy "
-        "round evaluator; metrics-level runs only, falls back with a recorded note when "
-        "ineligible), 'auto' (vector exactly when eligible); default: REPRO_KERNEL or auto "
-        "-- measured values are float-identical across kernels",
-    )
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--chaos",
-        default=None,
-        help="scripted chaos schedule fired against the worker fleet while the scenario runs, "
-        "e.g. 'kill@1,wedge@3' (after N completed chunks, kill/wedge/partition a worker); "
-        "needs --executor subprocess or ssh -- results are float-identical regardless",
-    )
-    run.add_argument(
-        "--chaos-seed",
-        type=int,
-        default=0,
-        dest="chaos_seed",
-        help="seed for the chaos schedule's victim selection (default 0)",
-    )
+    _add_scenario_arguments(run)
     run.add_argument("--json", action="store_true", help="emit the result as JSON")
     run.add_argument("--include-trace", action="store_true", dest="include_trace",
                      help="include the full trace in the JSON output")
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help="enable span tracing for this run and write a Chrome-trace-viewer timeline "
+        "(chrome://tracing / Perfetto) to this path; never changes measured values",
+    )
+    run.add_argument(
+        "--events-out",
+        default=None,
+        dest="events_out",
+        help="enable span tracing for this run and write every span as one JSON line to this path",
+    )
     run.set_defaults(func=_cmd_run)
 
     kernel = sub.add_parser(
@@ -541,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_arguments(kernel)
     kernel.set_defaults(func=_cmd_kernel)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run one scenario with the metrics registry on and dump it Prometheus-style",
+    )
+    _add_param_arguments(stats)
+    _add_runner_arguments(stats)
+    _add_scenario_arguments(stats)
+    stats.set_defaults(func=_cmd_stats)
 
     experiment = sub.add_parser("experiment", help="regenerate one (or all) reproduced tables E1..E15")
     experiment.add_argument("id", help="experiment id (E1..E15) or 'all'")

@@ -1,0 +1,280 @@
+"""Span tracing: explicit start/stop intervals on the real execution seams.
+
+A :class:`Span` is one named interval -- ``time.monotonic()`` start and end,
+a parent span id, key/value attributes and timestamped point events -- and a
+:class:`Tracer` is one process's collection of them plus the thread-local
+"current span" stack that gives new spans their parent ambiently.  The design
+constraints (see ``docs/observability.md``) are non-negotiable:
+
+* **Off by default, near-zero overhead off.**  Nothing in this module runs
+  unless a tracer is installed (:func:`repro.obs.enable`).  The disabled path
+  through :func:`repro.obs.span` returns the shared :data:`NULL_SPAN`
+  singleton -- no ``Span`` object, no dict, no list is allocated.
+* **Never touches simulated time or seeded randomness.**  Spans read
+  ``time.monotonic()`` (and ``time.time()`` once, for cross-process
+  rebasing); span identities come from ``uuid4`` (``os.urandom``-backed),
+  never from any ``random.Random`` stream a simulation seeds.  A traced run
+  is float-identical to an untraced run by construction.
+* **Cross-process by value.**  A worker's spans ship home as plain dicts
+  (:meth:`Tracer.export_payload`) inside result frames and are re-based onto
+  the parent's clock by :meth:`Tracer.ingest`, so one sweep reconstructs one
+  coherent timeline spanning parent, pool, subprocess and ssh workers.
+  Monotonic clocks are not comparable across processes; each tracer records
+  ``clock_offset = time.time() - time.monotonic()`` at birth and ingest
+  shifts foreign timestamps by the offset difference.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from typing import Optional
+
+#: Span statuses with defined meaning: ``ok`` (finished cleanly), ``error``
+#: (the traced block raised), ``lost`` (the worker executing the span died
+#: before reporting), ``open`` (never finished; closed at export time).
+SPAN_STATUSES = ("ok", "error", "lost", "open")
+
+
+class Span:
+    """One named interval with a parent, attributes and point events.
+
+    Entering a span as a context manager pushes it onto its tracer's
+    thread-local stack (so nested spans parent to it) and exiting pops and
+    finishes it -- status ``error`` when the block raised, ``ok`` otherwise.
+    Spans for asynchronous work (submit now, complete on another thread) are
+    created with :meth:`Tracer.begin` and closed manually with
+    :meth:`finish`; they never touch the ambient stack.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "status", "attrs", "events", "_tracer")
+
+    def __init__(self, tracer: "Tracer", span_id: str, parent_id: Optional[str], name: str, start: float) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.status: Optional[str] = None
+        #: Allocated lazily on first :meth:`set` / :meth:`event`; most spans
+        #: carry a couple of attributes or none at all.
+        self.attrs: Optional[dict] = None
+        self.events: Optional[list] = None
+        self._tracer = tracer
+
+    def set(self, key: str, value) -> None:
+        """Attach one key/value attribute (last write wins)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def event(self, name: str, detail=None) -> None:
+        """Record a timestamped point event inside this span."""
+        if self.events is None:
+            self.events = []
+        self.events.append((time.monotonic(), name, detail))
+
+    def finish(self, status: str = "ok") -> None:
+        """Close the span; idempotent (the first finish wins)."""
+        if self.end is None:
+            self.end = time.monotonic()
+            self.status = status
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        self._tracer._pop(self)
+        self.finish("error" if exc_type is not None else "ok")
+        return False
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, status={self.status})"
+
+
+class _NullSpan:
+    """The do-nothing span returned whenever tracing is disabled.
+
+    One shared instance; every method is a no-op and the context-manager
+    protocol returns ``self``, so instrumented code reads identically on the
+    enabled and disabled paths while the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        """No-op."""
+
+    def event(self, name: str, detail=None) -> None:
+        """No-op."""
+
+    def finish(self, status: str = "ok") -> None:
+        """No-op."""
+
+
+#: The shared disabled-path span (see :class:`_NullSpan`).
+NULL_SPAN = _NullSpan()
+
+
+class _Activation:
+    """Context manager that makes ``span`` the ambient parent on this thread.
+
+    Unlike entering the span itself, leaving an activation never finishes the
+    span -- it is the tool for long-lived spans (a sweep, a worker's task
+    root) that must parent work on the current thread while being closed
+    elsewhere.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self):
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *_exc) -> bool:
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """One process's span collection and ambient-context bookkeeping.
+
+    Span ids are ``"<origin>:<n>"`` where ``origin`` is eight hex characters
+    drawn from ``uuid4`` at construction -- collision-free across processes
+    without consuming any seeded RNG stream -- and ``n`` is a per-tracer
+    counter.  All mutation is lock-protected: the executor's reader and
+    fleet threads create and finish spans concurrently with the main thread.
+    """
+
+    def __init__(self) -> None:
+        self.origin = uuid.uuid4().hex[:8]
+        #: Wall-clock minus monotonic at birth: the rebasing anchor that lets
+        #: :meth:`ingest` shift a foreign process's monotonic timestamps onto
+        #: this tracer's monotonic axis.
+        self.clock_offset = time.time() - time.monotonic()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._counter = itertools.count()
+        self._tls = threading.local()
+
+    # -- ambient context ---------------------------------------------------
+
+    def _push(self, span) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append(span)
+
+    def _pop(self, span) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - unbalanced exit
+            stack.remove(span)
+
+    def current_id(self) -> Optional[str]:
+        """The ambient parent span id on this thread, or ``None``."""
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    def activate(self, span) -> _Activation:
+        """Make ``span`` the ambient parent on this thread without owning its end."""
+        return _Activation(self, span)
+
+    # -- span creation -----------------------------------------------------
+
+    def begin(self, name: str, parent: Optional[str] = None) -> Span:
+        """Start a span (parent defaults to the thread's ambient span)."""
+        if parent is None:
+            parent = self.current_id()
+        span = Span(self, f"{self.origin}:{next(self._counter)}", parent, name, time.monotonic())
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def span(self, name: str, parent: Optional[str] = None) -> Span:
+        """Alias of :meth:`begin` for ``with tracer.span(...)`` call sites."""
+        return self.begin(name, parent=parent)
+
+    # -- collection and transport ------------------------------------------
+
+    def all_spans(self) -> list[Span]:
+        """A snapshot of every span this tracer has recorded (local + ingested)."""
+        with self._lock:
+            return list(self._spans)
+
+    def close_open(self, status: str = "open") -> int:
+        """Finish every still-open span with ``status``; returns how many."""
+        closed = 0
+        for span in self.all_spans():
+            if span.end is None:
+                span.finish(status)
+                closed += 1
+        return closed
+
+    def span_dict(self, span: Span) -> dict:
+        """One span as a plain JSON-able dict (the wire and JSONL shape)."""
+        return {
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "start": span.start,
+            "end": span.end,
+            "status": span.status,
+            "attrs": dict(span.attrs) if span.attrs else None,
+            "events": [list(event) for event in span.events] if span.events else None,
+        }
+
+    def export_payload(self) -> dict:
+        """The cross-process shape: every span plus this tracer's clock anchor.
+
+        Open spans are closed with status ``open`` first (a worker exports
+        after its task root finished, so anything still open is a leak worth
+        seeing, not corrupting).
+        """
+        self.close_open()
+        return {
+            "clock_offset": self.clock_offset,
+            "spans": [self.span_dict(span) for span in self.all_spans()],
+        }
+
+    def ingest(self, payload: dict) -> int:
+        """Absorb a foreign tracer's :meth:`export_payload`, rebasing its clock.
+
+        The foreign monotonic timestamps are shifted by the difference of the
+        two tracers' ``clock_offset`` anchors, so ingested spans land on this
+        tracer's monotonic axis and one export renders parent and worker
+        spans on a single coherent timeline.  Returns the number of spans
+        ingested; foreign span ids keep their origin prefix, so parent links
+        into this process's spans (shipped out via the task context) resolve
+        unchanged.
+        """
+        shift = payload["clock_offset"] - self.clock_offset
+        ingested = []
+        for entry in payload["spans"]:
+            span = Span(self, entry["id"], entry["parent"], entry["name"], entry["start"] + shift)
+            span.end = None if entry["end"] is None else entry["end"] + shift
+            span.status = entry["status"]
+            if entry.get("attrs"):
+                span.attrs = dict(entry["attrs"])
+            if entry.get("events"):
+                span.events = [(t + shift, name, detail) for t, name, detail in entry["events"]]
+            ingested.append(span)
+        with self._lock:
+            self._spans.extend(ingested)
+        return len(ingested)

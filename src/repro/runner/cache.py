@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from .. import obs
 from ..analysis.serialize import scenario_to_dict
 from ..sim.kernel import resolve_kernel
 from ..workloads.scenarios import Scenario, ScenarioResult, resolve_adaptive, resolve_shards
@@ -67,8 +68,10 @@ SCHEMA_VERSION = 8
 #: Source files that cannot influence a simulation result and are therefore
 #: excluded from the code-version salt (editing them must not invalidate the
 #: cache).  ``worker.py`` is the remote-executor entry loop: like the runner
-#: package it decides where scenarios run, never what they compute.
-_SALT_EXCLUDED_PARTS = ("runner", "experiments")
+#: package it decides where scenarios run, never what they compute, and the
+#: ``obs`` telemetry package only watches -- it never touches simulated time
+#: or any seeded RNG stream, so its edits cannot change a result either.
+_SALT_EXCLUDED_PARTS = ("runner", "experiments", "obs")
 _SALT_EXCLUDED_FILES = ("cli.py", "__main__.py", "worker.py")
 
 _code_salt: Optional[str] = None
@@ -188,6 +191,18 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
+    def _count(self, what: str, key: str) -> None:
+        """Bump a :class:`CacheStats` field and mirror it into telemetry.
+
+        The ``enabled()`` guard keeps the disabled path allocation-free: no
+        event-detail dict is built unless a tracer is installed.
+        """
+        setattr(self.stats, what, getattr(self.stats, what) + 1)
+        obs.inc(f"cache.{what}")
+        if obs.enabled():
+            singular = {"hits": "hit", "misses": "miss", "stores": "store"}[what]
+            obs.event(f"cache.{singular}", {"key": key, "backend": "disk"})
+
     def get(self, key: str) -> Optional[ScenarioResult]:
         """Return the cached result for ``key``, or None on a miss."""
         path = self._path(key)
@@ -195,15 +210,15 @@ class ResultCache:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._count("misses", key)
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
             # A corrupt or stale entry (e.g. interrupted write, renamed class):
             # drop it and recompute.
             path.unlink(missing_ok=True)
-            self.stats.misses += 1
+            self._count("misses", key)
             return None
-        self.stats.hits += 1
+        self._count("hits", key)
         return result
 
     def put(self, key: str, result: ScenarioResult) -> None:
@@ -228,7 +243,7 @@ class ResultCache:
                 except OSError:
                     pass
             return
-        self.stats.stores += 1
+        self._count("stores", key)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

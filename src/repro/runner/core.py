@@ -58,6 +58,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from .. import obs
 from ..sim.kernel import resolve_kernel
 from ..workloads.scenarios import (
     ST_ALGORITHMS,
@@ -385,15 +386,32 @@ class SweepRunner:
         emit: OnResult,
     ) -> None:
         salt = code_salt()
-        for index, (scenario, check, level) in enumerate(zip(scenarios, checks, levels)):
-            key, result = self._cached(scenario, check, level, salt)
-            if result is None:
-                result = run_scenario(scenario, check_guarantees=check, trace_level=level)
-                if key is not None:
-                    self.cache.put(key, result)
-            emit(index, result)
+        with obs.span("runner.sweep") as sweep:
+            sweep.set("mode", "serial")
+            sweep.set("scenarios", len(scenarios))
+            for index, (scenario, check, level) in enumerate(zip(scenarios, checks, levels)):
+                key, result = self._cached(scenario, check, level, salt)
+                if result is None:
+                    result = run_scenario(scenario, check_guarantees=check, trace_level=level)
+                    if key is not None:
+                        self.cache.put(key, result)
+                emit(index, result)
 
     def _execute_parallel(
+        self,
+        scenarios: Sequence[Scenario],
+        checks: Sequence[bool],
+        levels: Sequence[str],
+        emit: OnResult,
+    ) -> None:
+        # The sweep span is ambient on this (the submitting) thread, so cache
+        # events and the executor's per-task spans parent to it.
+        with obs.span("runner.sweep") as sweep:
+            sweep.set("mode", "parallel")
+            sweep.set("scenarios", len(scenarios))
+            self._execute_parallel_inner(scenarios, checks, levels, emit)
+
+    def _execute_parallel_inner(
         self,
         scenarios: Sequence[Scenario],
         checks: Sequence[bool],

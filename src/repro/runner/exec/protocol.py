@@ -7,6 +7,14 @@ between a parent and one worker is deliberately small:
 parent -> worker::
 
     ("task", task_id, fn, payload)   run fn(payload), answer with the task_id
+    ("task", task_id, fn, payload, ctx)
+                                     same, with a telemetry context riding
+                                     along: {"trace": bool, "parent": span-id
+                                     or None, "metrics": bool}.  The 5-element
+                                     form is only sent when telemetry is
+                                     enabled, so untraced streams stay
+                                     byte-identical to the 4-element format;
+                                     receivers unpack length-tolerantly.
     ("probe",)                       liveness probe: answer with a pong from
                                      the main loop (not the heartbeat thread)
     ("shutdown",)                    drain and exit cleanly
@@ -17,9 +25,17 @@ worker -> parent::
     ("heartbeat",)                   periodic liveness beacon while alive
     ("pong", pid)                    probe answer, proving the main loop turns
     ("result", task_id, value)       fn returned value
+    ("result", task_id, value, telemetry)
+                                     same, plus the telemetry collected while
+                                     running the task (only when the task
+                                     frame carried a ctx): {"spans": tracer
+                                     export payload or None, "metrics":
+                                     registry snapshot or None}
     ("error", task_id, exc, info)    fn raised: the pickled exception when it
                                      pickles, else None plus (type, message,
                                      traceback-text) for a RemoteTaskError
+    ("error", task_id, exc, info, telemetry)
+                                     same, plus telemetry as above
 
 Task functions are shipped by reference (pickle serializes a module-level
 function as its qualified name), so the worker side only needs the ``repro``

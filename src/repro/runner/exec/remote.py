@@ -73,6 +73,7 @@ from concurrent.futures import Future, InvalidStateError
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from ... import obs
 from .base import Executor, ExecutorError, ExecutorFailure, RemoteTaskError
 from .protocol import encode_frame, read_frame, write_frame
 
@@ -110,7 +111,19 @@ IDLE_GRACE = 10.0
 class _Task:
     """One submitted unit: a picklable call plus its retry bookkeeping."""
 
-    __slots__ = ("task_id", "fn", "payload", "future", "attempts", "excluded", "started")
+    __slots__ = (
+        "task_id",
+        "fn",
+        "payload",
+        "future",
+        "attempts",
+        "excluded",
+        "started",
+        "ctx",
+        "span",
+        "attempt_span",
+        "submitted",
+    )
 
     def __init__(self, task_id: int, fn: Callable, payload) -> None:
         self.task_id = task_id
@@ -126,6 +139,15 @@ class _Task:
         #: Whether the future already transitioned to RUNNING (first
         #: dispatch); a retry redispatch must not transition it again.
         self.started = False
+        #: Telemetry: the trace context shipped in this task's frames (None
+        #: keeps the 4-element wire format), the parent-side ``exec.task``
+        #: span covering submit->complete, the per-dispatch ``exec.attempt``
+        #: span, and the submit timestamp for the queue-wait histogram
+        #: (zeroed once observed at first dispatch).
+        self.ctx: Optional[dict] = None
+        self.span = None
+        self.attempt_span = None
+        self.submitted = 0.0
 
     @property
     def label(self) -> str:
@@ -149,6 +171,8 @@ class _Worker:
         "remote_pid",
         "born_late",
         "idle_since",
+        "span",
+        "probe_sent",
     )
 
     def __init__(self, wid: int, slot: "_Slot", proc: subprocess.Popen, born_late: bool) -> None:
@@ -168,6 +192,11 @@ class _Worker:
         #: unreachable host never burns a task's retry budget.
         self.born_late = born_late
         self.idle_since: Optional[float] = None
+        #: Telemetry: the ``fleet.worker`` incarnation span (when tracing is
+        #: on) and the send time of an outstanding liveness probe, consumed
+        #: by the pong handler into the ``fleet.probe_rtt_s`` histogram.
+        self.span = None
+        self.probe_sent: Optional[float] = None
 
     def load(self) -> int:
         return len(self.queue) + (1 if self.current is not None else 0)
@@ -303,6 +332,14 @@ class ProtocolExecutor(Executor):
             env=self._spawn_env(),
         )
         worker = _Worker(next(self._wids), slot, proc, born_late)
+        if obs.enabled():
+            # Incarnation spans are timeline roots: a worker outlives any one
+            # sweep, so parenting it under a sweep span would break nesting.
+            worker.span = obs.tracer().begin("fleet.worker")
+            worker.span.parent_id = None
+            worker.span.set("slot", slot.index)
+            worker.span.set("wid", worker.wid)
+            worker.span.set("born_late", born_late)
         worker.reader = threading.Thread(
             target=self._read_loop,
             args=(worker,),
@@ -340,6 +377,18 @@ class ProtocolExecutor(Executor):
 
     def submit(self, fn: Callable, payload) -> Future:
         task = _Task(next(self._task_ids), fn, payload)
+        ctx = obs.wire_context()
+        if ctx is not None:
+            task.submitted = time.monotonic()
+            if ctx["trace"]:
+                # The parent-side task span covers submit -> complete; its
+                # ambient parent is whatever span the submitting thread holds
+                # (the sweep span), and it becomes the root the worker-side
+                # span tree hangs from via the shipped context.
+                task.span = obs.tracer().begin("exec.task")
+                task.span.set("task_id", task.task_id)
+                ctx = dict(ctx, parent=task.span.span_id)
+            task.ctx = ctx
         failure: Optional[str] = None
         assignments: Sequence[tuple[_Worker, _Task]] = ()
         with self._lock:
@@ -442,7 +491,10 @@ class ProtocolExecutor(Executor):
     def _send_assignments(self, assignments: Sequence[tuple[_Worker, _Task]]) -> None:
         for worker, task in assignments:
             try:
-                frame = encode_frame(("task", task.task_id, task.fn, task.payload))
+                if task.ctx is None:
+                    frame = encode_frame(("task", task.task_id, task.fn, task.payload))
+                else:
+                    frame = encode_frame(("task", task.task_id, task.fn, task.payload, task.ctx))
             except Exception as exc:
                 # The *task* cannot be shipped (unpicklable payload, frame
                 # over the size limit) -- that is the submitter's error, not
@@ -453,12 +505,23 @@ class ProtocolExecutor(Executor):
                     if worker.current is task:
                         worker.current = None
                     redispatch = self._dispatch_locked()
+                if task.span is not None:
+                    task.span.finish("error")
                 try:
                     task.future.set_exception(exc)
                 except InvalidStateError:
                     pass
                 self._send_assignments(redispatch)
                 continue
+            if task.ctx is not None:
+                if task.submitted:
+                    # Queue wait: submit -> first dispatch (retries excluded).
+                    obs.observe("fleet.queue_wait_s", time.monotonic() - task.submitted)
+                    task.submitted = 0.0
+                if task.span is not None and obs.enabled():
+                    task.attempt_span = obs.tracer().begin("exec.attempt", parent=task.span.span_id)
+                    task.attempt_span.set("slot", worker.slot.index)
+                    task.attempt_span.set("wid", worker.wid)
             try:
                 with worker.write_lock:
                     worker.proc.stdin.write(frame)
@@ -470,16 +533,42 @@ class ProtocolExecutor(Executor):
 
     # -- completion and loss ------------------------------------------------
 
-    @staticmethod
-    def _complete(task: _Task, frame: tuple) -> None:
+    def _ingest_telemetry(self, telemetry: dict) -> None:
+        """Fold a worker's shipped spans and metrics into this process's."""
+        spans = telemetry.get("spans")
+        if spans is not None and obs.enabled():
+            obs.tracer().ingest(spans)
+        metrics = telemetry.get("metrics")
+        if metrics is not None and obs.metrics_enabled():
+            obs.registry().absorb(metrics)
+
+    def _complete(self, task: _Task, frame: tuple) -> None:
+        ok = frame[0] == "result"
+        telemetry = frame[3] if ok and len(frame) > 3 else (frame[4] if not ok and len(frame) > 4 else None)
+        if telemetry is not None:
+            self._ingest_telemetry(telemetry)
+        status = "ok" if ok else "error"
+        if task.attempt_span is not None:
+            task.attempt_span.finish(status)
+            task.attempt_span = None
+        if task.span is not None:
+            task.span.finish(status)
         try:
-            if frame[0] == "result":
+            if ok:
                 task.future.set_result(frame[2])
             else:
                 exc = frame[2]
+                name, message, trace = frame[3]
                 if exc is None:
-                    name, message, trace = frame[3]
                     exc = RemoteTaskError(f"task {task.label} raised {name}: {message}\n{trace}")
+                elif trace:
+                    # The worker-side traceback would otherwise be lost the
+                    # moment the exception pickles: attach it so a remote
+                    # failure is debuggable without re-running serially.
+                    if hasattr(exc, "add_note"):
+                        exc.add_note(f"remote worker traceback ({task.label}):\n{trace}")
+                    else:  # Python 3.10: no PEP 678 notes
+                        exc.remote_traceback = trace
                 task.future.set_exception(exc)
         except InvalidStateError:
             pass  # cancelled in flight; nobody is waiting for this result
@@ -488,6 +577,11 @@ class ProtocolExecutor(Executor):
         """Fail a task's future.  Never call while holding the scheduler lock:
         ``set_exception`` runs done-callbacks synchronously, and a callback
         (the chaos harness, a waiting sweep) may re-enter the executor."""
+        if task.attempt_span is not None:
+            task.attempt_span.finish("lost")
+            task.attempt_span = None
+        if task.span is not None:
+            task.span.finish("error")
         try:
             task.future.set_exception(ExecutorFailure(message))
         except InvalidStateError:
@@ -510,13 +604,23 @@ class ProtocolExecutor(Executor):
             tag = frame[0]
             task = None
             assignments: list = []
+            probe_rtt: Optional[float] = None
             with self._lock:
                 worker.last_seen = time.monotonic()
                 slot = worker.slot
                 if worker.alive and slot.state == "suspect":
                     slot.state = "live"  # any frame clears the suspicion
+                if worker.probe_sent is not None and tag != "heartbeat":
+                    # Any main-loop frame answers the probe; the heartbeat
+                    # thread keeps beating even on a wedged worker, so it
+                    # proves nothing about the loop we probed.
+                    probe_rtt = time.monotonic() - worker.probe_sent
+                    worker.probe_sent = None
                 if tag == "hello":
                     worker.remote_pid = frame[1]
+                    if worker.span is not None:
+                        worker.span.set("remote_pid", frame[1])
+                        worker.span.event("hello")
                     if worker.alive and slot.state == "spawning":
                         slot.state = "live"
                         slot.probe_failures = 0
@@ -532,6 +636,8 @@ class ProtocolExecutor(Executor):
                         assignments = self._dispatch_locked()
                     else:
                         task = None  # stale frame for a task this worker no longer owns
+            if probe_rtt is not None:
+                obs.observe("fleet.probe_rtt_s", probe_rtt)
             if task is not None:
                 self._complete(task, frame)
             if assignments:
@@ -566,10 +672,18 @@ class ProtocolExecutor(Executor):
             worker.alive = False
             slot = worker.slot
             retired = slot.state == "retired"
+            if worker.span is not None:
+                # A retirement is an expected exit; anything else is a loss.
+                worker.span.finish("ok" if retired else "lost")
             if slot.worker is worker:
                 slot.worker = None
             in_flight = worker.current
             worker.current = None
+            if in_flight is not None and in_flight.attempt_span is not None:
+                # The attempt died with the worker: the orphaned span closes
+                # with a definite ``lost`` status instead of dangling open.
+                in_flight.attempt_span.finish("lost")
+                in_flight.attempt_span = None
             orphans = list(worker.queue)
             worker.queue.clear()
             if not retired:
@@ -671,10 +785,13 @@ class ProtocolExecutor(Executor):
                     stale.append(worker)
                 elif worker.remote_pid is not None and silence > deadline / 2.0 and slot.state == "live":
                     slot.state = "suspect"
+                    if worker.span is not None:
+                        worker.span.event("suspect")
                     probes.append(worker)
         for worker in probes:
             # An actively-probed suspect either answers (any frame clears the
             # state) or stays silent until the full deadline kills it.
+            worker.probe_sent = time.monotonic()
             try:
                 with worker.write_lock:
                     write_frame(worker.proc.stdin, ("probe",))
@@ -835,6 +952,8 @@ class ProtocolExecutor(Executor):
             self._parked.clear()
             for worker in workers:
                 worker.alive = False
+                if worker.span is not None:
+                    worker.span.finish("ok")
                 if worker.current is not None:
                     leftovers.append(worker.current)
                     worker.current = None

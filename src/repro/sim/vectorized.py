@@ -70,6 +70,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Optional
 
+from .. import obs
 from .clocks import FixedRateClock, drifting_clock, spread_offsets
 from .kernel import numpy_or_none
 from .network import NetworkStats
@@ -1461,9 +1462,11 @@ def run_lanes(scenarios, *, mergeable: bool = False,
             # on the exact-replay engine (no cross-lane lockstep arrays).
             for pos, i in enumerate(indices):
                 try:
-                    outcomes[i] = _ExactReplay(
-                        layout, group[pos], mergeable, sample_messages
-                    ).run()
+                    with obs.span("kernel.replay") as sp:
+                        sp.set("lane", i)
+                        outcomes[i] = _ExactReplay(
+                            layout, group[pos], mergeable, sample_messages
+                        ).run()
                 except LaneFallback as fb:
                     outcomes[i] = LaneOutcome(fallback=fb.reason)
                 except Exception as exc:  # pragma: no cover - defensive
@@ -1476,7 +1479,9 @@ def run_lanes(scenarios, *, mergeable: bool = False,
                 _DriftTables(layout, group)
                 if layout.clock_mode == "random" else None
             )
-            lane_rounds = _phase1(layout, group, drift)
+            with obs.span("kernel.phase1") as sp:
+                sp.set("lanes", len(group))
+                lane_rounds = _phase1(layout, group, drift)
         except LaneFallback as fb:
             for i in indices:
                 outcomes[i] = LaneOutcome(fallback=fb.reason)
@@ -1491,14 +1496,16 @@ def run_lanes(scenarios, *, mergeable: bool = False,
                 outcomes[i] = LaneOutcome(fallback=rounds.reason)
                 continue
             try:
-                assembly = _LaneAssembly(
-                    layout, group[pos], rounds, mergeable, sample_messages
-                )
-                assembly._offs = _lane_offs(layout, group[pos])
-                assembly._lane_offsets = _lane_offsets_list(layout, group[pos])
-                if drift is not None:
-                    assembly._drift = (drift, pos)
-                outcomes[i] = assembly.run()
+                with obs.span("kernel.phase2") as sp:
+                    sp.set("lane", i)
+                    assembly = _LaneAssembly(
+                        layout, group[pos], rounds, mergeable, sample_messages
+                    )
+                    assembly._offs = _lane_offs(layout, group[pos])
+                    assembly._lane_offsets = _lane_offsets_list(layout, group[pos])
+                    if drift is not None:
+                        assembly._drift = (drift, pos)
+                    outcomes[i] = assembly.run()
             except LaneFallback as fb:
                 outcomes[i] = LaneOutcome(fallback=fb.reason)
             except Exception as exc:  # pragma: no cover - defensive fallback

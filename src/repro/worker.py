@@ -27,11 +27,59 @@ import threading
 import traceback
 from typing import Optional, Sequence
 
+from . import obs
 from .runner.exec.protocol import read_frame, write_frame
 
 #: Default seconds between heartbeat frames (``--heartbeat`` overrides;
 #: non-positive disables the thread entirely).
 HEARTBEAT_INTERVAL = 1.0
+
+
+class _TaskTelemetry:
+    """Per-task telemetry collection, driven by the frame's trace context.
+
+    When a task frame carries a ctx, the worker installs a fresh tracer
+    and/or registry for the duration of that one task, roots the worker-side
+    span tree at the parent span id the ctx names, and packages everything
+    as the ``telemetry`` element of the result (or error) frame.  With no
+    ctx, every method is a cheap no-op and frames keep their short form.
+    """
+
+    __slots__ = ("ctx", "tracer", "registry", "root", "_previous")
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.tracer = obs.Tracer() if ctx and ctx.get("trace") else None
+        self.registry = obs.MetricsRegistry() if ctx and ctx.get("metrics") else None
+        self.root = None
+        self._previous = None
+
+    def start(self, task_id: int) -> None:
+        if self.ctx is None:
+            return
+        self._previous = obs.install(self.tracer, self.registry)
+        if self.tracer is not None:
+            self.root = self.tracer.begin("worker.task", parent=self.ctx.get("parent"))
+            self.root.set("task_id", task_id)
+            self.root.set("pid", os.getpid())
+            self.tracer._push(self.root)
+
+    def stop(self, status: str) -> None:
+        if self.ctx is None:
+            return
+        if self.root is not None:
+            self.tracer._pop(self.root)
+            self.root.finish(status)
+        obs.install(*self._previous)
+
+    def payload(self):
+        """The ``telemetry`` frame element, or ``None`` for the short form."""
+        if self.ctx is None:
+            return None
+        return {
+            "spans": self.tracer.export_payload() if self.tracer is not None else None,
+            "metrics": self.registry.snapshot() if self.registry is not None else None,
+        }
 
 
 def _describe_error(exc: BaseException) -> tuple:
@@ -43,6 +91,22 @@ def _describe_error(exc: BaseException) -> tuple:
         shipped = None
     info = (type(exc).__name__, str(exc), traceback.format_exc())
     return shipped, info
+
+
+def _result_frame(task_id: int, result, telemetry: "_TaskTelemetry") -> tuple:
+    """A result frame, extended with telemetry only when a ctx rode the task."""
+    payload = telemetry.payload()
+    if payload is None:
+        return ("result", task_id, result)
+    return ("result", task_id, result, payload)
+
+
+def _error_frame(task_id: int, shipped, info, telemetry: "_TaskTelemetry") -> tuple:
+    """An error frame, extended with telemetry only when a ctx rode the task."""
+    payload = telemetry.payload()
+    if payload is None:
+        return ("error", task_id, shipped, info)
+    return ("error", task_id, shipped, info, payload)
 
 
 def serve(in_stream, out_stream, heartbeat: float = HEARTBEAT_INTERVAL) -> int:
@@ -79,17 +143,21 @@ def serve(in_stream, out_stream, heartbeat: float = HEARTBEAT_INTERVAL) -> int:
                 # detectable even though the heartbeat thread keeps beating.
                 send(("pong", os.getpid()))
                 continue
-            tag, task_id, fn, payload = frame
+            tag, task_id, fn, payload, *rest = frame
             if tag != "task":
                 raise RuntimeError(f"worker received unexpected frame tag {tag!r}")
+            telemetry = _TaskTelemetry(rest[0] if rest else None)
+            telemetry.start(task_id)
             try:
                 result = fn(payload)
             except BaseException as exc:  # noqa: BLE001 - ship every failure home
+                telemetry.stop("error")
                 shipped, info = _describe_error(exc)
-                send(("error", task_id, shipped, info))
+                send(_error_frame(task_id, shipped, info, telemetry))
             else:
+                telemetry.stop("ok")
                 try:
-                    send(("result", task_id, result))
+                    send(_result_frame(task_id, result, telemetry))
                 except OSError:
                     raise  # the stream itself is broken: let the worker die
                 except Exception as exc:
@@ -99,7 +167,7 @@ def serve(in_stream, out_stream, heartbeat: float = HEARTBEAT_INTERVAL) -> int:
                     # task error instead of dying -- a deterministic task
                     # would fail identically on every retry worker.
                     shipped, info = _describe_error(exc)
-                    send(("error", task_id, shipped, info))
+                    send(_error_frame(task_id, shipped, info, telemetry))
     finally:
         stop.set()
 

@@ -16,6 +16,7 @@ import os
 from dataclasses import dataclass, replace as dataclasses_replace
 from typing import Optional, Sequence
 
+from .. import obs
 from ..analysis import metrics
 from ..analysis.envelope import AccuracySummary, accuracy_summary
 from ..analysis.optimality import (
@@ -745,6 +746,25 @@ class ShardOutcome:
     ineligible_reason: Optional[str] = None
 
 
+def _account_kernel_lanes(vector: int, fallback: int, ineligible: int, reasons: Sequence[tuple]) -> None:
+    """Fold one block's lane accounting into the live ``kernel.*`` telemetry.
+
+    These are the *worker-side* counters: they ride result frames home and
+    merge into the parent's registry, so a sweep's ``kernel.vector_lanes``
+    counts computed lanes across every process (cache hits excluded -- a
+    served entry computes nothing).  The distinct ``provenance.*`` namespace
+    the CLI folds a finished result's record into never overlaps with these.
+    """
+    if not (obs.enabled() or obs.metrics_enabled()):
+        return
+    obs.inc("kernel.vector_lanes", vector)
+    obs.inc("kernel.fallback_lanes", fallback)
+    obs.inc("kernel.ineligible_lanes", ineligible)
+    if obs.enabled():
+        for reason, count in reasons:
+            obs.event("kernel.fallback", {"reason": reason, "lanes": count})
+
+
 def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequence[int]) -> ShardOutcome:
     """Run one shard's block of replications serially and fold their summaries.
 
@@ -760,6 +780,20 @@ def run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequenc
     the reason annotated.  The fold order is replication order either way,
     so lane batching never changes the merged summary.
     """
+    with obs.span("scenario.shard") as sp:
+        sp.set("shard", shard_index)
+        sp.set("replications", len(replication_indices))
+        outcome = _run_shard(scenario, shard_index, replication_indices)
+        _account_kernel_lanes(
+            outcome.vector_lanes,
+            outcome.fallback_lanes,
+            outcome.ineligible_lanes,
+            outcome.fallback_reasons,
+        )
+        return outcome
+
+
+def _run_shard(scenario: Scenario, shard_index: int, replication_indices: Sequence[int]) -> ShardOutcome:
     reps = [replicate(scenario, index) for index in replication_indices]
     resolved = resolve_kernel(scenario)
     static_reason: Optional[str] = None
@@ -917,6 +951,29 @@ def run_scenario(
     vector evaluator refuses -- by the event loop, with the fallback reason
     recorded via ``on_note`` when the vector kernel was in play.
     """
+    with obs.span("scenario.run") as sp:
+        sp.set("algorithm", scenario.algorithm)
+        sp.set("n", scenario.params.n)
+        sp.set("trace_level", trace_level)
+        result = _run_scenario(scenario, check_guarantees, trace_level)
+        provenance = result.kernel_provenance
+        if scenario.replications <= 1 and provenance is not None:
+            # Replicated scenarios already accounted per shard inside
+            # run_shard; counting the merged provenance again would double.
+            _account_kernel_lanes(
+                provenance.vector_lanes,
+                provenance.fallback_lanes,
+                provenance.ineligible_lanes,
+                provenance.fallback_reasons,
+            )
+        return result
+
+
+def _run_scenario(
+    scenario: Scenario,
+    check_guarantees: Optional[bool],
+    trace_level: str,
+) -> ScenarioResult:
     if scenario.replications > 1:
         if trace_level != "metrics":
             raise ValueError(

@@ -21,7 +21,7 @@ DOCS = REPO / "docs"
 
 
 def test_docs_tree_exists():
-    for name in ("architecture.md", "kernel.md", "invariance.md", "experiments.md"):
+    for name in ("architecture.md", "kernel.md", "invariance.md", "experiments.md", "observability.md"):
         assert (DOCS / name).is_file(), f"docs/{name} is missing"
 
 
@@ -48,7 +48,7 @@ def test_experiments_index_has_no_stale_entries():
 
 def test_readme_links_every_doc():
     readme = (REPO / "README.md").read_text()
-    for name in ("architecture.md", "kernel.md", "invariance.md", "experiments.md"):
+    for name in ("architecture.md", "kernel.md", "invariance.md", "experiments.md", "observability.md"):
         assert f"docs/{name}" in readme, f"README does not link docs/{name}"
 
 
